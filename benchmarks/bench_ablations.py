@@ -1,0 +1,38 @@
+"""Bench for the design-choice ablations (DESIGN.md).
+
+Quantifies what the parity segmentation, in-group clustering, Laplacian
+selection, and outlier removal each contribute to the headline number.
+"""
+
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.evaluation import evaluate_loocv
+from repro.experiments import ablations
+from repro.experiments.ablations import AblationConfig
+
+
+@pytest.fixture(scope="module")
+def result(reduced_scale):
+    return ablations.run(AblationConfig(scale=reduced_scale))
+
+
+@pytest.mark.experiment
+def test_ablations(benchmark, report, result, feature_table):
+    benchmark.group = "ablations"
+    benchmark(evaluate_loocv, feature_table, DetectorConfig(clusters_per_state=1))
+
+    print()
+    print(result.render())
+    report(result.render())
+
+    # The full system is at least as good as the crippled variants
+    # (small sampling slack allowed).
+    assert result.baseline >= result.accuracies["plain k-means (1 cluster/state)"] - 0.02
+    assert (
+        result.baseline
+        >= result.accuracies["peak picking instead of parity segmentation"] - 0.02
+    )
+    # In-group clustering is the paper's fix for the severity
+    # continuum; it should contribute visibly.
+    assert result.delta("plain k-means (1 cluster/state)") < 0.0

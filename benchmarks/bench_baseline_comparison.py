@@ -1,0 +1,36 @@
+"""Bench for the headline comparison — EarSonar vs Chan et al. 2019.
+
+The paper's abstract: final accuracy "exceeds 92%, which is 8% higher
+than the previous method".
+"""
+
+import pytest
+
+from repro.baselines.chan2019 import Chan2019Detector
+from repro.experiments import baseline_comparison
+from repro.experiments.baseline_comparison import BaselineConfig
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return baseline_comparison.run(BaselineConfig(scale=scale))
+
+
+@pytest.mark.experiment
+def test_baseline_comparison(benchmark, report, result, study):
+    benchmark.group = "baseline"
+    chan = Chan2019Detector()
+    benchmark(chan.features, study.recordings[0])
+
+    print()
+    print(result.render())
+    report(result.render())
+
+    # Headline shape: EarSonar wins the four-state task by a clear
+    # margin (paper: ~8 points), and everything beats chance.
+    assert result.earsonar_accuracy > result.chan_accuracy
+    assert result.earsonar_margin > 0.03
+    assert result.earsonar_accuracy > 0.8
+    assert result.chan_accuracy > 0.25
+    # Binary screening is easier than 4-state grading for the baseline.
+    assert result.chan_binary_accuracy >= result.chan_accuracy - 0.02

@@ -1,0 +1,35 @@
+"""Bench for Fig. 2 — the acoustic-dip feasibility study.
+
+Times the per-recording absorption analysis (the kernel behind the
+figure) and regenerates the fluid-vs-clear spectral comparison.
+"""
+
+import pytest
+
+from repro.experiments import fig02_feasibility
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig02_feasibility.run()
+
+
+@pytest.mark.experiment
+def test_fig02_feasibility(benchmark, report, result, pipeline, sample_recording):
+    benchmark.group = "fig02"
+    benchmark(pipeline.process, sample_recording)
+
+    print()
+    print(result.render())
+    report(result.render())
+
+    # Shape claims of paper Fig. 2 / Sec. II-B.
+    assert result.dip_deepens_with_fluid
+    # The dip sits in the 16.5-19.5 kHz region for the fluid ear.
+    assert 16_300.0 < result.dip_frequency(result.fluid_curve) < 19_700.0
+    # Fluid absorbs at least 5 percentage points more at the dip.
+    assert (
+        result.dip_depth(result.fluid_curve)
+        - result.dip_depth(result.clear_curve)
+        > 0.05
+    )

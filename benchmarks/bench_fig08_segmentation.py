@@ -1,0 +1,49 @@
+"""Bench for Fig. 8 — event detection and parity-decomposition segmentation.
+
+Times the two preprocessing kernels on real simulated data and checks
+the segmentation yield and distance prior.
+"""
+
+import pytest
+
+from repro.experiments import fig07_08_signals
+from repro.signal.events import detect_events
+from repro.signal.parity import segment_eardrum_echo
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig07_08_signals.run()
+
+
+@pytest.fixture(scope="module")
+def filtered_event(pipeline, sample_recording):
+    filtered = pipeline.preprocess(sample_recording.waveform)
+    events = pipeline.detect_chirp_events(filtered)
+    return filtered, events
+
+
+@pytest.mark.experiment
+def test_fig08a_event_detection(benchmark, filtered_event):
+    benchmark.group = "fig08"
+    filtered, events = filtered_event
+    detected = benchmark(detect_events, filtered)
+    assert len(detected) == len(events)
+
+
+@pytest.mark.experiment
+def test_fig08b_echo_segmentation(benchmark, report, filtered_event, result):
+    benchmark.group = "fig08"
+    filtered, events = filtered_event
+    event_signal = events[0].slice(filtered)
+    echo = benchmark(segment_eardrum_echo, event_signal)
+
+    print()
+    print(result.render())
+    report(result.render())
+
+    assert echo.segment.size == 512
+    # Paper Sec. IV-B3: the echo is found at a plausible drum distance,
+    # and nearly every chirp yields one.
+    assert 0.015 <= echo.distance() <= 0.035
+    assert result.echo_yield > 0.9

@@ -1,0 +1,31 @@
+"""Bench for Fig. 9 — spectral consistency within and across participants."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig09_consistency
+from repro.signal.correlation import correlation_matrix
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig09_consistency.run()
+
+
+@pytest.mark.experiment
+def test_fig09_consistency(benchmark, report, result):
+    benchmark.group = "fig09"
+    curves = np.vstack([result.curves_a, result.curves_b])
+    benchmark(correlation_matrix, curves)
+
+    print()
+    print(result.render())
+    report(result.render())
+
+    # Paper Fig. 9b: same-ear sessions correlate above ~97%.
+    assert np.median(result.intra_a) > 0.97
+    assert np.median(result.intra_b) > 0.97
+    # Paper Fig. 9d: different healthy ears still correlate above 90%.
+    assert np.median(result.inter) > 0.90
+    # Within-ear consistency is at least as strong as across ears.
+    assert np.median(result.intra_a) >= np.median(result.inter) - 0.02

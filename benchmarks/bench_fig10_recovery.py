@@ -1,0 +1,39 @@
+"""Bench for Figs. 10-11 — recovery tracking and per-state spectra."""
+
+import pytest
+
+from repro.experiments import fig10_11_spectra
+from repro.simulation.effusion import MeeState
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig10_11_spectra.run()
+
+
+@pytest.mark.experiment
+def test_fig10_recovery_trajectories(benchmark, report, result, pipeline, sample_recording):
+    benchmark.group = "fig10"
+    benchmark(pipeline.process, sample_recording)
+
+    print()
+    print(result.render())
+    report(result.render())
+
+    # Paper Fig. 10: spectra converge to the healthy pattern by discharge.
+    assert result.recovery.converges_to_clear
+    for pid in result.recovery.curves_by_participant:
+        corr = result.recovery.recovery_correlation(pid)
+        assert corr[-1] > 0.95
+
+
+@pytest.mark.experiment
+def test_fig11_state_spectra(benchmark, result):
+    benchmark.group = "fig11"
+    benchmark(result.states.dip_depth, MeeState.PURULENT)
+
+    # Paper Fig. 11: the dip deepens from Clear through the fluid states.
+    states = result.states
+    assert states.depth_ordering_matches_paper
+    assert states.dip_depth(MeeState.CLEAR) < states.dip_depth(MeeState.SEROUS)
+    assert states.dip_depth(MeeState.CLEAR) < states.dip_depth(MeeState.PURULENT)

@@ -1,0 +1,49 @@
+"""Bench for Fig. 14 — background-noise and body-movement robustness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig14_noise_motion
+from repro.experiments.fig14_noise_motion import Fig14Config
+from repro.simulation.motion import MOVEMENT_PROFILES, Movement, motion_artifact
+from repro.simulation.noise import ambient_noise
+
+
+@pytest.fixture(scope="module")
+def result(reduced_scale):
+    return fig14_noise_motion.run(
+        Fig14Config(scale=reduced_scale, sessions_per_state=2)
+    )
+
+
+@pytest.mark.experiment
+def test_fig14ab_background_noise(benchmark, report, result):
+    benchmark.group = "fig14"
+    rng = np.random.default_rng(0)
+    benchmark(ambient_noise, 96_000, 48_000.0, 60.0, rng)
+
+    print()
+    print(result.render())
+    report(result.render())
+
+    # Paper Fig. 14b: FRR rises with room level; error rates stay
+    # single-digit-ish at the levels tested.
+    assert result.frr_grows_with_noise
+    for condition in result.noise_conditions:
+        assert result.mean_frr(condition) < 0.25
+        assert result.mean_far(condition) < 0.15
+
+
+@pytest.mark.experiment
+def test_fig14cd_body_movement(benchmark, result):
+    benchmark.group = "fig14"
+    rng = np.random.default_rng(0)
+    profile = MOVEMENT_PROFILES[Movement.WALKING]
+    benchmark(motion_artifact, profile, 96_000, 48_000.0, rng)
+
+    # Paper Fig. 14c-d: sitting is safe; walking/nodding degrade.
+    assert result.movement_hurts
+    by_name = {c.name: c for c in result.movement_conditions}
+    assert result.mean_frr(by_name["sit"]) < 0.12
+    assert result.mean_frr(by_name["walking"]) >= result.mean_frr(by_name["sit"])
+    assert result.mean_frr(by_name["nodding"]) >= result.mean_frr(by_name["sit"])

@@ -1,0 +1,43 @@
+"""Bench for Fig. 15 — earphone hardware and training-size studies."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.evaluation import evaluate_split
+from repro.experiments import fig15_devices_training
+from repro.experiments.fig15_devices_training import Fig15Config
+
+
+@pytest.fixture(scope="module")
+def result(reduced_scale):
+    return fig15_devices_training.run(Fig15Config(scale=reduced_scale))
+
+
+@pytest.mark.experiment
+def test_fig15a_devices(benchmark, report, result, feature_table):
+    benchmark.group = "fig15"
+    rng = np.random.default_rng(1)
+    benchmark(evaluate_split, feature_table, 0.5, rng, DetectorConfig())
+
+    print()
+    print(result.render())
+    report(result.render())
+
+    # Paper Fig. 15a: every commercial earphone remains usable.
+    assert result.all_devices_usable
+    assert len(result.devices) == 4
+
+
+@pytest.mark.experiment
+def test_fig15b_training_size(benchmark, result, feature_table):
+    benchmark.group = "fig15"
+    rng = np.random.default_rng(2)
+    benchmark(evaluate_split, feature_table, 0.25, rng, DetectorConfig())
+
+    # Paper Fig. 15b: accuracy grows with training data and is already
+    # strong at half the cohort.
+    assert result.accuracy_grows_with_data
+    by_fraction = {t.fraction: t.accuracy for t in result.training}
+    assert by_fraction[0.5] > 0.7
+    assert by_fraction[1.0] >= by_fraction[0.25] - 0.02

@@ -1,0 +1,119 @@
+"""Micro-benchmarks of the computational kernels.
+
+Not tied to a specific paper figure: these track the cost of the DSP
+and learning primitives everything else is built from, so performance
+regressions surface independently of the experiment tables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import MeeDetector
+from repro.features.laplacian import laplacian_scores
+from repro.learning.kmeans import KMeans
+from repro.signal.chirp import ChirpDesign, linear_chirp, matched_filter
+from repro.signal.filters import butterworth_bandpass
+from repro.signal.mfcc import MfccConfig, mfcc
+from repro.signal.parity import autoconvolution, find_symmetry_candidates
+from repro.signal.resample import upsample
+from repro.signal.spectral import amplitude_spectrum, welch_psd
+
+
+@pytest.fixture(scope="module")
+def waveform(sample_recording):
+    return sample_recording.waveform
+
+
+@pytest.fixture(scope="module")
+def event_signal(pipeline, sample_recording):
+    filtered = pipeline.preprocess(sample_recording.waveform)
+    events = pipeline.detect_chirp_events(filtered)
+    return events[0].slice(filtered)
+
+
+class TestSignalKernels:
+    def test_bandpass_design(self, benchmark):
+        benchmark.group = "kernels-signal"
+        benchmark(butterworth_bandpass, 4, 15_000.0, 21_000.0, 48_000.0)
+
+    def test_bandpass_filtering(self, benchmark, waveform):
+        benchmark.group = "kernels-signal"
+        design = butterworth_bandpass(4, 15_000.0, 21_000.0, 48_000.0)
+        benchmark(design.apply, waveform)
+
+    def test_matched_filter(self, benchmark, waveform):
+        benchmark.group = "kernels-signal"
+        benchmark(matched_filter, waveform, ChirpDesign())
+
+    def test_upsample_8x(self, benchmark, event_signal):
+        benchmark.group = "kernels-signal"
+        benchmark(upsample, event_signal, 8)
+
+    def test_autoconvolution(self, benchmark, event_signal):
+        benchmark.group = "kernels-signal"
+        work = upsample(event_signal, 8)
+        benchmark(autoconvolution, work)
+
+    def test_symmetry_candidates(self, benchmark, event_signal):
+        benchmark.group = "kernels-signal"
+        work = upsample(event_signal, 8)
+        benchmark(find_symmetry_candidates, work, support=48)
+
+    def test_amplitude_spectrum(self, benchmark, waveform):
+        benchmark.group = "kernels-signal"
+        benchmark(amplitude_spectrum, waveform, 48_000.0)
+
+    def test_welch_psd(self, benchmark, waveform):
+        benchmark.group = "kernels-signal"
+        benchmark(welch_psd, waveform, 48_000.0, segment_length=512)
+
+    def test_mfcc(self, benchmark):
+        benchmark.group = "kernels-signal"
+        rng = np.random.default_rng(0)
+        segment = rng.standard_normal(512)
+        config = MfccConfig(
+            sample_rate=384_000.0,
+            frame_length=256,
+            frame_hop=128,
+            nfft=1024,
+            low_hz=15_000.0,
+            high_hz=21_000.0,
+        )
+        benchmark(mfcc, segment, config)
+
+    def test_chirp_synthesis(self, benchmark):
+        benchmark.group = "kernels-signal"
+        benchmark(linear_chirp, ChirpDesign())
+
+
+class TestLearningKernels:
+    def test_kmeans_fit(self, benchmark, feature_table):
+        benchmark.group = "kernels-learning"
+        data = feature_table.features[:, :25]
+
+        def fit():
+            return KMeans(num_clusters=16, num_restarts=3, seed=0).fit(data)
+
+        benchmark(fit)
+
+    def test_laplacian_scores(self, benchmark, feature_table):
+        benchmark.group = "kernels-learning"
+        benchmark(laplacian_scores, feature_table.features)
+
+    def test_detector_fit(self, benchmark, feature_table):
+        benchmark.group = "kernels-learning"
+
+        def fit():
+            return MeeDetector(DetectorConfig()).fit(
+                feature_table.features, feature_table.states
+            )
+
+        benchmark(fit)
+
+    def test_detector_predict(self, benchmark, feature_table):
+        benchmark.group = "kernels-learning"
+        detector = MeeDetector(DetectorConfig()).fit(
+            feature_table.features, feature_table.states
+        )
+        benchmark(detector.predict_indices, feature_table.features)

@@ -1,0 +1,29 @@
+"""Bench for Table I — accuracy vs earphone wearing angle."""
+
+import pytest
+
+from repro.experiments import table1_angle
+from repro.experiments.table1_angle import Table1Config
+
+
+@pytest.fixture(scope="module")
+def result(reduced_scale):
+    return table1_angle.run(Table1Config(scale=reduced_scale, sessions_per_state=2))
+
+
+@pytest.mark.experiment
+def test_table1_angle_sweep(benchmark, report, result, pipeline, sample_recording):
+    benchmark.group = "table1"
+    benchmark(pipeline.process, sample_recording)
+
+    print()
+    print(result.render())
+    report(result.render())
+
+    accuracies = [c.accuracy for c in result.conditions]
+    # Paper Table I shape: best at 0 degrees, worst at 40, graceful
+    # decline in between (92.8 -> 86.4).
+    assert result.declines_with_angle
+    assert accuracies[0] > 0.85
+    assert accuracies[-1] > 0.6
+    assert accuracies[0] - accuracies[-1] < 0.3

@@ -1,0 +1,57 @@
+"""Bench for Table II — per-stage recognition latency.
+
+Here the pytest-benchmark timings ARE the experiment: each stage of the
+on-device pipeline is benchmarked separately, mirroring the paper's
+band-pass / feature-extraction / inference decomposition.
+"""
+
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import MeeDetector
+from repro.experiments import table2_3_system
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table2_3_system.run()
+
+
+@pytest.fixture(scope="module")
+def fitted_detector(feature_table):
+    detector = MeeDetector(DetectorConfig())
+    detector.fit(feature_table.features, feature_table.states)
+    return detector
+
+
+@pytest.mark.experiment
+def test_table2_bandpass_latency(benchmark, pipeline, sample_recording):
+    benchmark.group = "table2-latency"
+    benchmark(pipeline.preprocess, sample_recording.waveform)
+
+
+@pytest.mark.experiment
+def test_table2_feature_latency(benchmark, pipeline, sample_recording):
+    benchmark.group = "table2-latency"
+    benchmark(pipeline.process, sample_recording)
+
+
+@pytest.mark.experiment
+def test_table2_inference_latency(benchmark, fitted_detector, feature_table):
+    benchmark.group = "table2-latency"
+    vector = feature_table.features[:1]
+    benchmark(fitted_detector.predict_indices, vector)
+
+
+@pytest.mark.experiment
+def test_table2_stage_shape(benchmark, report, result):
+    benchmark.group = "table2-latency"
+    benchmark(lambda: result.latencies.total_ms)
+
+    print()
+    print(result.render())
+    report(result.render())
+
+    # Paper Table II shape: feature extraction dominates by >5x.
+    assert result.feature_extraction_dominates
+    assert result.latencies.inference_ms < result.latencies.feature_extract_ms

@@ -1,0 +1,28 @@
+"""Bench for Table III — smartphone power during detection."""
+
+import pytest
+
+from repro.experiments import table2_3_system
+from repro.simulation.hardware import SMARTPHONE_PROFILES, estimate_power_mw
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table2_3_system.run()
+
+
+@pytest.mark.experiment
+def test_table3_power(benchmark, report, result):
+    benchmark.group = "table3"
+    profile = SMARTPHONE_PROFILES["Huawei"]
+    benchmark(estimate_power_mw, profile, result.latencies)
+
+    print()
+    print(result.render())
+    report(result.render())
+
+    # Paper Table III: all phones around 2.1-2.24 W, ordered
+    # Huawei < Galaxy < MI 10.
+    assert result.power_ordering_matches_paper
+    for name, power in result.power_mw.items():
+        assert 1_800.0 < power < 2_600.0, name

@@ -1,0 +1,94 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper.
+The expensive part — simulating the study and extracting features — runs
+once per session here; the ``benchmark`` fixture then times a
+representative computational kernel of each experiment, and the test
+body prints the paper-vs-measured comparison table and asserts the
+*shape* claims (who wins, orderings, trends).
+
+Scale is controlled by ``EARSONAR_SCALE`` (``small`` / ``default`` /
+``paper`` or a participant count); the default keeps the whole
+``pytest benchmarks/ --benchmark-only`` run in the tens of minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EarSonarConfig
+from repro.core.evaluation import extract_features
+from repro.core.pipeline import EarSonarPipeline
+from repro.experiments.common import ExperimentScale, build_study, scale_from_env
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment: marks benchmark tests that print experiment tables"
+    )
+
+
+#: Rendered paper-vs-measured tables, echoed after the benchmark
+#: summary so they survive pytest's output capturing (no -s needed).
+_EXPERIMENT_REPORTS: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collect a rendered experiment table for the terminal summary."""
+
+    def _add(text: str) -> None:
+        _EXPERIMENT_REPORTS.append(text)
+
+    return _add
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _EXPERIMENT_REPORTS:
+        return
+    terminalreporter.section("experiment reports (paper vs measured)")
+    for text in _EXPERIMENT_REPORTS:
+        terminalreporter.write_line(text)
+        terminalreporter.write_line("")
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The run's experiment scale (env-controlled)."""
+    return scale_from_env()
+
+
+@pytest.fixture(scope="session")
+def reduced_scale(scale) -> ExperimentScale:
+    """A cheaper scale for the multi-condition sweep benches."""
+    return ExperimentScale(
+        num_participants=max(6, scale.num_participants * 5 // 8),
+        total_days=scale.total_days,
+        sessions_per_day=1,
+        duration_s=scale.duration_s,
+        seed=scale.seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def pipeline() -> EarSonarPipeline:
+    """Shared default pipeline."""
+    return EarSonarPipeline(EarSonarConfig())
+
+
+@pytest.fixture(scope="session")
+def study(scale):
+    """The standard-condition study, simulated once per run."""
+    return build_study(scale)
+
+
+@pytest.fixture(scope="session")
+def feature_table(study, pipeline):
+    """Features of the standard study, extracted once per run."""
+    return extract_features(study, pipeline)
+
+
+@pytest.fixture(scope="session")
+def sample_recording(study):
+    """One representative recording for kernel timings."""
+    return study.recordings[0]

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Quality gating and continuous severity — the extensions.
+
+Two capabilities beyond the paper's discrete grading:
+
+1. **recording-quality diagnostics** — detect unusable captures (loud
+   room, walking child, bad seal) *before* screening, instead of
+   silently mis-grading;
+2. **continuous severity** — regress the cavity fill fraction from the
+   same feature vector, tracking drainage between discrete grades.
+
+Usage::
+
+    python examples/quality_and_severity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    EarSonarPipeline,
+    SeverityEstimator,
+    diagnose,
+    extract_features,
+)
+from repro.simulation import (
+    Movement,
+    SessionConfig,
+    StudyDesign,
+    build_cohort,
+    record_session,
+    sample_participant,
+    simulate_study,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    pipeline = EarSonarPipeline()
+    child = sample_participant(rng, "CHILD")
+
+    # --- 1. Quality gate ------------------------------------------------
+    print("Recording-quality gate:")
+    conditions = [
+        ("quiet, sitting", SessionConfig(duration_s=0.5)),
+        ("70 dB room", SessionConfig(duration_s=0.5, noise_spl_db=70.0)),
+        ("walking", SessionConfig(duration_s=0.5, movement=Movement.WALKING)),
+    ]
+    for name, session in conditions:
+        recording = record_session(child, 1.5, session, rng)
+        quality = diagnose(recording, pipeline)
+        verdict = "usable" if quality.usable else "RE-MEASURE"
+        print(
+            f"  {name:16s} SNR {quality.snr_db:5.1f} dB, "
+            f"yield {100 * quality.echo_yield:3.0f}%, "
+            f"stability {quality.curve_stability:.2f} -> {verdict}"
+        )
+        for issue in quality.issues():
+            print(f"      - {issue}")
+
+    # --- 2. Continuous severity ------------------------------------------
+    print("\nContinuous severity (fill-fraction regression):")
+    cohort = build_cohort(8, rng, total_days=10)
+    design = StudyDesign(
+        total_days=10, sessions_per_day=1, session_config=SessionConfig(duration_s=1.0)
+    )
+    study = simulate_study(cohort, design, rng)
+    table = extract_features(study, pipeline)
+    fills = {
+        (r.participant_id, r.day): r.fill_fraction for r in study.recordings
+    }
+    targets = np.array([fills[(p.participant_id, p.day)] for p in table.processed])
+    estimator = SeverityEstimator().fit(table.features, targets)
+    print(f"  training MAE: {estimator.score_mae(table.features, targets):.3f}")
+
+    session = SessionConfig(duration_s=1.0)
+    print("  tracking drainage for a new child:")
+    for day in (0.5, 4.5, 8.5, 12.5, 16.5, 19.5):
+        recording = record_session(child, day, session, rng)
+        processed = pipeline.process(recording)
+        predicted = float(estimator.predict(processed.features)[0])
+        true = recording.fill_fraction
+        bar = "#" * int(round(20 * predicted))
+        print(
+            f"    day {day:4.1f}: fill {predicted:4.2f} (true {true:4.2f}) "
+            f"|{bar:<20s}| {recording.state.value}"
+        )
+
+
+if __name__ == "__main__":
+    main()

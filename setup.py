@@ -1,0 +1,4 @@
+"""Setup shim for legacy editable installs (offline environments)."""
+from setuptools import setup
+
+setup()

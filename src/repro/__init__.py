@@ -1,0 +1,76 @@
+"""EarSonar reproduction: acoustic middle-ear-effusion detection.
+
+A full-system reproduction of *EarSonar: An Acoustic Signal-Based
+Middle-Ear Effusion Detection Using Earphones* (ICDCS 2023) — the
+FMCW probing pipeline, parity-decomposition echo segmentation,
+absorption-spectrum features, k-means effusion grading, a physics-based
+virtual clinic standing in for the unavailable clinical dataset, the
+Chan-et-al.-2019 baseline, and the paper's full evaluation suite.
+
+Quick start::
+
+    import numpy as np
+    from repro import EarSonarScreener
+    from repro.simulation import (
+        StudyDesign, build_cohort, simulate_study, record_session,
+        SessionConfig, sample_participant,
+    )
+
+    rng = np.random.default_rng(0)
+    cohort = build_cohort(8, rng)
+    study = simulate_study(cohort, StudyDesign(total_days=8), rng)
+    screener = EarSonarScreener().fit(study)
+
+    patient = sample_participant(rng, "NEW")
+    result = screener.screen(record_session(patient, 0.5, SessionConfig(), rng))
+    print(result.state, result.confidence)
+"""
+
+from . import acoustics, baselines, core, experiments, features, io, learning, signal, simulation
+from .core import (
+    EarSonarConfig,
+    EarSonarPipeline,
+    EarSonarScreener,
+    MeeDetector,
+    evaluate_loocv,
+    extract_features,
+)
+from .errors import (
+    ConfigurationError,
+    EarSonarError,
+    ModelError,
+    NoEchoFoundError,
+    NotFittedError,
+    SignalProcessingError,
+    SimulationError,
+)
+from .simulation import MeeState
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "acoustics",
+    "baselines",
+    "core",
+    "experiments",
+    "features",
+    "io",
+    "learning",
+    "signal",
+    "simulation",
+    "EarSonarConfig",
+    "EarSonarPipeline",
+    "EarSonarScreener",
+    "MeeDetector",
+    "evaluate_loocv",
+    "extract_features",
+    "ConfigurationError",
+    "EarSonarError",
+    "ModelError",
+    "NoEchoFoundError",
+    "NotFittedError",
+    "SignalProcessingError",
+    "SimulationError",
+    "MeeState",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Acoustic physics substrate: media, impedance, absorption, propagation.
+
+Implements the paper's theoretical model (Sec. II-A): characteristic
+impedance, boundary reflectance, the thickness-impedance layer relation,
+the resonant eardrum absorption dip, ear-canal geometry, and the
+multipath speaker-to-microphone channel.
+"""
+
+from .absorption import EardrumReflectanceModel, EffusionLoad
+from .ear import CANAL_SOUND_SPEED, EarCanalGeometry, InsertionState, build_ear_channel
+from .impedance import (
+    absorbed_fraction,
+    characteristic_impedance,
+    effusion_reflectance,
+    layer_impedance,
+    reflection_coefficient,
+    transmission_coefficient,
+)
+from .media import AIR, MUCOID_FLUID, PURULENT_FLUID, SEROUS_FLUID, WATER, Medium
+from .propagation import MultipathChannel, PropagationPath
+
+__all__ = [
+    "EardrumReflectanceModel",
+    "EffusionLoad",
+    "CANAL_SOUND_SPEED",
+    "EarCanalGeometry",
+    "InsertionState",
+    "build_ear_channel",
+    "absorbed_fraction",
+    "characteristic_impedance",
+    "effusion_reflectance",
+    "layer_impedance",
+    "reflection_coefficient",
+    "transmission_coefficient",
+    "AIR",
+    "MUCOID_FLUID",
+    "PURULENT_FLUID",
+    "SEROUS_FLUID",
+    "WATER",
+    "Medium",
+    "MultipathChannel",
+    "PropagationPath",
+]

@@ -1,0 +1,176 @@
+"""Ear-canal geometry and in-ear channel construction.
+
+Combines the anatomy (canal length 2-3.5 cm per the paper, citing
+Keefe), the earphone insertion state (depth, wearing angle, seal), and
+the eardrum reflectance model into the multipath channel of paper
+Eq. (4)-(5): a strong direct speaker-to-mic path, canal-wall
+reflections, the eardrum echo (the target), and a weak second-order
+drum bounce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .absorption import EardrumReflectanceModel, EffusionLoad
+from .propagation import MultipathChannel, PropagationPath
+
+__all__ = ["EarCanalGeometry", "InsertionState", "build_ear_channel"]
+
+#: Speed of sound in the warm ear canal (m/s).
+CANAL_SOUND_SPEED = 350.0
+
+
+@dataclass(frozen=True)
+class EarCanalGeometry:
+    """Static anatomy of one ear canal.
+
+    Attributes
+    ----------
+    length_m:
+        Canal length from entrance to drum; 0.02-0.035 m in the paper's
+        population (children 4-6 years sit at the lower end).
+    radius_m:
+        Mean canal radius; sets spreading loss of the drum echo.
+    wall_reflectivity:
+        Amplitude reflectance of the canal wall per bounce.
+    """
+
+    length_m: float = 0.025
+    radius_m: float = 0.0035
+    wall_reflectivity: float = 0.28
+
+    def __post_init__(self) -> None:
+        if not 0.01 <= self.length_m <= 0.05:
+            raise ConfigurationError(
+                f"canal length {self.length_m} m outside plausible 0.01-0.05 m"
+            )
+        if self.radius_m <= 0:
+            raise ConfigurationError(f"radius_m must be positive, got {self.radius_m}")
+        if not 0.0 <= self.wall_reflectivity < 1.0:
+            raise ConfigurationError(
+                f"wall_reflectivity must be in [0, 1), got {self.wall_reflectivity}"
+            )
+
+
+@dataclass(frozen=True)
+class InsertionState:
+    """How the earphone sits in the canal for one session.
+
+    Attributes
+    ----------
+    depth_m:
+        Insertion depth of the earbud tip into the canal.
+    angle_deg:
+        Wearing angle away from the canal axis; 0 is the paper's
+        standard posture, experiments sweep 0-40 degrees.
+    seal_quality:
+        1.0 is a perfect silicone seal; lower values leak ambient noise
+        and weaken the drum echo.
+    """
+
+    depth_m: float = 0.004
+    angle_deg: float = 0.0
+    seal_quality: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.depth_m <= 0.02:
+            raise ConfigurationError(f"depth_m must be in [0, 0.02], got {self.depth_m}")
+        if not 0.0 <= self.angle_deg <= 90.0:
+            raise ConfigurationError(f"angle_deg must be in [0, 90], got {self.angle_deg}")
+        if not 0.0 < self.seal_quality <= 1.0:
+            raise ConfigurationError(
+                f"seal_quality must be in (0, 1], got {self.seal_quality}"
+            )
+
+    @property
+    def axial_alignment(self) -> float:
+        """Cosine-law projection of the transducer onto the canal axis.
+
+        An angled earbud points its beam at the canal wall instead of
+        the drum; the drum-path gain decays with the angle while the
+        wall paths strengthen (paper Sec. VI-C1).  The exponent is
+        calibrated against Table I: the paper loses only ~6 points of
+        accuracy at 40 degrees, so the coupling degrades gently (the
+        canal itself wave-guides the beam toward the drum).
+        """
+        return float(np.cos(np.radians(self.angle_deg)))
+
+
+def build_ear_channel(
+    geometry: EarCanalGeometry,
+    drum_model: EardrumReflectanceModel,
+    load: EffusionLoad | None,
+    insertion: InsertionState | None = None,
+    *,
+    sound_speed: float = CANAL_SOUND_SPEED,
+) -> MultipathChannel:
+    """Construct the speaker-to-microphone multipath channel of one ear.
+
+    Paths (paper Eq. (5) splits the received sum into drum paths ``F``
+    and canal/foreign-body paths ``C``):
+
+    * **direct** — transducer front cavity, sub-millimetre acoustics;
+      dominates the recording.
+    * **canal walls** — two bounces at fractions of the free canal,
+      stronger when the earbud is angled.
+    * **eardrum** — the target echo: round trip over the free canal,
+      amplitude shaped by the drum reflectance curve (the ~18 kHz dip).
+    * **drum double bounce** — second-order reflection, twice the
+      delay, reflectance squared.
+    """
+    insertion = insertion or InsertionState()
+    free_len = max(geometry.length_m - insertion.depth_m, 0.005)
+    align = insertion.axial_alignment
+    misalign = 1.0 - align
+
+    # Spreading + boundary loss of the drum echo: a longer, narrower
+    # canal attenuates more.
+    spreading = (0.02 / (free_len + 0.015)) ** 1.2
+
+    # The prototype orients the extra microphone toward the eardrum
+    # precisely "to facilitate the acquisition of echoes" (paper
+    # Sec. V): the directional mic plus the sealing silicone tip
+    # suppress the direct speaker-to-mic leak, so the drum echo is of
+    # the same order as the direct component rather than buried 10 dB
+    # beneath it.
+    direct = PropagationPath(
+        delay_s=0.0015 / sound_speed,
+        gain=0.55,
+        label="direct",
+    )
+    wall_a = PropagationPath(
+        delay_s=2.0 * 0.35 * free_len / sound_speed,
+        gain=geometry.wall_reflectivity * (0.55 + 0.2 * misalign),
+        label="canal-wall-a",
+    )
+    wall_b = PropagationPath(
+        delay_s=2.0 * 0.65 * free_len / sound_speed,
+        gain=geometry.wall_reflectivity * (0.35 + 0.15 * misalign),
+        label="canal-wall-b",
+    )
+    drum_gain = 1.25 * spreading * (0.75 + 0.25 * align) * insertion.seal_quality
+
+    def drum_response(freqs: np.ndarray) -> np.ndarray:
+        return drum_model.reflectance(freqs, load)
+
+    eardrum = PropagationPath(
+        delay_s=2.0 * free_len / sound_speed,
+        gain=drum_gain,
+        response=drum_response,
+        label="eardrum",
+    )
+
+    def drum_response_sq(freqs: np.ndarray) -> np.ndarray:
+        return drum_model.reflectance(freqs, load) ** 2
+
+    double_bounce = PropagationPath(
+        delay_s=4.0 * free_len / sound_speed,
+        gain=drum_gain * geometry.wall_reflectivity * 0.35,
+        response=drum_response_sq,
+        label="eardrum-double",
+    )
+    return MultipathChannel([direct, wall_a, wall_b, eardrum, double_bounce])

@@ -1,0 +1,109 @@
+"""Impedance relations of paper Sec. II-A (Eq. (1)-(3)).
+
+These functions are the quantitative backbone of the simulator: they
+map media and effusion thickness to reflectance, which in turn shapes
+the eardrum echo the DSP pipeline analyses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .media import Medium
+
+__all__ = [
+    "characteristic_impedance",
+    "reflection_coefficient",
+    "transmission_coefficient",
+    "absorbed_fraction",
+    "layer_impedance",
+    "effusion_reflectance",
+]
+
+
+def characteristic_impedance(medium: Medium) -> float:
+    """``Z0 = rho0 * c0`` of a medium, in rayl."""
+    return medium.impedance
+
+
+def reflection_coefficient(z_from: float, z_to: float) -> float:
+    """Pressure reflection coefficient at a normal-incidence boundary.
+
+    Paper Eq. (1): ``R = (Z_to - Z_from) / (Z_to + Z_from)``.  (The
+    paper's printed equation has a typo — identical numerator and
+    denominator — the standard form is implemented here.)
+    """
+    if z_from <= 0 or z_to <= 0:
+        raise ConfigurationError(f"impedances must be positive, got {z_from}, {z_to}")
+    return (z_to - z_from) / (z_to + z_from)
+
+
+def transmission_coefficient(z_from: float, z_to: float) -> float:
+    """Pressure transmission coefficient ``T = 2 Z_to / (Z_to + Z_from)``."""
+    if z_from <= 0 or z_to <= 0:
+        raise ConfigurationError(f"impedances must be positive, got {z_from}, {z_to}")
+    return 2.0 * z_to / (z_to + z_from)
+
+
+def absorbed_fraction(z_from: float, z_to: float) -> float:
+    """Fraction of incident *energy* not reflected at the boundary.
+
+    Energy reflectance is ``R^2``; the remainder either transmits into
+    or dissipates inside the far medium — from the microphone's point
+    of view both are "absorbed".
+    """
+    r = reflection_coefficient(z_from, z_to)
+    return 1.0 - r * r
+
+
+def layer_impedance(
+    thickness: float, permeability: float, dielectric: float, wavelength: float
+) -> float:
+    """Input impedance of a lossy backed layer, paper Eq. (2).
+
+    ``Z = sqrt(mu / xi) * tanh(2 pi d sqrt(xi mu) / lambda)`` — the
+    radar-absorber analogy the paper borrows from Rozanov: impedance
+    grows monotonically with layer thickness ``d`` and saturates once
+    the layer is acoustically thick.  All arguments must be positive.
+    """
+    if thickness < 0:
+        raise ConfigurationError(f"thickness must be >= 0, got {thickness}")
+    if permeability <= 0 or dielectric <= 0 or wavelength <= 0:
+        raise ConfigurationError("permeability, dielectric and wavelength must be positive")
+    return float(
+        np.sqrt(permeability / dielectric)
+        * np.tanh(2.0 * np.pi * thickness * np.sqrt(dielectric * permeability) / wavelength)
+    )
+
+
+def effusion_reflectance(fluid: Medium, air: Medium, fill_fraction: float) -> float:
+    """Magnitude of the eardrum reflectance reduction due to effusion.
+
+    Combines Eq. (1) and Eq. (2): the effective fluid layer thickness is
+    proportional to the cavity fill fraction, the layer impedance grows
+    with thickness (tanh saturation), and the boundary reflectance
+    follows from the air/layer impedance mismatch.
+
+    Returns the *energy absorption* fraction in [0, 1): 0 for an empty
+    cavity, approaching the full-mismatch limit as the cavity fills.
+    """
+    if not 0.0 <= fill_fraction <= 1.0:
+        raise ConfigurationError(f"fill_fraction must be in [0, 1], got {fill_fraction}")
+    if fill_fraction == 0.0:
+        return 0.0
+    # Middle-ear cavity depth is ~ 2-4 mm front-to-back; the effective
+    # fluid layer thickness scales with the fill fraction.
+    cavity_depth_m = 3.0e-3
+    thickness = cavity_depth_m * fill_fraction
+    wavelength = fluid.wavelength(18_000.0)
+    # Map the acoustic analogue onto Eq. (2): permeability ~ rho,
+    # dielectric ~ 1 / (rho c^2) (compressibility), so sqrt(mu/xi) = Z0.
+    permeability = fluid.density
+    dielectric = 1.0 / (fluid.density * fluid.sound_speed**2)
+    z_layer = layer_impedance(thickness, permeability, dielectric, wavelength)
+    # Saturated layer -> full fluid impedance; reflectance of air against
+    # the loaded drum rises toward 1, i.e. absorption of the *drum echo*
+    # (which normally transmits and resonates) rises.
+    r = abs(reflection_coefficient(air.impedance, air.impedance + z_layer))
+    return float(r * r)

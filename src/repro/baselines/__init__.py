@@ -1,0 +1,19 @@
+"""Comparison baselines.
+
+``Chan2019Detector`` reimplements the prior smartphone-acoustic method
+the paper compares against; ``ThresholdDetector`` is the naive
+band-energy floor baseline; ``LogisticRegression`` is the from-scratch
+classifier backing the binary task.
+"""
+
+from .chan2019 import Chan2019Config, Chan2019Detector
+from .logistic import LogisticRegression
+from .threshold import ThresholdConfig, ThresholdDetector
+
+__all__ = [
+    "Chan2019Config",
+    "Chan2019Detector",
+    "LogisticRegression",
+    "ThresholdConfig",
+    "ThresholdDetector",
+]

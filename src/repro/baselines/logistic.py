@@ -1,0 +1,102 @@
+"""Binary logistic regression, implemented from scratch.
+
+Used by the Chan-et-al. baseline (their published classifier for
+middle-ear fluid is a logistic-regression model over acoustic dip
+features).  Plain batch gradient descent with L2 regularisation is
+ample at this feature dimensionality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, ModelError, NotFittedError
+
+__all__ = ["LogisticRegression"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+@dataclass
+class LogisticRegression:
+    """L2-regularised binary logistic regression via gradient descent.
+
+    Attributes
+    ----------
+    learning_rate:
+        Gradient step size.
+    num_iterations:
+        Fixed iteration budget (full-batch steps).
+    l2:
+        Ridge penalty on the weights (not the intercept).
+    tolerance:
+        Early-stop threshold on the gradient norm.
+    """
+
+    learning_rate: float = 0.1
+    num_iterations: int = 2000
+    l2: float = 1e-3
+    tolerance: float = 1e-7
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {self.learning_rate}")
+        if self.num_iterations < 1:
+            raise ConfigurationError(
+                f"num_iterations must be >= 1, got {self.num_iterations}"
+            )
+        if self.l2 < 0:
+            raise ConfigurationError(f"l2 must be >= 0, got {self.l2}")
+        self.weights_: np.ndarray | None = None
+        self.intercept_: float | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        """Fit on binary ``labels`` (0/1)."""
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        if features.ndim != 2:
+            raise ModelError(f"features must be 2-D, got shape {features.shape}")
+        if labels.shape != (features.shape[0],):
+            raise ModelError(
+                f"labels shape {labels.shape} incompatible with {features.shape[0]} samples"
+            )
+        if not np.all(np.isin(labels, (0.0, 1.0))):
+            raise ModelError("labels must be binary 0/1")
+        n, d = features.shape
+        weights = np.zeros(d)
+        intercept = 0.0
+        for _ in range(self.num_iterations):
+            logits = features @ weights + intercept
+            error = _sigmoid(logits) - labels
+            grad_w = features.T @ error / n + self.l2 * weights
+            grad_b = float(error.mean())
+            weights -= self.learning_rate * grad_w
+            intercept -= self.learning_rate * grad_b
+            if np.sqrt(np.sum(grad_w**2) + grad_b**2) < self.tolerance:
+                break
+        self.weights_ = weights
+        self.intercept_ = intercept
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """P(label = 1) for each sample."""
+        if self.weights_ is None or self.intercept_ is None:
+            raise NotFittedError("LogisticRegression.predict_proba called before fit")
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features[None, :]
+        return _sigmoid(features @ self.weights_ + self.intercept_)
+
+    def predict(self, features: np.ndarray, *, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions at the given probability threshold."""
+        return (self.predict_proba(features) >= threshold).astype(int)

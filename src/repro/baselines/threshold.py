@@ -1,0 +1,90 @@
+"""Naive band-energy threshold detector.
+
+The floor baseline: effusion absorbs energy near the resonance, so the
+ratio of dip-region energy to total band energy drops when fluid is
+present.  A single threshold learned on training data separates the
+two — no clustering, no fine features.  Used in the ablation benches
+to show what the learning machinery contributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, ModelError, NotFittedError
+from ..signal.filters import butterworth_bandpass
+from ..signal.spectral import amplitude_spectrum
+from ..simulation.effusion import MeeState
+from ..simulation.session import Recording
+
+__all__ = ["ThresholdConfig", "ThresholdDetector"]
+
+
+@dataclass(frozen=True)
+class ThresholdConfig:
+    """Dip-region definition for the ratio statistic."""
+
+    sample_rate: float = 48_000.0
+    band_low_hz: float = 16_000.0
+    band_high_hz: float = 20_000.0
+    dip_low_hz: float = 17_200.0
+    dip_high_hz: float = 18_800.0
+
+    def __post_init__(self) -> None:
+        if not (
+            0.0
+            < self.band_low_hz
+            <= self.dip_low_hz
+            < self.dip_high_hz
+            <= self.band_high_hz
+        ):
+            raise ConfigurationError(
+                "need band_low <= dip_low < dip_high <= band_high (all positive)"
+            )
+
+
+class ThresholdDetector:
+    """One-statistic binary effusion screen."""
+
+    def __init__(self, config: ThresholdConfig | None = None) -> None:
+        self.config = config or ThresholdConfig()
+        self._bandpass = butterworth_bandpass(
+            4,
+            self.config.band_low_hz - 1_000.0,
+            self.config.band_high_hz + 1_000.0,
+            self.config.sample_rate,
+        )
+        self.threshold_: float | None = None
+
+    def statistic(self, recording: Recording) -> float:
+        """Dip-to-band energy ratio; lower means more absorption."""
+        filtered = self._bandpass.apply(recording.waveform)
+        spectrum = amplitude_spectrum(filtered, recording.sample_rate)
+        band = spectrum.band(self.config.band_low_hz, self.config.band_high_hz)
+        dip = spectrum.band(self.config.dip_low_hz, self.config.dip_high_hz)
+        total = float(np.sum(band.values**2))
+        if total <= 0.0:
+            raise ModelError("recording has no in-band energy")
+        return float(np.sum(dip.values**2) / total)
+
+    def fit(self, recordings: list[Recording], states: list[MeeState]) -> "ThresholdDetector":
+        """Learn the midpoint threshold between class-conditional medians."""
+        if len(recordings) != len(states) or not recordings:
+            raise ModelError("recordings and states must be non-empty and aligned")
+        stats = np.array([self.statistic(r) for r in recordings])
+        fluid = np.array([s.is_effusion for s in states])
+        if not fluid.any() or fluid.all():
+            raise ModelError("training data needs both fluid and clear examples")
+        self.threshold_ = float(
+            (np.median(stats[fluid]) + np.median(stats[~fluid])) / 2.0
+        )
+        return self
+
+    def predict_fluid(self, recordings: list[Recording]) -> np.ndarray:
+        """1 where the statistic indicates effusion, else 0."""
+        if self.threshold_ is None:
+            raise NotFittedError("ThresholdDetector.predict_fluid called before fit")
+        stats = np.array([self.statistic(r) for r in recordings])
+        return (stats < self.threshold_).astype(int)

@@ -1,0 +1,53 @@
+"""EarSonar core: the paper's primary contribution.
+
+Composes the DSP, acoustics, feature and learning substrates into the
+four-module system of Fig. 5 — acoustic signal collection (see
+``repro.simulation``), signal preprocessing, acoustic absorption
+analysis, and MEE detection — plus the study-level evaluation protocol
+and the home-screening API.
+"""
+
+from .config import BandpassConfig, DetectorConfig, EarSonarConfig
+from .detector import MeeDetector
+from .diagnostics import QualityThresholds, RecordingQuality, diagnose
+from .evaluation import (
+    FeatureTable,
+    evaluate_loocv,
+    evaluate_split,
+    extract_features,
+    time_inference,
+)
+from .pipeline import EarSonarPipeline
+from .results import (
+    EvaluationResult,
+    ProcessedRecording,
+    ScreeningResult,
+    index_to_state,
+    state_to_index,
+)
+from .screening import EarSonarScreener
+from .severity import RidgeRegression, SeverityEstimator
+
+__all__ = [
+    "BandpassConfig",
+    "DetectorConfig",
+    "EarSonarConfig",
+    "MeeDetector",
+    "QualityThresholds",
+    "RecordingQuality",
+    "diagnose",
+    "FeatureTable",
+    "evaluate_loocv",
+    "evaluate_split",
+    "extract_features",
+    "time_inference",
+    "EarSonarPipeline",
+    "EvaluationResult",
+    "ProcessedRecording",
+    "ScreeningResult",
+    "index_to_state",
+    "state_to_index",
+    "EarSonarScreener",
+    "RidgeRegression",
+    "SeverityEstimator",
+]

@@ -1,0 +1,120 @@
+"""End-to-end EarSonar configuration.
+
+One :class:`EarSonarConfig` object wires together every stage of the
+paper's pipeline — chirp design, band-pass filter, event detection,
+echo segmentation, feature extraction, and detection — with the
+published defaults.  Stage configs remain independently usable; this
+container exists so applications configure the system in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..features.vector import FeatureVectorConfig
+from ..signal.chirp import ChirpDesign
+from ..signal.events import EventDetectorConfig
+from ..signal.parity import EchoSegmenterConfig
+
+__all__ = ["BandpassConfig", "DetectorConfig", "EarSonarConfig"]
+
+
+@dataclass(frozen=True)
+class BandpassConfig:
+    """Butterworth band-pass settings for noise removal (Sec. IV-B1)."""
+
+    order: int = 4
+    low_hz: float = 15_000.0
+    high_hz: float = 21_000.0
+
+    def __post_init__(self) -> None:
+        if self.order < 1:
+            raise ConfigurationError(f"order must be >= 1, got {self.order}")
+        if not 0.0 < self.low_hz < self.high_hz:
+            raise ConfigurationError("need 0 < low_hz < high_hz")
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """K-means detection settings (Sec. IV-C3/C4).
+
+    Attributes
+    ----------
+    num_states:
+        Number of effusion states (paper: 4).
+    clusters_per_state:
+        Sub-clusters per state for the paper's *in-group* k-means
+        (Sec. IV-C3): each state's recordings spread along a severity
+        continuum, so several Euclidean sub-clusters per state fit the
+        manifold; every sub-cluster maps to its majority training
+        state.  1 recovers plain one-cluster-per-state k-means.
+    selected_features:
+        Features kept by Laplacian score (paper: 25 of 105).
+    kmeans_restarts:
+        k-means++ restarts per fit.
+    outlier_removal:
+        Whether to run the multi-loop outlier confirmation before the
+        final fit.
+    outlier_loops:
+        Independent clusterings used to confirm outliers.
+    seed:
+        Seed for all stochastic learning components.
+    """
+
+    num_states: int = 4
+    clusters_per_state: int = 4
+    selected_features: int = 25
+    kmeans_restarts: int = 10
+    outlier_removal: bool = True
+    outlier_loops: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_states < 2:
+            raise ConfigurationError(f"num_states must be >= 2, got {self.num_states}")
+        if self.clusters_per_state < 1:
+            raise ConfigurationError(
+                f"clusters_per_state must be >= 1, got {self.clusters_per_state}"
+            )
+        if self.selected_features < 1:
+            raise ConfigurationError(
+                f"selected_features must be >= 1, got {self.selected_features}"
+            )
+        if self.kmeans_restarts < 1:
+            raise ConfigurationError(
+                f"kmeans_restarts must be >= 1, got {self.kmeans_restarts}"
+            )
+        if self.outlier_loops < 1:
+            raise ConfigurationError(f"outlier_loops must be >= 1, got {self.outlier_loops}")
+
+
+@dataclass(frozen=True)
+class EarSonarConfig:
+    """Complete EarSonar system configuration with the paper's defaults."""
+
+    chirp: ChirpDesign = field(default_factory=ChirpDesign)
+    bandpass: BandpassConfig = field(default_factory=BandpassConfig)
+    events: EventDetectorConfig = field(default_factory=EventDetectorConfig)
+    segmenter: EchoSegmenterConfig = field(default_factory=EchoSegmenterConfig)
+    features: FeatureVectorConfig = field(default_factory=FeatureVectorConfig)
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    #: Minimum echoes that must be extracted for a recording to count.
+    min_echoes: int = 3
+
+    def __post_init__(self) -> None:
+        if self.min_echoes < 1:
+            raise ConfigurationError(f"min_echoes must be >= 1, got {self.min_echoes}")
+        if self.segmenter.sample_rate != self.chirp.sample_rate:
+            raise ConfigurationError(
+                "segmenter sample_rate must match the chirp design sample_rate"
+            )
+        if not (
+            self.bandpass.low_hz
+            <= self.chirp.start_frequency
+            < self.chirp.end_frequency
+            <= self.bandpass.high_hz
+        ):
+            raise ConfigurationError(
+                "band-pass filter must contain the chirp sweep band"
+            )

@@ -1,0 +1,139 @@
+"""MEE detection: feature selection + k-means + cluster naming.
+
+``MeeDetector`` implements the paper's detection module (Sec. IV-C3/C4):
+z-score the training vectors, keep the 25 most important features by
+Laplacian score, optionally confirm-and-drop outliers over several
+clustering loops, fit k-means with four clusters, and name the clusters
+with the ground-truth states of the training recordings (the paper's
+LOOCV "training" step).  Prediction assigns new vectors to the nearest
+centre and reports the mapped state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+from ..features.laplacian import LaplacianScoreSelector
+from ..learning.kmeans import KMeans
+from ..learning.mapping import map_clusters_to_labels
+from ..learning.outliers import remove_outliers_multiloop
+from ..learning.scaling import StandardScaler
+from ..simulation.effusion import MeeState
+from .config import DetectorConfig
+from .results import index_to_state, state_to_index
+
+__all__ = ["MeeDetector"]
+
+
+class MeeDetector:
+    """Cluster-based four-state MEE classifier."""
+
+    def __init__(self, config: DetectorConfig | None = None) -> None:
+        self.config = config or DetectorConfig()
+        self._scaler: StandardScaler | None = None
+        self._selector: LaplacianScoreSelector | None = None
+        self._kmeans: KMeans | None = None
+        self._cluster_to_label: dict[int, int] | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._cluster_to_label is not None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, features: np.ndarray, states: list[MeeState]) -> "MeeDetector":
+        """Fit the detection chain on labelled training recordings.
+
+        ``states`` are the clinical ground-truth labels of the training
+        vectors; clustering itself is unsupervised, the labels only
+        name the resulting clusters.
+        """
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ModelError(f"features must be 2-D, got shape {features.shape}")
+        if features.shape[0] != len(states):
+            raise ModelError(
+                f"{features.shape[0]} vectors vs {len(states)} labels"
+            )
+        cfg = self.config
+        num_clusters = cfg.num_states * cfg.clusters_per_state
+        if features.shape[0] < num_clusters:
+            raise ModelError(
+                f"need at least {num_clusters} training samples, got {features.shape[0]}"
+            )
+        labels = np.array([state_to_index(s) for s in states])
+
+        scaler = StandardScaler()
+        scaled = scaler.fit_transform(features)
+        selector = LaplacianScoreSelector(num_features=cfg.selected_features)
+        reduced = selector.fit_transform(scaled)
+
+        keep = np.ones(reduced.shape[0], dtype=bool)
+        if cfg.outlier_removal and reduced.shape[0] > 4 * num_clusters:
+            keep = remove_outliers_multiloop(
+                reduced,
+                num_clusters=num_clusters,
+                num_loops=cfg.outlier_loops,
+                seed=cfg.seed,
+            )
+            if keep.sum() < num_clusters:
+                keep = np.ones(reduced.shape[0], dtype=bool)
+
+        model = KMeans(
+            num_clusters=num_clusters,
+            num_restarts=cfg.kmeans_restarts,
+            seed=cfg.seed,
+        )
+        model.fit(reduced[keep])
+        cluster_ids = model.predict(reduced)
+        mapping = map_clusters_to_labels(
+            cluster_ids, labels, num_clusters, len(MeeState.ordered())
+        )
+        self._scaler = scaler
+        self._selector = selector
+        self._kmeans = model
+        self._cluster_to_label = mapping
+        return self
+
+    # ------------------------------------------------------------------
+
+    def _transform(self, features: np.ndarray) -> np.ndarray:
+        if self._scaler is None or self._selector is None:
+            raise NotFittedError("MeeDetector used before fit")
+        features = np.asarray(features, dtype=float)
+        single = features.ndim == 1
+        if single:
+            features = features[None, :]
+        return self._selector.transform(self._scaler.transform(features))
+
+    def predict_indices(self, features: np.ndarray) -> np.ndarray:
+        """Predicted class indices for one or more feature vectors."""
+        if self._kmeans is None or self._cluster_to_label is None:
+            raise NotFittedError("MeeDetector.predict called before fit")
+        reduced = self._transform(features)
+        clusters = self._kmeans.predict(reduced)
+        return np.array([self._cluster_to_label[int(c)] for c in clusters])
+
+    def predict(self, features: np.ndarray) -> list[MeeState]:
+        """Predicted states for one or more feature vectors."""
+        return [index_to_state(int(i)) for i in self.predict_indices(features)]
+
+    def decision_distances(self, features: np.ndarray) -> np.ndarray:
+        """Distance of each vector to each *state's* centre.
+
+        Columns are ordered by class index (CLEAR..PURULENT); used by
+        the screening API to derive a confidence margin.
+        """
+        if self._kmeans is None or self._cluster_to_label is None:
+            raise NotFittedError("MeeDetector used before fit")
+        reduced = self._transform(features)
+        cluster_distances = self._kmeans.transform(reduced)
+        num_labels = len(MeeState.ordered())
+        out = np.full((reduced.shape[0], num_labels), np.inf)
+        for cluster, label in self._cluster_to_label.items():
+            # A label may receive several clusters when num_states >
+            # num_labels; keep the closest centre per label.
+            out[:, label] = np.minimum(out[:, label], cluster_distances[:, cluster])
+        return out

@@ -1,0 +1,162 @@
+"""Recording-quality diagnostics: is this capture usable?
+
+The paper recommends re-measuring when the earbud is badly placed or
+the room is loud (Sec. VI-C).  A home-use system needs to *detect*
+those conditions instead of silently mis-grading, so this module
+scores a recording before screening:
+
+* **in-band SNR** — chirp-event energy against the inter-event noise
+  floor, in dB;
+* **echo yield** — fraction of detected events that produced a valid
+  eardrum echo;
+* **chirp regularity** — how close the event spacing is to the 5 ms
+  design (motion artifacts and clipping disturb it);
+* **curve stability** — agreement between the absorption curves of the
+  recording's two halves (a stationary ear gives nearly identical
+  halves; movement and transients do not).
+
+``diagnose`` aggregates these into a :class:`RecordingQuality` with a
+conservative overall verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import NoEchoFoundError
+from ..signal.correlation import pearson
+from ..simulation.session import Recording
+from .pipeline import EarSonarPipeline
+
+__all__ = ["QualityThresholds", "RecordingQuality", "diagnose"]
+
+
+@dataclass(frozen=True)
+class QualityThresholds:
+    """Acceptance thresholds for the individual quality scores."""
+
+    min_snr_db: float = 12.0
+    min_echo_yield: float = 0.6
+    max_spacing_deviation: float = 0.1
+    min_curve_stability: float = 0.9
+
+
+@dataclass
+class RecordingQuality:
+    """Quality scores of one recording plus the overall verdict."""
+
+    snr_db: float
+    echo_yield: float
+    spacing_deviation: float
+    curve_stability: float
+    thresholds: QualityThresholds
+
+    @property
+    def snr_ok(self) -> bool:
+        """In-band SNR clears the threshold."""
+        return self.snr_db >= self.thresholds.min_snr_db
+
+    @property
+    def yield_ok(self) -> bool:
+        """Enough events produced eardrum echoes."""
+        return self.echo_yield >= self.thresholds.min_echo_yield
+
+    @property
+    def spacing_ok(self) -> bool:
+        """Events arrive on the chirp grid."""
+        return self.spacing_deviation <= self.thresholds.max_spacing_deviation
+
+    @property
+    def stability_ok(self) -> bool:
+        """First- and second-half curves agree."""
+        return self.curve_stability >= self.thresholds.min_curve_stability
+
+    @property
+    def usable(self) -> bool:
+        """Conservative verdict: all checks must pass."""
+        return self.snr_ok and self.yield_ok and self.spacing_ok and self.stability_ok
+
+    def issues(self) -> list[str]:
+        """Human-readable list of failed checks."""
+        problems = []
+        if not self.snr_ok:
+            problems.append(
+                f"low in-band SNR ({self.snr_db:.1f} dB < {self.thresholds.min_snr_db:.0f} dB): "
+                "room too loud or seal leaking"
+            )
+        if not self.yield_ok:
+            problems.append(
+                f"low echo yield ({100 * self.echo_yield:.0f}%): earbud likely misplaced"
+            )
+        if not self.spacing_ok:
+            problems.append(
+                f"irregular chirp events (deviation {100 * self.spacing_deviation:.0f}%): "
+                "movement or clipping"
+            )
+        if not self.stability_ok:
+            problems.append(
+                f"unstable spectrum (half-to-half corr {self.curve_stability:.2f}): "
+                "conditions changed during the capture"
+            )
+        return problems
+
+
+def diagnose(
+    recording: Recording,
+    pipeline: EarSonarPipeline | None = None,
+    thresholds: QualityThresholds | None = None,
+) -> RecordingQuality:
+    """Score a recording's usability without requiring a fitted model."""
+    pipeline = pipeline or EarSonarPipeline()
+    thresholds = thresholds or QualityThresholds()
+    filtered = pipeline.preprocess(recording.waveform)
+    events = pipeline.detect_chirp_events(filtered)
+
+    # In-band SNR: event power vs inter-event power.
+    mask = np.zeros(filtered.size, dtype=bool)
+    for event in events:
+        mask[event.start : event.end] = True
+    signal_power = float(np.mean(filtered[mask] ** 2)) if mask.any() else 0.0
+    noise_power = float(np.mean(filtered[~mask] ** 2)) if (~mask).any() else 0.0
+    if noise_power <= 0.0:
+        snr_db = np.inf if signal_power > 0 else 0.0
+    elif signal_power <= 0.0:
+        snr_db = 0.0
+    else:
+        snr_db = 10.0 * np.log10(signal_power / noise_power)
+
+    # Chirp regularity against the designed interval.
+    nominal = pipeline.config.chirp.samples_per_interval
+    starts = np.array([e.start for e in events], dtype=float)
+    if starts.size >= 3:
+        spacing = np.diff(starts)
+        spacing_deviation = float(
+            np.median(np.abs(spacing - nominal)) / nominal
+        )
+    else:
+        spacing_deviation = 1.0
+
+    echoes = pipeline.extract_echoes(filtered, events)
+    echo_yield = len(echoes) / len(events) if events else 0.0
+
+    # Half-vs-half curve agreement.
+    if len(echoes) >= 4:
+        half = len(echoes) // 2
+        try:
+            first = pipeline.mean_absorption_curve(echoes[:half])
+            second = pipeline.mean_absorption_curve(echoes[half:])
+            curve_stability = pearson(first, second)
+        except NoEchoFoundError:  # pragma: no cover - guarded by len check
+            curve_stability = 0.0
+    else:
+        curve_stability = 0.0
+
+    return RecordingQuality(
+        snr_db=float(snr_db),
+        echo_yield=echo_yield,
+        spacing_deviation=spacing_deviation,
+        curve_stability=curve_stability,
+        thresholds=thresholds,
+    )

@@ -1,0 +1,169 @@
+"""Study-level evaluation: the paper's LOOCV protocol (Sec. VI-A).
+
+``extract_features`` runs the signal pipeline over a study dataset;
+``evaluate_loocv`` then reproduces the paper's leave-one-participant-out
+protocol: for each of the N children, fit the detector on the other
+N-1 and score the held-out child's recordings.  ``evaluate_split``
+supports the training-size study.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import NoEchoFoundError
+from ..learning.crossval import leave_one_group_out, train_fraction_split
+from ..learning.metrics import accuracy
+from ..simulation.cohort import StudyDataset
+from ..simulation.effusion import MeeState
+from .config import DetectorConfig
+from .detector import MeeDetector
+from .pipeline import EarSonarPipeline
+from .results import EvaluationResult, ProcessedRecording, state_to_index
+
+__all__ = ["FeatureTable", "extract_features", "evaluate_loocv", "evaluate_split"]
+
+
+@dataclass
+class FeatureTable:
+    """Pipeline outputs for a whole study, ready for cross-validation.
+
+    Attributes
+    ----------
+    features:
+        Matrix ``(n_ok, 105)`` of recordings the pipeline processed.
+    states:
+        Ground-truth state per processed recording.
+    groups:
+        Participant id per processed recording.
+    processed:
+        Full per-recording pipeline outputs.
+    num_failed:
+        Recordings that raised :class:`NoEchoFoundError`.
+    failed_states:
+        Ground-truth states of the failed recordings (rejections).
+    """
+
+    features: np.ndarray
+    states: list[MeeState]
+    groups: list[str]
+    processed: list[ProcessedRecording]
+    num_failed: int = 0
+    failed_states: list[MeeState] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    @property
+    def state_indices(self) -> np.ndarray:
+        """Ground-truth class indices of the processed recordings."""
+        return np.array([state_to_index(s) for s in self.states])
+
+
+def extract_features(dataset: StudyDataset, pipeline: EarSonarPipeline) -> FeatureTable:
+    """Run the signal pipeline over every recording of a study.
+
+    Recordings where no eardrum echo is found (bad seal, extreme noise
+    or motion) are counted as failures rather than aborting the study —
+    in deployment these would prompt a re-measurement.
+    """
+    vectors: list[np.ndarray] = []
+    states: list[MeeState] = []
+    groups: list[str] = []
+    processed: list[ProcessedRecording] = []
+    failed_states: list[MeeState] = []
+    for recording in dataset:
+        try:
+            result = pipeline.process(recording)
+        except NoEchoFoundError:
+            failed_states.append(recording.state)
+            continue
+        vectors.append(result.features)
+        states.append(recording.state)
+        groups.append(recording.participant_id)
+        processed.append(result)
+    if not vectors:
+        raise NoEchoFoundError("no recording in the study produced echoes")
+    return FeatureTable(
+        features=np.stack(vectors),
+        states=states,
+        groups=groups,
+        processed=processed,
+        num_failed=len(failed_states),
+        failed_states=failed_states,
+    )
+
+
+def evaluate_loocv(
+    table: FeatureTable,
+    detector_config: DetectorConfig | None = None,
+) -> EvaluationResult:
+    """Leave-one-participant-out evaluation of the detector.
+
+    Each fold fits scaler, Laplacian selection, outlier removal and
+    k-means on the training participants only, then predicts the
+    held-out participant's recordings.
+    """
+    detector_config = detector_config or DetectorConfig()
+    true_all: list[int] = []
+    pred_all: list[int] = []
+    fold_accuracies: dict[str, float] = {}
+    labels = table.state_indices
+    for fold in leave_one_group_out(table.groups):
+        detector = MeeDetector(detector_config)
+        train_states = [table.states[i] for i in fold.train_indices]
+        detector.fit(table.features[fold.train_indices], train_states)
+        predicted = detector.predict_indices(table.features[fold.test_indices])
+        truth = labels[fold.test_indices]
+        true_all.extend(truth.tolist())
+        pred_all.extend(predicted.tolist())
+        fold_accuracies[fold.group] = accuracy(truth, predicted)
+    return EvaluationResult(
+        true_indices=np.array(true_all),
+        predicted_indices=np.array(pred_all),
+        num_failed=table.num_failed,
+        fold_accuracies=fold_accuracies,
+    )
+
+
+def evaluate_split(
+    table: FeatureTable,
+    train_fraction: float,
+    rng: np.random.Generator,
+    detector_config: DetectorConfig | None = None,
+) -> EvaluationResult:
+    """Train on a participant fraction, test on the rest (Fig. 15b).
+
+    With ``train_fraction >= 1`` the evaluation degenerates to
+    resubstitution (train and test on everyone), which the training-size
+    study uses as its 100 % point.
+    """
+    detector_config = detector_config or DetectorConfig()
+    train_idx, test_idx = train_fraction_split(table.groups, train_fraction, rng)
+    detector = MeeDetector(detector_config)
+    detector.fit(
+        table.features[train_idx], [table.states[i] for i in train_idx]
+    )
+    predicted = detector.predict_indices(table.features[test_idx])
+    truth = table.state_indices[test_idx]
+    return EvaluationResult(
+        true_indices=truth,
+        predicted_indices=predicted,
+        num_failed=table.num_failed,
+    )
+
+
+def time_inference(detector: MeeDetector, features: np.ndarray, *, repeats: int = 10) -> float:
+    """Median wall-clock latency of a single-vector prediction, in ms."""
+    features = np.asarray(features, dtype=float)
+    if features.ndim == 1:
+        features = features[None, :]
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        detector.predict_indices(features[:1])
+        times.append((time.perf_counter() - t0) * 1e3)
+    return float(np.median(times))

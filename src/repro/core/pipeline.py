@@ -1,0 +1,191 @@
+"""The EarSonar signal pipeline (paper Sec. IV, Fig. 5).
+
+``EarSonarPipeline`` implements the three signal stages:
+
+1. **Signal preprocessing** — Butterworth band-pass, adaptive energy
+   event detection, parity-decomposition echo segmentation;
+2. **Acoustic absorption analysis** — per-echo FFT, deconvolution by
+   the known transmitted chirp (removing the probe's own spectral
+   envelope so the absorption dip stands out), averaging over chirps
+   onto a uniform band grid;
+3. **Feature extraction** — the 105-element vector of curve bins,
+   statistics, and MFCCs.
+
+The pipeline is stateless with respect to recordings; all state is the
+immutable configuration plus cached filter/template designs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..errors import NoEchoFoundError, SignalProcessingError
+from ..features.vector import FeatureVectorBuilder
+from ..signal.chirp import linear_chirp
+from ..signal.events import Event, detect_events
+from ..signal.filters import butterworth_bandpass
+from ..signal.parity import EardrumEcho, segment_eardrum_echo
+from ..signal.resample import upsample
+from ..signal.spectral import amplitude_spectrum
+from ..simulation.hardware import StageLatencies
+from ..simulation.session import Recording
+from .config import EarSonarConfig
+from .results import ProcessedRecording
+
+__all__ = ["EarSonarPipeline"]
+
+
+class EarSonarPipeline:
+    """End-to-end signal processing from raw waveform to feature vector."""
+
+    def __init__(self, config: EarSonarConfig | None = None) -> None:
+        self.config = config or EarSonarConfig()
+        cfg = self.config
+        self._bandpass = butterworth_bandpass(
+            cfg.bandpass.order,
+            cfg.bandpass.low_hz,
+            cfg.bandpass.high_hz,
+            cfg.chirp.sample_rate,
+        )
+        self._builder = FeatureVectorBuilder(cfg.features)
+        self._grid = cfg.features.frequency_grid()
+        self._nfft = 8192
+        self._tx_reference = self._reference_spectrum()
+
+    # ------------------------------------------------------------------
+    # Stage implementations
+    # ------------------------------------------------------------------
+
+    def _reference_spectrum(self) -> np.ndarray:
+        """|spectrum| of the upsampled TX pulse on the band grid.
+
+        Deconvolving the received echo spectrum by this template
+        removes the chirp's own envelope; floored away from zero so
+        the division stays stable at the band edges.
+        """
+        cfg = self.config
+        pulse = upsample(linear_chirp(cfg.chirp), cfg.segmenter.upsample_factor)
+        spec = amplitude_spectrum(pulse, cfg.segmenter.upsampled_rate, nfft=self._nfft)
+        band = spec.band(self._grid[0], self._grid[-1] + 1.0)
+        values = np.interp(self._grid, band.frequencies, band.values)
+        floor = max(values.max() * 1e-3, 1e-12)
+        return np.maximum(values, floor)
+
+    def preprocess(self, waveform: np.ndarray) -> np.ndarray:
+        """Band-pass the raw microphone signal (noise removal stage)."""
+        return self._bandpass.apply(np.asarray(waveform, dtype=float))
+
+    def detect_chirp_events(self, filtered: np.ndarray) -> list[Event]:
+        """Locate chirp/echo events in the band-passed stream."""
+        return detect_events(filtered, self.config.events)
+
+    def extract_echoes(
+        self, filtered: np.ndarray, events: list[Event] | None = None
+    ) -> list[EardrumEcho]:
+        """Segment the eardrum echo of every event that yields one."""
+        if events is None:
+            events = self.detect_chirp_events(filtered)
+        echoes: list[EardrumEcho] = []
+        for event in events:
+            try:
+                echoes.append(
+                    segment_eardrum_echo(event.slice(filtered), self.config.segmenter)
+                )
+            except NoEchoFoundError:
+                continue
+        return echoes
+
+    def absorption_curve(self, echo: EardrumEcho) -> np.ndarray:
+        """TX-deconvolved band spectrum of one echo on the uniform grid."""
+        spec = amplitude_spectrum(echo.segment, echo.sample_rate, nfft=self._nfft)
+        band = spec.band(self._grid[0], self._grid[-1] + 1.0)
+        values = np.interp(self._grid, band.frequencies, band.values)
+        return values / self._tx_reference
+
+    def mean_absorption_curve(self, echoes: list[EardrumEcho]) -> np.ndarray:
+        """Chirp-averaged, peak-normalised absorption curve."""
+        if not echoes:
+            raise NoEchoFoundError("cannot average zero echoes")
+        curves = np.stack([self.absorption_curve(e) for e in echoes])
+        mean_curve = curves.mean(axis=0)
+        peak = mean_curve.max()
+        if peak <= 0.0:
+            raise SignalProcessingError("absorption curve is identically zero")
+        return mean_curve / peak
+
+    # ------------------------------------------------------------------
+    # End-to-end
+    # ------------------------------------------------------------------
+
+    def process(self, recording: Recording) -> ProcessedRecording:
+        """Run the full pipeline on one recording.
+
+        Raises :class:`NoEchoFoundError` if fewer than
+        ``config.min_echoes`` events produced a usable eardrum echo.
+        """
+        filtered = self.preprocess(recording.waveform)
+        events = self.detect_chirp_events(filtered)
+        echoes = self.extract_echoes(filtered, events)
+        if len(echoes) < self.config.min_echoes:
+            raise NoEchoFoundError(
+                f"only {len(echoes)} of {len(events)} events produced echoes "
+                f"(need >= {self.config.min_echoes})"
+            )
+        curve = self.mean_absorption_curve(echoes)
+        segments = np.stack([e.segment for e in echoes])
+        mean_segment = segments.mean(axis=0)
+        rate = echoes[0].sample_rate
+        features = self._builder.build(curve, mean_segment, rate)
+        return ProcessedRecording(
+            features=features,
+            curve=curve,
+            mean_segment=mean_segment,
+            segment_rate=rate,
+            num_events=len(events),
+            num_echoes=len(echoes),
+            participant_id=recording.participant_id,
+            day=recording.day,
+            true_state=recording.state,
+        )
+
+    def timed_process(self, recording: Recording) -> tuple[ProcessedRecording, StageLatencies]:
+        """Process a recording while timing the Table-II stages.
+
+        Stage boundaries follow the paper: band-pass filtering, feature
+        extraction (events + segmentation + curve + vector), and
+        inference is timed separately by the detector.
+        """
+        t0 = time.perf_counter()
+        filtered = self.preprocess(recording.waveform)
+        t1 = time.perf_counter()
+        events = self.detect_chirp_events(filtered)
+        echoes = self.extract_echoes(filtered, events)
+        if len(echoes) < self.config.min_echoes:
+            raise NoEchoFoundError(
+                f"only {len(echoes)} echoes extracted (need >= {self.config.min_echoes})"
+            )
+        curve = self.mean_absorption_curve(echoes)
+        segments = np.stack([e.segment for e in echoes])
+        mean_segment = segments.mean(axis=0)
+        rate = echoes[0].sample_rate
+        features = self._builder.build(curve, mean_segment, rate)
+        t2 = time.perf_counter()
+        processed = ProcessedRecording(
+            features=features,
+            curve=curve,
+            mean_segment=mean_segment,
+            segment_rate=rate,
+            num_events=len(events),
+            num_echoes=len(echoes),
+            participant_id=recording.participant_id,
+            day=recording.day,
+            true_state=recording.state,
+        )
+        latencies = StageLatencies(
+            bandpass_ms=(t1 - t0) * 1e3,
+            feature_extract_ms=(t2 - t1) * 1e3,
+            inference_ms=0.0,
+        )
+        return processed, latencies

@@ -1,0 +1,128 @@
+"""Result containers for the EarSonar pipeline and screening API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..simulation.effusion import MeeState
+
+__all__ = [
+    "state_to_index",
+    "index_to_state",
+    "ProcessedRecording",
+    "ScreeningResult",
+    "EvaluationResult",
+]
+
+
+def state_to_index(state: MeeState) -> int:
+    """Class index of a state (CLEAR=0, SEROUS=1, MUCOID=2, PURULENT=3)."""
+    return MeeState.ordered().index(state)
+
+
+def index_to_state(index: int) -> MeeState:
+    """Inverse of :func:`state_to_index`."""
+    return MeeState.ordered()[index]
+
+
+@dataclass(frozen=True)
+class ProcessedRecording:
+    """Output of the signal pipeline for one recording.
+
+    Attributes
+    ----------
+    features:
+        The 105-element feature vector.
+    curve:
+        Mean TX-deconvolved absorption curve (peak-normalised) on the
+        feature config's uniform frequency grid.
+    mean_segment:
+        Time-domain mean of the aligned eardrum-echo segments.
+    segment_rate:
+        Sample rate of ``mean_segment`` in Hz.
+    num_events / num_echoes:
+        Chirp events detected and echoes successfully segmented.
+    participant_id / day / true_state:
+        Provenance copied from the recording (``true_state`` is None
+        for field recordings without ground truth).
+    """
+
+    features: np.ndarray
+    curve: np.ndarray
+    mean_segment: np.ndarray
+    segment_rate: float
+    num_events: int
+    num_echoes: int
+    participant_id: str = ""
+    day: float = 0.0
+    true_state: MeeState | None = None
+
+    @property
+    def echo_yield(self) -> float:
+        """Fraction of detected events that produced a usable echo."""
+        if self.num_events == 0:
+            return 0.0
+        return self.num_echoes / self.num_events
+
+
+@dataclass(frozen=True)
+class ScreeningResult:
+    """Outcome of screening one recording.
+
+    Attributes
+    ----------
+    state:
+        Predicted effusion state.
+    confidence:
+        Soft score in (0, 1]: the relative margin between the nearest
+        and second-nearest cluster centres (1 = unambiguous).
+    cluster_distances:
+        Distance to each state's centre, indexed by class id.
+    processed:
+        The underlying pipeline output.
+    """
+
+    state: MeeState
+    confidence: float
+    cluster_distances: np.ndarray
+    processed: ProcessedRecording
+
+    @property
+    def has_effusion(self) -> bool:
+        """Binary screening outcome: any fluid-positive state."""
+        return self.state.is_effusion
+
+    @property
+    def severity(self) -> int:
+        """Ordinal severity 0-3 of the predicted state."""
+        return self.state.severity
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Aggregate outcome of a study evaluation (e.g. one LOOCV run).
+
+    Attributes
+    ----------
+    true_indices / predicted_indices:
+        Class ids of every scored recording.
+    num_failed:
+        Recordings the pipeline could not process (no echo found).
+    fold_accuracies:
+        Per-fold accuracy, keyed by held-out group.
+    """
+
+    true_indices: np.ndarray
+    predicted_indices: np.ndarray
+    num_failed: int = 0
+    fold_accuracies: dict[str, float] = field(default_factory=dict)
+
+    def report(self):
+        """Classification report over all scored recordings."""
+        from ..learning.metrics import classification_report
+
+        return classification_report(
+            self.true_indices, self.predicted_indices, len(MeeState.ordered())
+        )

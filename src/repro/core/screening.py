@@ -1,0 +1,99 @@
+"""High-level home-screening API.
+
+``EarSonarScreener`` is the library's front door: fit it once on a
+reference study (or load the bundled virtual study), then screen
+individual recordings — exactly the paper's envisioned usage where a
+caregiver runs a measurement and receives an effusion state with a
+confidence estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+from ..simulation.cohort import StudyDataset
+from ..simulation.effusion import MeeState
+from ..simulation.session import Recording
+from .config import EarSonarConfig
+from .detector import MeeDetector
+from .evaluation import FeatureTable, extract_features
+from .pipeline import EarSonarPipeline
+from .results import ScreeningResult, state_to_index
+
+__all__ = ["EarSonarScreener"]
+
+
+class EarSonarScreener:
+    """Fit-once, screen-many interface around pipeline + detector."""
+
+    def __init__(self, config: EarSonarConfig | None = None) -> None:
+        self.config = config or EarSonarConfig()
+        self.pipeline = EarSonarPipeline(self.config)
+        self.detector = MeeDetector(self.config.detector)
+        self._feature_table: FeatureTable | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the screener has been calibrated on a study."""
+        return self.detector.is_fitted
+
+    def fit(self, dataset: StudyDataset) -> "EarSonarScreener":
+        """Calibrate the detector on a labelled reference study."""
+        table = extract_features(dataset, self.pipeline)
+        self.detector.fit(table.features, table.states)
+        self._feature_table = table
+        return self
+
+    def fit_from_table(self, table: FeatureTable) -> "EarSonarScreener":
+        """Calibrate from pre-extracted features (skips signal processing)."""
+        if len(table) == 0:
+            raise ModelError("feature table is empty")
+        self.detector.fit(table.features, table.states)
+        self._feature_table = table
+        return self
+
+    def screen(self, recording: Recording) -> ScreeningResult:
+        """Screen one recording and return the predicted state.
+
+        Confidence is the relative margin between the closest and
+        second-closest state centres: 0 means a coin flip between two
+        states, values near 1 mean an unambiguous assignment.
+        """
+        if not self.is_fitted:
+            raise NotFittedError("EarSonarScreener.screen called before fit")
+        processed = self.pipeline.process(recording)
+        distances = self.detector.decision_distances(processed.features)[0]
+        order = np.argsort(distances)
+        best, second = distances[order[0]], distances[order[1]]
+        if not np.isfinite(second) or second == 0.0:
+            confidence = 1.0
+        else:
+            confidence = float(np.clip(1.0 - best / second, 0.0, 1.0))
+        state = MeeState.ordered()[int(order[0])]
+        return ScreeningResult(
+            state=state,
+            confidence=confidence,
+            cluster_distances=distances,
+            processed=processed,
+        )
+
+    def screen_course(self, recordings: list[Recording]) -> list[ScreeningResult]:
+        """Screen a chronological series (recovery tracking use case)."""
+        return [self.screen(r) for r in recordings]
+
+    def effusion_score(self, recording: Recording) -> float:
+        """Continuous fluid-presence score for ROC-style evaluation.
+
+        Defined as the distance to the CLEAR centre minus the distance
+        to the nearest fluid-state centre: positive values indicate
+        effusion, and larger magnitudes indicate a clearer margin.
+        Thresholding at 0 recovers :attr:`ScreeningResult.has_effusion`.
+        """
+        if not self.is_fitted:
+            raise NotFittedError("EarSonarScreener.effusion_score called before fit")
+        processed = self.pipeline.process(recording)
+        distances = self.detector.decision_distances(processed.features)[0]
+        clear_idx = state_to_index(MeeState.CLEAR)
+        fluid = [d for i, d in enumerate(distances) if i != clear_idx]
+        return float(distances[clear_idx] - min(fluid))

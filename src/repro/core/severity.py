@@ -1,0 +1,107 @@
+"""Continuous severity estimation (extension beyond the paper).
+
+The paper grades effusion into four discrete states; clinically, the
+*volume* of fluid behind the drum is continuous, and the paper's own
+model (Sec. II-A) ties absorption directly to it.  This extension
+regresses the cavity fill fraction from the same 105-element feature
+vector with from-scratch ridge regression, giving the screening API a
+0-1 severity score alongside the discrete grade.
+
+In the virtual clinic the ground-truth fill fraction is known, so the
+estimator can be trained and validated end to end; on real data the
+targets would come from quantitative tympanometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, ModelError, NotFittedError
+from ..learning.scaling import StandardScaler
+
+__all__ = ["RidgeRegression", "SeverityEstimator"]
+
+
+@dataclass
+class RidgeRegression:
+    """Closed-form L2-regularised linear regression.
+
+    Solves ``(X^T X + alpha I) w = X^T y`` with an unpenalised
+    intercept (handled by centring).
+    """
+
+    alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ConfigurationError(f"alpha must be >= 0, got {self.alpha}")
+        self.weights_: np.ndarray | None = None
+        self.intercept_: float | None = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RidgeRegression":
+        """Fit on ``features`` (n x d) against scalar ``targets``."""
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2:
+            raise ModelError(f"features must be 2-D, got shape {features.shape}")
+        if targets.shape != (features.shape[0],):
+            raise ModelError(
+                f"targets shape {targets.shape} incompatible with {features.shape[0]} rows"
+            )
+        x_mean = features.mean(axis=0)
+        y_mean = float(targets.mean())
+        x_c = features - x_mean
+        y_c = targets - y_mean
+        d = features.shape[1]
+        gram = x_c.T @ x_c + self.alpha * np.eye(d)
+        weights = np.linalg.solve(gram, x_c.T @ y_c)
+        self.weights_ = weights
+        self.intercept_ = y_mean - float(x_mean @ weights)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted targets for ``features``."""
+        if self.weights_ is None or self.intercept_ is None:
+            raise NotFittedError("RidgeRegression.predict called before fit")
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features[None, :]
+        return features @ self.weights_ + self.intercept_
+
+
+class SeverityEstimator:
+    """Fill-fraction regressor on EarSonar feature vectors."""
+
+    def __init__(self, *, alpha: float = 10.0) -> None:
+        self._scaler: StandardScaler | None = None
+        self._ridge = RidgeRegression(alpha=alpha)
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._scaler is not None
+
+    def fit(self, features: np.ndarray, fill_fractions: np.ndarray) -> "SeverityEstimator":
+        """Fit on labelled vectors; targets are cavity fill fractions."""
+        fill_fractions = np.asarray(fill_fractions, dtype=float)
+        if np.any(fill_fractions < 0.0) or np.any(fill_fractions > 1.0):
+            raise ModelError("fill fractions must lie in [0, 1]")
+        scaler = StandardScaler()
+        scaled = scaler.fit_transform(np.asarray(features, dtype=float))
+        self._ridge.fit(scaled, fill_fractions)
+        self._scaler = scaler
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted fill fractions, clipped to [0, 1]."""
+        if self._scaler is None:
+            raise NotFittedError("SeverityEstimator.predict called before fit")
+        scaled = self._scaler.transform(np.asarray(features, dtype=float))
+        return np.clip(self._ridge.predict(scaled), 0.0, 1.0)
+
+    def score_mae(self, features: np.ndarray, fill_fractions: np.ndarray) -> float:
+        """Mean absolute error of the estimator on labelled data."""
+        predictions = self.predict(features)
+        return float(np.mean(np.abs(predictions - np.asarray(fill_fractions, dtype=float))))

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the EarSonar reproduction.
+
+All library-specific failures derive from :class:`EarSonarError` so that
+callers can catch a single base class at the application boundary while
+still being able to discriminate specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class EarSonarError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(EarSonarError):
+    """A configuration value is out of range or internally inconsistent.
+
+    Raised eagerly at object-construction time (e.g. a chirp whose band
+    exceeds the Nyquist frequency, a filter with a non-positive order)
+    so that invalid setups fail before any signal is processed.
+    """
+
+
+class SignalProcessingError(EarSonarError):
+    """A signal-processing stage could not produce a result.
+
+    Examples: event detection on an empty array, segmentation when no
+    candidate echo satisfies the physical distance prior.
+    """
+
+
+class NoEchoFoundError(SignalProcessingError):
+    """No eardrum echo could be located in a recording.
+
+    This is an expected runtime condition (bad earphone seal, extreme
+    noise) that callers of the screening API should handle gracefully.
+    """
+
+
+class ModelError(EarSonarError):
+    """A learning component was used incorrectly.
+
+    Examples: predicting with an unfitted model, fitting k-means with
+    more clusters than samples.
+    """
+
+
+class NotFittedError(ModelError):
+    """A model's ``predict``/``transform`` was called before ``fit``."""
+
+
+class SimulationError(EarSonarError):
+    """The virtual clinic could not generate a requested scenario."""

@@ -1,0 +1,53 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+One module per experiment; each exposes a ``run(config)`` returning a
+result object with a ``render()`` method that prints a paper-vs-measured
+comparison.  DESIGN.md's experiment index maps paper artefacts to these
+modules; ``benchmarks/`` wraps them for ``pytest-benchmark``.
+"""
+
+from . import (
+    ablations,
+    baseline_comparison,
+    conditions,
+    label_noise,
+    fig02_feasibility,
+    fig07_08_signals,
+    fig09_consistency,
+    fig10_11_spectra,
+    fig13_overall,
+    fig14_noise_motion,
+    fig15_devices_training,
+    table1_angle,
+    table2_3_system,
+)
+from .common import (
+    ExperimentScale,
+    build_feature_table,
+    build_study,
+    format_table,
+    scale_from_env,
+    sparkline,
+)
+
+__all__ = [
+    "ablations",
+    "baseline_comparison",
+    "conditions",
+    "label_noise",
+    "fig02_feasibility",
+    "fig07_08_signals",
+    "fig09_consistency",
+    "fig10_11_spectra",
+    "fig13_overall",
+    "fig14_noise_motion",
+    "fig15_devices_training",
+    "table1_angle",
+    "table2_3_system",
+    "ExperimentScale",
+    "build_feature_table",
+    "build_study",
+    "format_table",
+    "scale_from_env",
+    "sparkline",
+]

@@ -1,0 +1,105 @@
+"""Ablations of EarSonar's design choices (DESIGN.md Sec. "worth ablating").
+
+Four knobs, each isolated on the same study:
+
+1. **segmentation** — parity-decomposition echo extraction vs the naive
+   fixed-offset peak picker (the paper credits this stage for its
+   margin over Chan et al.);
+2. **in-group clustering** — several sub-clusters per state vs one;
+3. **feature selection** — Laplacian-score top-25 vs the full 105;
+4. **outlier removal** — the multi-loop confirmation on vs off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import DetectorConfig, EarSonarConfig
+from ..core.evaluation import evaluate_loocv
+from ..core.pipeline import EarSonarPipeline
+from ..signal.parity import EchoSegmenterConfig
+from .common import ExperimentScale, build_feature_table, format_table, percent
+
+__all__ = ["AblationConfig", "AblationResult", "run"]
+
+
+@dataclass(frozen=True)
+class AblationConfig:
+    """Which study to ablate on.
+
+    With ``heterogeneous`` set, the study is recorded under the paper's
+    varied conditions (Sec. VI-A: angle, room level, movement) instead
+    of the standard quiet/seated protocol — the regime where the
+    fine-grained stages are expected to earn their keep.
+    """
+
+    scale: ExperimentScale = field(default_factory=ExperimentScale)
+    heterogeneous: bool = False
+
+
+@dataclass
+class AblationResult:
+    """LOOCV accuracy per variant, keyed by variant label."""
+
+    accuracies: dict[str, float]
+    baseline_label: str = "full system"
+
+    @property
+    def baseline(self) -> float:
+        """Accuracy of the unablated system."""
+        return self.accuracies[self.baseline_label]
+
+    def delta(self, label: str) -> float:
+        """Accuracy change of a variant relative to the full system."""
+        return self.accuracies[label] - self.baseline
+
+    def render(self) -> str:
+        rows = []
+        for label, acc in self.accuracies.items():
+            delta = "" if label == self.baseline_label else f"{100 * self.delta(label):+.1f}pp"
+            rows.append([label, percent(acc), delta])
+        return format_table(
+            ["variant", "LOOCV accuracy", "vs full"],
+            rows,
+            title="Ablations — contribution of each design choice",
+        )
+
+
+def _table_for(config: AblationConfig, pipeline: EarSonarPipeline | None = None):
+    """Feature table under the configured recording protocol."""
+    if not config.heterogeneous:
+        return build_feature_table(config.scale, pipeline=pipeline)
+    from ..core.evaluation import extract_features
+    from .baseline_comparison import BaselineConfig, _mixed_condition_study
+
+    study = _mixed_condition_study(BaselineConfig(scale=config.scale))
+    return extract_features(study, pipeline or EarSonarPipeline(EarSonarConfig()))
+
+
+def run(config: AblationConfig | None = None) -> AblationResult:
+    """Execute all ablation arms."""
+    config = config or AblationConfig()
+    table = _table_for(config)
+
+    accuracies: dict[str, float] = {}
+    accuracies["full system"] = evaluate_loocv(table, DetectorConfig()).report().accuracy
+    accuracies["plain k-means (1 cluster/state)"] = (
+        evaluate_loocv(table, DetectorConfig(clusters_per_state=1)).report().accuracy
+    )
+    accuracies["no feature selection (all 105)"] = (
+        evaluate_loocv(table, DetectorConfig(selected_features=105)).report().accuracy
+    )
+    accuracies["no outlier removal"] = (
+        evaluate_loocv(table, DetectorConfig(outlier_removal=False)).report().accuracy
+    )
+
+    # Segmentation ablation needs features re-extracted with the naive
+    # peak picker.
+    peak_config = EarSonarConfig(
+        segmenter=EchoSegmenterConfig(method="peak"),
+    )
+    peak_table = _table_for(config, pipeline=EarSonarPipeline(peak_config))
+    accuracies["peak picking instead of parity segmentation"] = (
+        evaluate_loocv(peak_table, DetectorConfig()).report().accuracy
+    )
+    return AblationResult(accuracies=accuracies)

@@ -1,0 +1,178 @@
+"""Shared infrastructure for the paper's experiments.
+
+Every experiment module in this package follows the same pattern: a
+frozen ``*Config`` dataclass describing the workload (scaled down from
+the paper's 112-child / 10-second protocol by default, overridable up
+to full scale), a ``run(config)`` function returning a result object,
+and a ``render()`` on the result that prints a paper-vs-measured
+comparison table.
+
+``ExperimentScale`` centralises the scaling knobs; the environment
+variable ``EARSONAR_SCALE`` selects a preset (``small``, ``default``,
+``paper``) for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import EarSonarConfig
+from ..core.evaluation import FeatureTable, extract_features
+from ..core.pipeline import EarSonarPipeline
+from ..errors import ConfigurationError
+from ..simulation.cohort import StudyDataset, StudyDesign, build_cohort, simulate_study
+from ..simulation.session import SessionConfig
+
+__all__ = [
+    "ExperimentScale",
+    "scale_from_env",
+    "build_study",
+    "build_feature_table",
+    "format_table",
+    "sparkline",
+    "percent",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Workload scale for the evaluation experiments.
+
+    Attributes
+    ----------
+    num_participants:
+        Cohort size (paper: 112).
+    total_days:
+        Follow-up days per participant (paper: 20).
+    sessions_per_day:
+        Recordings per day (paper: 2).
+    duration_s:
+        Recording length in seconds (paper: 10; the pipeline averages
+        over chirps, so shorter recordings trade accuracy for compute —
+        2 s keeps the headline numbers in the paper's band).
+    seed:
+        Master seed for the virtual clinic.
+    """
+
+    num_participants: int = 16
+    total_days: int = 10
+    sessions_per_day: int = 1
+    duration_s: float = 2.0
+    seed: int = 2023
+
+    def __post_init__(self) -> None:
+        if self.num_participants < 2:
+            raise ConfigurationError("need at least 2 participants for LOOCV")
+        if self.total_days < 8:
+            raise ConfigurationError("need at least 8 days to cover all states")
+
+    @property
+    def num_recordings(self) -> int:
+        """Total recordings the study design produces."""
+        return self.num_participants * self.total_days * self.sessions_per_day
+
+
+_PRESETS = {
+    "small": ExperimentScale(num_participants=8, total_days=8, duration_s=1.0),
+    "default": ExperimentScale(),
+    "paper": ExperimentScale(
+        num_participants=112, total_days=20, sessions_per_day=2, duration_s=10.0
+    ),
+}
+
+
+def scale_from_env(default: str = "default") -> ExperimentScale:
+    """Resolve the experiment scale from ``EARSONAR_SCALE``.
+
+    Accepts a preset name (``small`` / ``default`` / ``paper``) or a
+    participant count (an integer), falling back to ``default``.
+    """
+    raw = os.environ.get("EARSONAR_SCALE", default).strip().lower()
+    if raw in _PRESETS:
+        return _PRESETS[raw]
+    try:
+        count = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"EARSONAR_SCALE={raw!r} is neither a preset {sorted(_PRESETS)} nor an integer"
+        ) from None
+    return ExperimentScale(num_participants=count)
+
+
+def build_study(
+    scale: ExperimentScale,
+    *,
+    session_config: SessionConfig | None = None,
+) -> StudyDataset:
+    """Simulate the longitudinal study at the given scale."""
+    rng = np.random.default_rng(scale.seed)
+    cohort = build_cohort(scale.num_participants, rng, total_days=scale.total_days)
+    session = session_config or SessionConfig(duration_s=scale.duration_s)
+    design = StudyDesign(
+        total_days=scale.total_days,
+        sessions_per_day=scale.sessions_per_day,
+        session_config=session,
+    )
+    return simulate_study(cohort, design, rng)
+
+
+def build_feature_table(
+    scale: ExperimentScale,
+    *,
+    session_config: SessionConfig | None = None,
+    pipeline: EarSonarPipeline | None = None,
+) -> FeatureTable:
+    """Simulate a study and run the signal pipeline over it."""
+    study = build_study(scale, session_config=session_config)
+    pipeline = pipeline or EarSonarPipeline(EarSonarConfig())
+    return extract_features(study, pipeline)
+
+
+# ---------------------------------------------------------------------------
+# Text rendering
+# ---------------------------------------------------------------------------
+
+
+def format_table(headers: list[str], rows: list[list[str]], *, title: str = "") -> str:
+    """Render a fixed-width text table (monospace, benchmark output)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row} does not match headers {headers}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray, *, width: int = 48) -> str:
+    """Compact unicode sparkline of a curve (for 'figure' outputs)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        idx = np.linspace(0, values.size - 1, width).astype(int)
+        values = values[idx]
+    lo, hi = float(values.min()), float(values.max())
+    if hi - lo < 1e-12:
+        return _SPARK_LEVELS[0] * values.size
+    scaled = (values - lo) / (hi - lo)
+    return "".join(_SPARK_LEVELS[int(round(s * (len(_SPARK_LEVELS) - 1)))] for s in scaled)
+
+
+def percent(value: float) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.1f}%"

@@ -1,0 +1,144 @@
+"""Shared machinery for the impact-quantification sweeps (Sec. VI-C).
+
+The paper trains EarSonar under the standard condition (quiet room,
+sitting child, 0-degree wearing angle, prototype earphone) and then
+quantifies the impact of one varied factor at a time: wearing angle
+(Table I), background noise and body movement (Fig. 14), and earphone
+hardware (Fig. 15a).  ``evaluate_condition`` reproduces that protocol:
+fresh test sessions are recorded under the varied condition for every
+cohort member across all four ground-truth states, and recordings the
+pipeline cannot process (no echo found) count as rejections of their
+true state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.detector import MeeDetector
+from ..core.pipeline import EarSonarPipeline
+from ..core.results import state_to_index
+from ..errors import NoEchoFoundError
+from ..learning.metrics import false_acceptance_rate
+from ..simulation.effusion import MeeState
+from ..simulation.participant import Participant
+from ..simulation.session import SessionConfig, record_session
+
+__all__ = ["ConditionResult", "state_days", "evaluate_condition"]
+
+#: Index used for "rejected" predictions when computing FRR: rejected
+#: recordings are counted against their true class but never accepted
+#: as any other class.
+_NUM_STATES = len(MeeState.ordered())
+
+
+@dataclass
+class ConditionResult:
+    """Per-condition detection outcome.
+
+    Attributes
+    ----------
+    name:
+        Condition label ("0 deg", "55 dB", "walking", ...).
+    true_indices / predicted_indices:
+        Class ids of every *processable* test recording.
+    num_rejected_per_state:
+        Unprocessable recordings per true state (pipeline rejections).
+    """
+
+    name: str
+    true_indices: np.ndarray
+    predicted_indices: np.ndarray
+    num_rejected_per_state: dict[MeeState, int] = field(default_factory=dict)
+
+    @property
+    def num_rejected(self) -> int:
+        """Total pipeline rejections under this condition."""
+        return sum(self.num_rejected_per_state.values())
+
+    @property
+    def num_tested(self) -> int:
+        """Total test recordings, including rejections."""
+        return self.true_indices.size + self.num_rejected
+
+    @property
+    def accuracy(self) -> float:
+        """Correct fraction over all test recordings (rejections count wrong)."""
+        if self.num_tested == 0:
+            return 0.0
+        correct = int(np.sum(self.true_indices == self.predicted_indices))
+        return correct / self.num_tested
+
+    def far(self, state: MeeState) -> float:
+        """False acceptance rate of ``state`` (rejections never accept)."""
+        if self.true_indices.size == 0:
+            return 0.0
+        return false_acceptance_rate(
+            self.true_indices, self.predicted_indices, state_to_index(state), _NUM_STATES
+        )
+
+    def frr(self, state: MeeState) -> float:
+        """False rejection rate of ``state`` including pipeline rejections."""
+        idx = state_to_index(state)
+        mask = self.true_indices == idx
+        rejected = self.num_rejected_per_state.get(state, 0)
+        total = int(mask.sum()) + rejected
+        if total == 0:
+            return 0.0
+        misclassified = int(np.sum(self.predicted_indices[mask] != idx))
+        return (misclassified + rejected) / total
+
+
+def state_days(participant: Participant, total_days: int) -> dict[MeeState, float]:
+    """A representative study day per state for one participant."""
+    p_end, m_end, s_end = participant.trajectory.stage_boundaries
+    return {
+        MeeState.PURULENT: min(0.5, p_end - 0.5),
+        MeeState.MUCOID: p_end + 0.5,
+        MeeState.SEROUS: m_end + 0.5,
+        MeeState.CLEAR: min(s_end + 0.5, total_days - 0.1),
+    }
+
+
+def evaluate_condition(
+    name: str,
+    detector: MeeDetector,
+    pipeline: EarSonarPipeline,
+    cohort: Sequence[Participant],
+    session_config: SessionConfig,
+    rng: np.random.Generator,
+    *,
+    total_days: int = 20,
+    sessions_per_state: int = 1,
+) -> ConditionResult:
+    """Record fresh sessions under ``session_config`` and score them.
+
+    Every cohort member contributes ``sessions_per_state`` recordings
+    in each of the four states (at representative days of their own
+    trajectory), so FAR/FRR are balanced across classes.
+    """
+    true_list: list[int] = []
+    pred_list: list[int] = []
+    rejected: dict[MeeState, int] = {s: 0 for s in MeeState.ordered()}
+    for participant in cohort:
+        days = state_days(participant, total_days)
+        for state, day in days.items():
+            for _ in range(sessions_per_state):
+                recording = record_session(participant, day, session_config, rng)
+                try:
+                    processed = pipeline.process(recording)
+                except NoEchoFoundError:
+                    rejected[recording.state] += 1
+                    continue
+                predicted = int(detector.predict_indices(processed.features)[0])
+                true_list.append(state_to_index(recording.state))
+                pred_list.append(predicted)
+    return ConditionResult(
+        name=name,
+        true_indices=np.array(true_list, dtype=int),
+        predicted_indices=np.array(pred_list, dtype=int),
+        num_rejected_per_state=rejected,
+    )

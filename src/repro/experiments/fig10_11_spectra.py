@@ -1,0 +1,162 @@
+"""Figs. 10-11 — recovery trajectories and per-state spectrum envelopes.
+
+Fig. 10 follows two children from admission to recovery: the echo power
+spectrum gradually returns to the healthy pattern.  Fig. 11 overlays
+the spectra of all four states: the dip deepens monotonically from
+Clear through Serous and Mucoid to Purulent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import EarSonarConfig
+from ..core.pipeline import EarSonarPipeline
+from ..signal.correlation import pearson
+from ..simulation.effusion import MeeState
+from ..simulation.participant import sample_participant
+from ..simulation.session import SessionConfig, record_session
+from .common import format_table, sparkline
+
+__all__ = ["SpectraConfig", "RecoveryResult", "StateSpectraResult", "run"]
+
+
+@dataclass(frozen=True)
+class SpectraConfig:
+    """Two tracked children plus per-state averages."""
+
+    seed: int = 31
+    duration_s: float = 2.0
+    num_tracked: int = 2
+    num_timepoints: int = 6
+    total_days: int = 20
+    per_state_recordings: int = 6
+
+
+@dataclass
+class RecoveryResult:
+    """Fig. 10: per-participant spectra over the recovery course."""
+
+    days: np.ndarray
+    curves_by_participant: dict[str, np.ndarray]
+
+    def recovery_correlation(self, participant_id: str) -> np.ndarray:
+        """Correlation of each day's curve with the final (clear) curve."""
+        curves = self.curves_by_participant[participant_id]
+        final = curves[-1]
+        return np.array([pearson(c, final) for c in curves])
+
+    @property
+    def converges_to_clear(self) -> bool:
+        """Every tracked child's spectrum ends closest to the clear pattern."""
+        for pid in self.curves_by_participant:
+            corr = self.recovery_correlation(pid)
+            if corr[0] >= corr[-1] - 1e-9:
+                return False
+        return True
+
+
+@dataclass
+class StateSpectraResult:
+    """Fig. 11: mean absorption curve per effusion state."""
+
+    frequencies: np.ndarray
+    mean_curves: dict[MeeState, np.ndarray]
+
+    def dip_depth(self, state: MeeState) -> float:
+        """1 - min/max of the state's mean curve."""
+        curve = self.mean_curves[state]
+        return float(1.0 - curve.min() / curve.max())
+
+    @property
+    def depth_ordering_matches_paper(self) -> bool:
+        """Clear < Serous < Mucoid <= Purulent dip depth (Fig. 11)."""
+        depths = [self.dip_depth(s) for s in MeeState.ordered()]
+        return depths[0] < depths[1] < depths[2] and depths[2] <= depths[3] + 0.05
+
+
+@dataclass
+class SpectraRunResult:
+    """Combined output for Figs. 10 and 11."""
+
+    recovery: RecoveryResult
+    states: StateSpectraResult
+
+    def render(self) -> str:
+        lines = ["Fig. 10 — spectra from admission to recovery (corr. vs final clear curve)"]
+        for pid in self.recovery.curves_by_participant:
+            corr = self.recovery.recovery_correlation(pid)
+            series = " -> ".join(f"{c:.2f}" for c in corr)
+            lines.append(f"  {pid}: {series}")
+        lines.append(
+            "  converges to clear pattern: "
+            + ("YES (matches paper)" if self.recovery.converges_to_clear else "NO")
+        )
+        rows = []
+        for state in MeeState.ordered():
+            curve = self.states.mean_curves[state]
+            rows.append(
+                [state.value, f"{self.states.dip_depth(state):.2f}", sparkline(curve)]
+            )
+        lines.append("")
+        lines.append(
+            format_table(
+                ["state", "dip depth", "mean spectrum 16-20 kHz"],
+                rows,
+                title="Fig. 11 — per-state spectrum envelopes (paper: dip deepens with severity)",
+            )
+        )
+        lines.append(
+            "depth ordering Clear<Serous<Mucoid<=Purulent: "
+            + ("YES" if self.states.depth_ordering_matches_paper else "NO")
+        )
+        return "\n".join(lines)
+
+
+def run(config: SpectraConfig | None = None) -> SpectraRunResult:
+    """Execute the recovery-tracking and state-spectra experiments."""
+    config = config or SpectraConfig()
+    rng = np.random.default_rng(config.seed)
+    pipeline = EarSonarPipeline(EarSonarConfig())
+    session = SessionConfig(duration_s=config.duration_s)
+    days = np.linspace(0.5, config.total_days - 0.5, config.num_timepoints)
+
+    curves_by_participant: dict[str, np.ndarray] = {}
+    state_curves: dict[MeeState, list[np.ndarray]] = {s: [] for s in MeeState.ordered()}
+    for i in range(config.num_tracked):
+        participant = sample_participant(rng, f"FIG10-{i + 1}", total_days=config.total_days)
+        curves = []
+        for day in days:
+            rec = record_session(participant, float(day), session, rng)
+            processed = pipeline.process(rec)
+            curves.append(processed.curve)
+            state_curves[rec.state].append(processed.curve)
+        curves_by_participant[participant.participant_id] = np.stack(curves)
+
+    # Top up each state with dedicated recordings so Fig. 11's averages
+    # do not depend on where the tracked children's stage boundaries fell.
+    extra = sample_participant(rng, "FIG11", total_days=config.total_days)
+    state_days = {
+        MeeState.PURULENT: 0.5,
+        MeeState.MUCOID: None,
+        MeeState.SEROUS: None,
+        MeeState.CLEAR: config.total_days - 0.5,
+    }
+    p_end, m_end, s_end = extra.trajectory.stage_boundaries
+    state_days[MeeState.MUCOID] = p_end + 0.5
+    state_days[MeeState.SEROUS] = m_end + 0.5
+    while any(len(v) < config.per_state_recordings for v in state_curves.values()):
+        for state, day in state_days.items():
+            if len(state_curves[state]) >= config.per_state_recordings:
+                continue
+            rec = record_session(extra, float(day), session, rng)
+            state_curves[rec.state].append(pipeline.process(rec).curve)
+
+    mean_curves = {s: np.mean(v, axis=0) for s, v in state_curves.items()}
+    recovery = RecoveryResult(days=days, curves_by_participant=curves_by_participant)
+    states = StateSpectraResult(
+        frequencies=pipeline.config.features.frequency_grid(), mean_curves=mean_curves
+    )
+    return SpectraRunResult(recovery=recovery, states=states)

@@ -1,0 +1,101 @@
+"""Fig. 13 — overall detection performance under LOOCV.
+
+The paper's headline evaluation: leave-one-participant-out
+cross-validation over the full cohort, reporting per-state precision,
+recall, F1 (medians 92.8 / 92.1 / 92.3 %) and the row-normalised
+confusion matrix (diagonal 0.91-0.93, adjacent fluid states confusing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import DetectorConfig
+from ..core.evaluation import FeatureTable, evaluate_loocv
+from ..learning.metrics import ClassificationReport
+from ..simulation.effusion import MeeState
+from .common import ExperimentScale, build_feature_table, format_table, percent
+
+__all__ = ["Fig13Config", "Fig13Result", "run", "run_on_table"]
+
+#: Paper-reported medians (Sec. VI-B).
+PAPER_MEDIAN_PRECISION = 0.928
+PAPER_MEDIAN_RECALL = 0.921
+PAPER_MEDIAN_F1 = 0.923
+
+#: Paper confusion diagonal (Fig. 13d), CLEAR..PURULENT order.
+PAPER_CONFUSION_DIAGONAL = (0.93, 0.91, 0.93, 0.92)
+
+
+@dataclass(frozen=True)
+class Fig13Config:
+    """Full-study LOOCV at a configurable scale."""
+
+    scale: ExperimentScale = field(default_factory=ExperimentScale)
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+
+
+@dataclass
+class Fig13Result:
+    """LOOCV outcome plus the paper's reference numbers."""
+
+    report: ClassificationReport
+    num_recordings: int
+    num_failed: int
+
+    def render(self) -> str:
+        states = [s.value for s in MeeState.ordered()]
+        rows = []
+        for i, name in enumerate(states):
+            rows.append(
+                [
+                    name,
+                    percent(self.report.precision[i]),
+                    percent(self.report.recall[i]),
+                    percent(self.report.f1[i]),
+                ]
+            )
+        rows.append(
+            [
+                "median",
+                f"{percent(self.report.median_precision)} (paper {percent(PAPER_MEDIAN_PRECISION)})",
+                f"{percent(self.report.median_recall)} (paper {percent(PAPER_MEDIAN_RECALL)})",
+                f"{percent(self.report.median_f1)} (paper {percent(PAPER_MEDIAN_F1)})",
+            ]
+        )
+        table = format_table(
+            ["state", "precision", "recall", "F1"],
+            rows,
+            title=(
+                f"Fig. 13 — LOOCV over {self.num_recordings} recordings "
+                f"({self.num_failed} unprocessable)"
+            ),
+        )
+        confusion = self.report.normalized_confusion()
+        conf_rows = []
+        for i, name in enumerate(states):
+            conf_rows.append([name] + [f"{confusion[i, j]:.2f}" for j in range(4)])
+        conf = format_table(
+            ["true \\ predicted"] + states,
+            conf_rows,
+            title="Fig. 13d — confusion matrix "
+            f"(paper diagonal {PAPER_CONFUSION_DIAGONAL})",
+        )
+        return table + "\n\n" + conf
+
+
+def run_on_table(table: FeatureTable, detector: DetectorConfig | None = None) -> Fig13Result:
+    """LOOCV on a pre-extracted feature table."""
+    result = evaluate_loocv(table, detector or DetectorConfig())
+    return Fig13Result(
+        report=result.report(),
+        num_recordings=len(table) + table.num_failed,
+        num_failed=table.num_failed,
+    )
+
+
+def run(config: Fig13Config | None = None) -> Fig13Result:
+    """Simulate the study, extract features, and run the LOOCV."""
+    config = config or Fig13Config()
+    table = build_feature_table(config.scale)
+    return run_on_table(table, config.detector)

@@ -1,0 +1,163 @@
+"""Fig. 14 — impact of background noise and body movement.
+
+Fig. 14(a-b): with room noise from 45 to 60 dB SPL, FARs stay roughly
+flat while FRRs grow with the noise level.  Fig. 14(c-d): sitting and
+slight head movement barely hurt; walking and nodding raise both error
+rates.  The paper's y-axes run 0-8 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import DetectorConfig, EarSonarConfig
+from ..core.detector import MeeDetector
+from ..core.pipeline import EarSonarPipeline
+from ..simulation.cohort import build_cohort
+from ..simulation.effusion import MeeState
+from ..simulation.motion import Movement
+from ..simulation.session import SessionConfig
+from .common import ExperimentScale, build_feature_table, format_table, percent
+from .conditions import ConditionResult, evaluate_condition
+
+__all__ = ["Fig14Config", "Fig14Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig14Config:
+    """Noise-level and movement sweeps on one trained detector."""
+
+    scale: ExperimentScale = field(default_factory=ExperimentScale)
+    noise_levels_db: tuple[float, ...] = (45.0, 50.0, 55.0, 60.0)
+    movements: tuple[Movement, ...] = (
+        Movement.SIT,
+        Movement.HEAD,
+        Movement.WALKING,
+        Movement.NODDING,
+    )
+    sessions_per_state: int = 1
+
+
+@dataclass
+class Fig14Result:
+    """FAR/FRR per noise level and per movement."""
+
+    noise_conditions: list[ConditionResult]
+    movement_conditions: list[ConditionResult]
+
+    def mean_far(self, condition: ConditionResult) -> float:
+        """FAR averaged over the four states."""
+        return float(np.mean([condition.far(s) for s in MeeState.ordered()]))
+
+    def mean_frr(self, condition: ConditionResult) -> float:
+        """FRR averaged over the four states."""
+        return float(np.mean([condition.frr(s) for s in MeeState.ordered()]))
+
+    @property
+    def frr_grows_with_noise(self) -> bool:
+        """Fig. 14b: louder rooms reject more."""
+        frrs = [self.mean_frr(c) for c in self.noise_conditions]
+        return frrs[-1] >= frrs[0]
+
+    @property
+    def movement_hurts(self) -> bool:
+        """Fig. 14c-d: walking/nodding worse than sitting."""
+        by_name = {c.name: self.mean_frr(c) for c in self.movement_conditions}
+        quiet = by_name[Movement.SIT.value]
+        return (
+            by_name[Movement.WALKING.value] >= quiet
+            and by_name[Movement.NODDING.value] >= quiet
+        )
+
+    def _condition_rows(self, conditions: list[ConditionResult]) -> list[list[str]]:
+        rows = []
+        for condition in conditions:
+            fars = "/".join(percent(condition.far(s)) for s in MeeState.ordered())
+            frrs = "/".join(percent(condition.frr(s)) for s in MeeState.ordered())
+            rows.append(
+                [
+                    condition.name,
+                    percent(self.mean_far(condition)),
+                    percent(self.mean_frr(condition)),
+                    fars,
+                    frrs,
+                ]
+            )
+        return rows
+
+    def render(self) -> str:
+        headers = [
+            "condition",
+            "mean FAR",
+            "mean FRR",
+            "FAR clear/ser/muc/pur",
+            "FRR clear/ser/muc/pur",
+        ]
+        noise = format_table(
+            headers,
+            self._condition_rows(self.noise_conditions),
+            title="Fig. 14a-b — background noise (paper: FAR flat-ish, FRR grows, both <8%)",
+        )
+        movement = format_table(
+            headers,
+            self._condition_rows(self.movement_conditions),
+            title="Fig. 14c-d — body movement (paper: sit~head < walking/nodding)",
+        )
+        verdict = (
+            "FRR grows with noise: "
+            + ("YES" if self.frr_grows_with_noise else "NO")
+            + " | movement hurts: "
+            + ("YES" if self.movement_hurts else "NO")
+        )
+        return noise + "\n\n" + movement + "\n" + verdict
+
+
+def run(config: Fig14Config | None = None) -> Fig14Result:
+    """Train under the standard condition, sweep noise and movement."""
+    config = config or Fig14Config()
+    table = build_feature_table(config.scale)
+    detector = MeeDetector(DetectorConfig()).fit(table.features, table.states)
+    pipeline = EarSonarPipeline(EarSonarConfig())
+    cohort = build_cohort(
+        config.scale.num_participants,
+        np.random.default_rng(config.scale.seed),
+        total_days=config.scale.total_days,
+    )
+    noise_conditions = []
+    for spl in config.noise_levels_db:
+        session = SessionConfig(duration_s=config.scale.duration_s, noise_spl_db=spl)
+        # Common random numbers across conditions (see table1_angle).
+        rng = np.random.default_rng(config.scale.seed + 2)
+        noise_conditions.append(
+            evaluate_condition(
+                f"{spl:.0f} dB",
+                detector,
+                pipeline,
+                cohort,
+                session,
+                rng,
+                total_days=config.scale.total_days,
+                sessions_per_state=config.sessions_per_state,
+            )
+        )
+    movement_conditions = []
+    for movement in config.movements:
+        session = SessionConfig(duration_s=config.scale.duration_s, movement=movement)
+        rng = np.random.default_rng(config.scale.seed + 2)
+        movement_conditions.append(
+            evaluate_condition(
+                movement.value,
+                detector,
+                pipeline,
+                cohort,
+                session,
+                rng,
+                total_days=config.scale.total_days,
+                sessions_per_state=config.sessions_per_state,
+            )
+        )
+    return Fig14Result(
+        noise_conditions=noise_conditions, movement_conditions=movement_conditions
+    )

@@ -1,0 +1,140 @@
+"""Fig. 15 — earphone-hardware robustness and training-data size.
+
+Fig. 15(a): EarSonar collected data with four commercial earphones;
+recall and precision stay in the upper-80s to low-90s for all of them.
+Fig. 15(b): accuracy grows with training-set size, reaching ~91.6 % at
+50 % of the data and saturating beyond.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import DetectorConfig
+from ..core.evaluation import evaluate_loocv, evaluate_split
+from ..simulation.earphone import COMMERCIAL_EARPHONES, EarphoneModel
+from ..simulation.session import SessionConfig
+from .common import ExperimentScale, build_feature_table, format_table, percent
+
+__all__ = ["Fig15Config", "DeviceResult", "TrainingSizeResult", "Fig15Result", "run"]
+
+#: Paper Fig. 15(b): accuracy at 50% of the training data.
+PAPER_HALF_DATA_ACCURACY = 0.916
+
+
+@dataclass(frozen=True)
+class Fig15Config:
+    """Per-device studies plus a training-fraction sweep."""
+
+    scale: ExperimentScale = field(default_factory=ExperimentScale)
+    devices: tuple[EarphoneModel, ...] = COMMERCIAL_EARPHONES
+    training_fractions: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)
+    split_repeats: int = 3
+
+
+@dataclass
+class DeviceResult:
+    """LOOCV precision/recall with one earphone model."""
+
+    device_name: str
+    macro_precision: float
+    macro_recall: float
+
+
+@dataclass
+class TrainingSizeResult:
+    """Mean accuracy at one training fraction."""
+
+    fraction: float
+    accuracy: float
+
+
+@dataclass
+class Fig15Result:
+    """Combined device and training-size outcomes."""
+
+    devices: list[DeviceResult]
+    training: list[TrainingSizeResult]
+
+    @property
+    def all_devices_usable(self) -> bool:
+        """Fig. 15a claim: every commercial earphone stays above ~80 %."""
+        return all(d.macro_recall > 0.8 and d.macro_precision > 0.8 for d in self.devices)
+
+    @property
+    def accuracy_grows_with_data(self) -> bool:
+        """Fig. 15b claim: more training participants never hurt much."""
+        values = [t.accuracy for t in self.training]
+        return values[-1] >= values[0]
+
+    def render(self) -> str:
+        device_rows = [
+            [d.device_name, percent(d.macro_precision), percent(d.macro_recall)]
+            for d in self.devices
+        ]
+        devices = format_table(
+            ["earphone", "precision", "recall"],
+            device_rows,
+            title="Fig. 15a — commercial earphones (paper: all ~85-95%)",
+        )
+        training_rows = [
+            [
+                percent(t.fraction),
+                percent(t.accuracy),
+                percent(PAPER_HALF_DATA_ACCURACY) if t.fraction == 0.5 else "-",
+            ]
+            for t in self.training
+        ]
+        training = format_table(
+            ["training data", "accuracy", "paper"],
+            training_rows,
+            title="Fig. 15b — impact of training size (paper: saturates past 50%)",
+        )
+        verdict = (
+            "all devices usable: "
+            + ("YES" if self.all_devices_usable else "NO")
+            + " | accuracy grows with data: "
+            + ("YES" if self.accuracy_grows_with_data else "NO")
+        )
+        return devices + "\n\n" + training + "\n" + verdict
+
+
+def run(config: Fig15Config | None = None) -> Fig15Result:
+    """Run per-device LOOCV studies and the training-fraction sweep."""
+    config = config or Fig15Config()
+    # Device study: a reduced cohort per earphone keeps the sweep tractable.
+    device_scale = ExperimentScale(
+        num_participants=max(6, config.scale.num_participants // 2),
+        total_days=max(8, config.scale.total_days // 2 * 2),
+        sessions_per_day=1,
+        duration_s=config.scale.duration_s,
+        seed=config.scale.seed + 3,
+    )
+    devices = []
+    for device in config.devices:
+        session = SessionConfig(duration_s=device_scale.duration_s, earphone=device)
+        table = build_feature_table(device_scale, session_config=session)
+        report = evaluate_loocv(table, DetectorConfig()).report()
+        devices.append(
+            DeviceResult(
+                device_name=device.name,
+                macro_precision=report.macro_precision,
+                macro_recall=report.macro_recall,
+            )
+        )
+
+    # Training-size sweep reuses one standard study.
+    table = build_feature_table(config.scale)
+    training = []
+    for fraction in config.training_fractions:
+        accuracies = []
+        for repeat in range(config.split_repeats):
+            rng = np.random.default_rng(config.scale.seed + 100 + repeat)
+            result = evaluate_split(table, fraction, rng, DetectorConfig())
+            accuracies.append(result.report().accuracy)
+        training.append(
+            TrainingSizeResult(fraction=fraction, accuracy=float(np.mean(accuracies)))
+        )
+    return Fig15Result(devices=devices, training=training)

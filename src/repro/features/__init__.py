@@ -1,0 +1,37 @@
+"""Feature engineering: curve statistics, MFCC aggregation, selection.
+
+Implements the paper's 105-element feature vector (fine-grained
+absorbed-spectrum bins + statistics + MFCCs) and the Laplacian-score
+selection that keeps the 25 most important features.
+"""
+
+from .laplacian import LaplacianScoreSelector, laplacian_scores
+from .statistics import (
+    STATISTIC_NAMES,
+    curve_statistics,
+    kurtosis,
+    maximum,
+    mean,
+    minimum,
+    skewness,
+    spectral_centroid,
+    standard_deviation,
+)
+from .vector import FeatureVectorBuilder, FeatureVectorConfig, feature_names
+
+__all__ = [
+    "LaplacianScoreSelector",
+    "laplacian_scores",
+    "STATISTIC_NAMES",
+    "curve_statistics",
+    "kurtosis",
+    "maximum",
+    "mean",
+    "minimum",
+    "skewness",
+    "spectral_centroid",
+    "standard_deviation",
+    "FeatureVectorBuilder",
+    "FeatureVectorConfig",
+    "feature_names",
+]

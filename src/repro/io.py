@@ -1,0 +1,137 @@
+"""Persistence: save and load studies and feature tables as ``.npz``.
+
+Feature extraction over a large study is the expensive step (minutes at
+paper scale); persisting the :class:`~repro.core.evaluation.FeatureTable`
+lets evaluation and detector experiments iterate without re-simulating.
+Recordings can also be archived, e.g. to share a virtual study.
+
+The format is plain NumPy ``.npz`` with string metadata arrays — no
+pickling, so archives are portable and safe to load.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .core.evaluation import FeatureTable
+from .core.results import ProcessedRecording, index_to_state, state_to_index
+from .errors import EarSonarError
+from .simulation.cohort import StudyDataset
+from .simulation.session import Recording, SessionConfig
+
+__all__ = [
+    "save_feature_table",
+    "load_feature_table",
+    "save_recordings",
+    "load_recordings",
+]
+
+
+def save_feature_table(table: FeatureTable, path: str | Path) -> Path:
+    """Write a feature table to ``path`` (``.npz`` appended if missing).
+
+    Per-recording pipeline artefacts beyond the curve (mean segments)
+    are dropped — they are cheap to regenerate and large to store.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    curves = np.stack([p.curve for p in table.processed])
+    days = np.array([p.day for p in table.processed])
+    num_events = np.array([p.num_events for p in table.processed])
+    num_echoes = np.array([p.num_echoes for p in table.processed])
+    np.savez_compressed(
+        path,
+        features=table.features,
+        states=np.array([state_to_index(s) for s in table.states]),
+        groups=np.array(table.groups),
+        curves=curves,
+        days=days,
+        num_events=num_events,
+        num_echoes=num_echoes,
+        failed_states=np.array([state_to_index(s) for s in table.failed_states]),
+    )
+    return path
+
+
+def load_feature_table(path: str | Path) -> FeatureTable:
+    """Read a feature table written by :func:`save_feature_table`."""
+    path = Path(path)
+    if not path.exists():
+        raise EarSonarError(f"no feature table at {path}")
+    with np.load(path, allow_pickle=False) as data:
+        states = [index_to_state(int(i)) for i in data["states"]]
+        groups = [str(g) for g in data["groups"]]
+        processed = [
+            ProcessedRecording(
+                features=data["features"][i],
+                curve=data["curves"][i],
+                mean_segment=np.zeros(0),
+                segment_rate=0.0,
+                num_events=int(data["num_events"][i]),
+                num_echoes=int(data["num_echoes"][i]),
+                participant_id=groups[i],
+                day=float(data["days"][i]),
+                true_state=states[i],
+            )
+            for i in range(len(states))
+        ]
+        failed_states = [index_to_state(int(i)) for i in data["failed_states"]]
+        return FeatureTable(
+            features=data["features"].copy(),
+            states=states,
+            groups=groups,
+            processed=processed,
+            num_failed=len(failed_states),
+            failed_states=failed_states,
+        )
+
+
+def save_recordings(dataset: StudyDataset, path: str | Path) -> Path:
+    """Archive a study's waveforms and labels to ``path``.
+
+    Session configuration is reduced to the acoustically relevant
+    scalars (duration, rate); reloading yields recordings with a
+    default :class:`SessionConfig` carrying the stored duration.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    lengths = {r.waveform.size for r in dataset}
+    if len(lengths) != 1:
+        raise EarSonarError("archiving requires equal-length recordings")
+    waveforms = np.stack([r.waveform for r in dataset.recordings])
+    np.savez_compressed(
+        path,
+        waveforms=waveforms,
+        sample_rate=np.array([dataset.recordings[0].sample_rate]),
+        participant_ids=np.array([r.participant_id for r in dataset]),
+        days=np.array([r.day for r in dataset]),
+        states=np.array([state_to_index(r.state) for r in dataset]),
+    )
+    return path
+
+
+def load_recordings(path: str | Path) -> StudyDataset:
+    """Reload a study archived by :func:`save_recordings`."""
+    path = Path(path)
+    if not path.exists():
+        raise EarSonarError(f"no recording archive at {path}")
+    with np.load(path, allow_pickle=False) as data:
+        sample_rate = float(data["sample_rate"][0])
+        duration = data["waveforms"].shape[1] / sample_rate
+        config = SessionConfig(duration_s=duration)
+        recordings = [
+            Recording(
+                waveform=data["waveforms"][i].copy(),
+                sample_rate=sample_rate,
+                participant_id=str(data["participant_ids"][i]),
+                day=float(data["days"][i]),
+                state=index_to_state(int(data["states"][i])),
+                config=config,
+            )
+            for i in range(data["waveforms"].shape[0])
+        ]
+    return StudyDataset(recordings)

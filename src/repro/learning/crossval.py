@@ -1,0 +1,88 @@
+"""Cross-validation splitters (paper Sec. VI-A).
+
+The paper evaluates with leave-one-out cross-validation at the
+*participant* level: each fold trains on 111 children and tests on the
+held-out one, so no child's recordings ever appear on both sides.
+A stratified train-fraction splitter supports the training-size study
+(Fig. 15b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["leave_one_group_out", "train_fraction_split", "GroupFold"]
+
+
+@dataclass(frozen=True)
+class GroupFold:
+    """One cross-validation fold.
+
+    Attributes
+    ----------
+    group:
+        Identifier of the held-out group (participant id).
+    train_indices / test_indices:
+        Integer indices into the sample arrays.
+    """
+
+    group: str
+    train_indices: np.ndarray
+    test_indices: np.ndarray
+
+
+def leave_one_group_out(groups: Sequence[str]) -> Iterator[GroupFold]:
+    """Yield one fold per distinct group, holding that group out.
+
+    ``groups`` maps each sample to its participant; folds are yielded
+    in sorted group order for determinism.
+    """
+    groups_arr = np.asarray(groups)
+    if groups_arr.size == 0:
+        raise ConfigurationError("leave_one_group_out needs at least one sample")
+    unique = sorted(set(groups_arr.tolist()))
+    if len(unique) < 2:
+        raise ConfigurationError(
+            f"need at least 2 distinct groups, got {len(unique)}"
+        )
+    all_idx = np.arange(groups_arr.size)
+    for group in unique:
+        mask = groups_arr == group
+        yield GroupFold(
+            group=str(group),
+            train_indices=all_idx[~mask],
+            test_indices=all_idx[mask],
+        )
+
+
+def train_fraction_split(
+    groups: Sequence[str],
+    fraction: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split samples by holding a random *group* subset for training.
+
+    Used for the training-size study (Fig. 15b): ``fraction`` of the
+    participants (at least one) form the training set; everyone else is
+    tested.  Returns ``(train_indices, test_indices)``.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+    groups_arr = np.asarray(groups)
+    unique = sorted(set(groups_arr.tolist()))
+    if len(unique) < 2:
+        raise ConfigurationError("need at least 2 distinct groups")
+    num_train = max(1, int(round(len(unique) * fraction)))
+    num_train = min(num_train, len(unique) - 1) if fraction < 1.0 else len(unique)
+    chosen = set(rng.choice(unique, size=num_train, replace=False).tolist())
+    all_idx = np.arange(groups_arr.size)
+    train_mask = np.array([g in chosen for g in groups_arr])
+    if fraction >= 1.0:
+        # Degenerate "all data" split used by resubstitution studies.
+        return all_idx, all_idx
+    return all_idx[train_mask], all_idx[~train_mask]

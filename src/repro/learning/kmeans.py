@@ -1,0 +1,171 @@
+"""K-means clustering from scratch (paper Sec. IV-C3).
+
+EarSonar groups recordings into the four effusion states with k-means
+(Eq. (11)-(12)): Euclidean assignment to the nearest of ``k`` centres,
+Lloyd updates, iterated to convergence.  This implementation adds the
+standard robustness machinery — k-means++ seeding, multiple restarts,
+empty-cluster repair — while staying dependency-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, ModelError, NotFittedError
+
+__all__ = ["KMeans", "kmeans_plus_plus_init", "euclidean_distances"]
+
+
+def euclidean_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Pairwise Euclidean distances, shape ``(n_points, n_centers)``.
+
+    Implements paper Eq. (11) for all pairs at once via the quadratic
+    expansion; clipped at zero to absorb floating-point negatives.
+    """
+    points = np.asarray(points, dtype=float)
+    centers = np.asarray(centers, dtype=float)
+    sq_p = np.sum(points**2, axis=1)[:, None]
+    sq_c = np.sum(centers**2, axis=1)[None, :]
+    d2 = np.maximum(sq_p + sq_c - 2.0 * points @ centers.T, 0.0)
+    return np.sqrt(d2)
+
+
+def kmeans_plus_plus_init(
+    data: np.ndarray, num_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centres by D^2 sampling."""
+    n = data.shape[0]
+    centers = np.empty((num_clusters, data.shape[1]))
+    first = int(rng.integers(0, n))
+    centers[0] = data[first]
+    closest_sq = np.sum((data - centers[0]) ** 2, axis=1)
+    for k in range(1, num_clusters):
+        total = closest_sq.sum()
+        if total <= 0.0:
+            # All points coincide with chosen centres; fall back to random.
+            idx = int(rng.integers(0, n))
+        else:
+            probs = closest_sq / total
+            idx = int(rng.choice(n, p=probs))
+        centers[k] = data[idx]
+        dist_sq = np.sum((data - centers[k]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, dist_sq)
+    return centers
+
+
+@dataclass
+class KMeans:
+    """Lloyd's k-means with k-means++ restarts.
+
+    Attributes
+    ----------
+    num_clusters:
+        ``k``; the paper uses 4 (Clear/Serous/Mucoid/Purulent).
+    num_restarts:
+        Independent initialisations; the fit with the lowest inertia
+        (paper Eq. (12) objective) wins.
+    max_iterations:
+        Lloyd iteration cap per restart.
+    tolerance:
+        Convergence threshold on the total centre movement.
+    seed:
+        Seed for the internal random generator.
+
+    After :meth:`fit`: ``cluster_centers_``, ``labels_``, ``inertia_``,
+    ``n_iter_`` are populated.
+    """
+
+    num_clusters: int = 4
+    num_restarts: int = 10
+    max_iterations: int = 300
+    tolerance: float = 1e-6
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_clusters < 1:
+            raise ConfigurationError(f"num_clusters must be >= 1, got {self.num_clusters}")
+        if self.num_restarts < 1:
+            raise ConfigurationError(f"num_restarts must be >= 1, got {self.num_restarts}")
+        if self.max_iterations < 1:
+            raise ConfigurationError(f"max_iterations must be >= 1, got {self.max_iterations}")
+        if self.tolerance < 0:
+            raise ConfigurationError(f"tolerance must be >= 0, got {self.tolerance}")
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float | None = None
+        self.n_iter_: int | None = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, data: np.ndarray) -> "KMeans":
+        """Cluster ``data`` (shape ``(n_samples, n_features)``)."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2:
+            raise ModelError(f"data must be 2-D, got shape {data.shape}")
+        n = data.shape[0]
+        if n < self.num_clusters:
+            raise ModelError(
+                f"cannot form {self.num_clusters} clusters from {n} samples"
+            )
+        rng = np.random.default_rng(self.seed)
+        best: tuple[float, np.ndarray, np.ndarray, int] | None = None
+        for _ in range(self.num_restarts):
+            centers, labels, inertia, iters = self._lloyd(data, rng)
+            if best is None or inertia < best[0]:
+                best = (inertia, centers, labels, iters)
+        assert best is not None
+        self.inertia_, self.cluster_centers_, self.labels_, self.n_iter_ = best
+        return self
+
+    def _lloyd(
+        self, data: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        centers = kmeans_plus_plus_init(data, self.num_clusters, rng)
+        labels = np.zeros(data.shape[0], dtype=int)
+        iteration = 0
+        for iteration in range(1, self.max_iterations + 1):
+            distances = euclidean_distances(data, centers)
+            labels = np.argmin(distances, axis=1)
+            new_centers = centers.copy()
+            for k in range(self.num_clusters):
+                members = data[labels == k]
+                if members.size == 0:
+                    # Empty-cluster repair: re-seed at the point farthest
+                    # from its assigned centre.
+                    assigned = distances[np.arange(data.shape[0]), labels]
+                    new_centers[k] = data[int(np.argmax(assigned))]
+                else:
+                    new_centers[k] = members.mean(axis=0)
+            movement = float(np.sum(np.sqrt(np.sum((new_centers - centers) ** 2, axis=1))))
+            centers = new_centers
+            if movement <= self.tolerance:
+                break
+        distances = euclidean_distances(data, centers)
+        labels = np.argmin(distances, axis=1)
+        inertia = float(np.sum(np.min(distances, axis=1) ** 2))
+        return centers, labels, inertia, iteration
+
+    # ------------------------------------------------------------------
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Assign each sample to its nearest learned centre."""
+        if self.cluster_centers_ is None:
+            raise NotFittedError("KMeans.predict called before fit")
+        data = np.asarray(data, dtype=float)
+        if data.ndim == 1:
+            data = data[None, :]
+        return np.argmin(euclidean_distances(data, self.cluster_centers_), axis=1)
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Distances of each sample to every learned centre."""
+        if self.cluster_centers_ is None:
+            raise NotFittedError("KMeans.transform called before fit")
+        return euclidean_distances(np.asarray(data, dtype=float), self.cluster_centers_)
+
+    def fit_predict(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return its cluster labels."""
+        self.fit(data)
+        assert self.labels_ is not None
+        return self.labels_

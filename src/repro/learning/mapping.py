@@ -1,0 +1,136 @@
+"""Cluster-to-label assignment via the Hungarian algorithm.
+
+K-means returns anonymous cluster ids; evaluation against clinical
+ground truth needs the bijection between clusters and effusion states
+that maximises agreement.  That is a linear assignment problem, solved
+here with a from-scratch O(n^3) Hungarian (Kuhn-Munkres) implementation
+on the negated contingency matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+
+__all__ = ["hungarian", "contingency_matrix", "map_clusters_to_labels"]
+
+
+def hungarian(cost: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Minimum-cost assignment of a square (or rectangular) cost matrix.
+
+    Returns ``(row_indices, col_indices)`` such that
+    ``cost[row_indices, col_indices].sum()`` is minimal, matching the
+    interface of ``scipy.optimize.linear_sum_assignment`` (which the
+    test suite uses as an oracle).
+
+    Implementation: the potentials/shortest-augmenting-path variant of
+    Kuhn-Munkres (Jonker-style), padding rectangular inputs to square.
+    """
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2:
+        raise ModelError(f"cost must be 2-D, got shape {cost.shape}")
+    n_rows, n_cols = cost.shape
+    transposed = n_rows > n_cols
+    if transposed:
+        cost = cost.T
+        n_rows, n_cols = n_cols, n_rows
+    n = n_cols
+    # Pad rows so the matrix is square; padded rows cost 0 everywhere.
+    padded = np.zeros((n, n))
+    padded[:n_rows, :] = cost
+
+    INF = float("inf")
+    # Potentials u (rows), v (cols); way[j] = augmenting-path parent.
+    u = np.zeros(n + 1)
+    v = np.zeros(n + 1)
+    p = np.zeros(n + 1, dtype=int)  # p[j] = row matched to column j (1-based rows)
+    way = np.zeros(n + 1, dtype=int)
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = np.full(n + 1, INF)
+        used = np.zeros(n + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = INF
+            j1 = 0
+            for j in range(1, n + 1):
+                if used[j]:
+                    continue
+                cur = padded[i0 - 1, j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(n + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        while j0 != 0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+    assignment = np.zeros(n, dtype=int)  # row -> col
+    for j in range(1, n + 1):
+        if p[j] > 0:
+            assignment[p[j] - 1] = j - 1
+    rows = np.arange(n_rows)
+    cols = assignment[:n_rows]
+    if transposed:
+        order = np.argsort(cols)
+        return cols[order], rows[order]
+    return rows, cols
+
+
+def contingency_matrix(
+    cluster_ids: np.ndarray, labels: np.ndarray, num_clusters: int, num_labels: int
+) -> np.ndarray:
+    """Count matrix ``C[c, l]``: samples in cluster ``c`` with label ``l``."""
+    cluster_ids = np.asarray(cluster_ids, dtype=int)
+    labels = np.asarray(labels, dtype=int)
+    if cluster_ids.shape != labels.shape:
+        raise ModelError(
+            f"cluster_ids shape {cluster_ids.shape} != labels shape {labels.shape}"
+        )
+    matrix = np.zeros((num_clusters, num_labels), dtype=int)
+    for c, l in zip(cluster_ids, labels):
+        if not 0 <= c < num_clusters:
+            raise ModelError(f"cluster id {c} outside [0, {num_clusters})")
+        if not 0 <= l < num_labels:
+            raise ModelError(f"label {l} outside [0, {num_labels})")
+        matrix[c, l] += 1
+    return matrix
+
+
+def map_clusters_to_labels(
+    cluster_ids: np.ndarray, labels: np.ndarray, num_clusters: int, num_labels: int
+) -> dict[int, int]:
+    """Best cluster -> label mapping by total agreement.
+
+    With as many clusters as labels the mapping is the optimal
+    bijection (Hungarian on the negated contingency matrix), so every
+    label receives a cluster.  With *more* clusters than labels — the
+    paper's in-group clustering, where each effusion state owns several
+    sub-clusters — each cluster maps to its majority training label.
+    """
+    matrix = contingency_matrix(cluster_ids, labels, num_clusters, num_labels)
+    if num_clusters <= num_labels:
+        rows, cols = hungarian(-matrix.astype(float))
+        mapping = {int(r): int(c) for r, c in zip(rows, cols)}
+        for c in range(num_clusters):
+            if c not in mapping:
+                mapping[c] = int(np.argmax(matrix[c])) if matrix[c].sum() else 0
+        return mapping
+    return {
+        c: (int(np.argmax(matrix[c])) if matrix[c].sum() else 0)
+        for c in range(num_clusters)
+    }

@@ -1,0 +1,99 @@
+"""ROC analysis for the binary screening task, from scratch.
+
+The paper's clinical motivation is a *screening* decision — fluid or no
+fluid — for which threshold-free metrics are standard.  These helpers
+compute the ROC curve, the area under it, and the equal-error-rate
+operating point from scores and binary labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+
+__all__ = ["RocCurve", "roc_curve", "auc", "equal_error_rate"]
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """An ROC curve: parallel FPR/TPR arrays and their thresholds.
+
+    Points are ordered by decreasing threshold, starting at (0, 0) and
+    ending at (1, 1).
+    """
+
+    false_positive_rate: np.ndarray
+    true_positive_rate: np.ndarray
+    thresholds: np.ndarray
+
+    @property
+    def auc(self) -> float:
+        """Area under the curve by trapezoidal integration."""
+        x = self.false_positive_rate
+        y = self.true_positive_rate
+        return float(np.sum((x[1:] - x[:-1]) * (y[1:] + y[:-1]) / 2.0))
+
+
+def roc_curve(labels: np.ndarray, scores: np.ndarray) -> RocCurve:
+    """ROC curve of ``scores`` against binary ``labels`` (1 = positive).
+
+    Ties in score are collapsed into single points, matching the usual
+    definition.
+    """
+    labels = np.asarray(labels, dtype=int)
+    scores = np.asarray(scores, dtype=float)
+    if labels.shape != scores.shape:
+        raise ModelError(f"labels shape {labels.shape} != scores shape {scores.shape}")
+    if labels.size == 0:
+        raise ModelError("roc_curve requires at least one sample")
+    if not np.all(np.isin(labels, (0, 1))):
+        raise ModelError("labels must be binary 0/1")
+    num_pos = int(labels.sum())
+    num_neg = labels.size - num_pos
+    if num_pos == 0 or num_neg == 0:
+        raise ModelError("roc_curve requires both classes present")
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    sorted_scores = scores[order]
+    tp = np.cumsum(sorted_labels)
+    fp = np.cumsum(1 - sorted_labels)
+    # Keep only the last index of each distinct score (tie collapsing).
+    distinct = np.nonzero(np.diff(sorted_scores, append=-np.inf))[0]
+    tpr = np.concatenate([[0.0], tp[distinct] / num_pos])
+    fpr = np.concatenate([[0.0], fp[distinct] / num_neg])
+    thresholds = np.concatenate([[np.inf], sorted_scores[distinct]])
+    return RocCurve(fpr, tpr, thresholds)
+
+
+def auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve (probability a positive outranks a negative)."""
+    return roc_curve(labels, scores).auc
+
+
+def equal_error_rate(labels: np.ndarray, scores: np.ndarray) -> tuple[float, float]:
+    """Equal-error-rate operating point.
+
+    Returns ``(eer, threshold)`` where FPR ~= FNR; the crossing is
+    located by linear interpolation along the curve.
+    """
+    curve = roc_curve(labels, scores)
+    fnr = 1.0 - curve.true_positive_rate
+    diffs = curve.false_positive_rate - fnr
+    idx = int(np.argmin(np.abs(diffs)))
+    # Interpolate between the two points bracketing the sign change.
+    if 0 < idx < diffs.size and diffs[idx] != 0.0:
+        lo = idx - 1 if diffs[idx - 1] * diffs[idx] < 0 else idx
+        hi = min(lo + 1, diffs.size - 1)
+        if diffs[hi] != diffs[lo]:
+            w = -diffs[lo] / (diffs[hi] - diffs[lo])
+        else:
+            w = 0.0
+        eer = float(
+            (1 - w) * curve.false_positive_rate[lo] + w * curve.false_positive_rate[hi]
+        )
+        threshold = float((1 - w) * curve.thresholds[lo] + w * curve.thresholds[hi])
+        return eer, threshold
+    return float(curve.false_positive_rate[idx]), float(curve.thresholds[idx])

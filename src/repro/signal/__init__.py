@@ -1,0 +1,125 @@
+"""Digital signal processing substrate for EarSonar.
+
+Contains the FMCW chirp designer, Butterworth filters, windows and
+spectral analysis, the adaptive energy event detector, the even/odd
+parity-decomposition echo segmenter, MFCC extraction, and correlation
+utilities — every DSP stage the paper's pipeline relies on.
+"""
+
+from .chirp import (
+    SPEED_OF_SOUND,
+    ChirpDesign,
+    chirp_train,
+    cross_correlate,
+    linear_chirp,
+    matched_filter,
+)
+from .correlation import (
+    correlation_matrix,
+    max_correlation_lag,
+    normalized_cross_correlation,
+    pearson,
+)
+from .events import Event, EventDetectorConfig, detect_events, sliding_power
+from .filters import (
+    ButterworthDesign,
+    butterworth_bandpass,
+    butterworth_highpass,
+    butterworth_lowpass,
+    sos_frequency_response,
+    sosfilt,
+    sosfilt_reference,
+    sosfiltfilt,
+)
+from .mfcc import MfccConfig, dct_ii, hz_to_mel, mel_filterbank, mel_to_hz, mfcc
+from .parity import (
+    EardrumEcho,
+    EchoSegmenterConfig,
+    SymmetryCandidate,
+    autoconvolution,
+    best_symmetry_point,
+    find_symmetry_candidates,
+    parity_decompose,
+    parity_energies,
+    segment_eardrum_echo,
+)
+from .resample import downsample, resample_to, upsample
+from .spectral import (
+    Spectrum,
+    amplitude_spectrum,
+    band_energy,
+    band_slice,
+    normalize_spectrum,
+    power_spectrum,
+    spectral_correlation,
+    welch_psd,
+)
+from .windows import (
+    apply_window,
+    blackman,
+    coherent_gain,
+    equivalent_noise_bandwidth,
+    hamming,
+    hann,
+    rectangular,
+    tukey,
+)
+
+__all__ = [
+    "SPEED_OF_SOUND",
+    "ChirpDesign",
+    "chirp_train",
+    "cross_correlate",
+    "linear_chirp",
+    "matched_filter",
+    "correlation_matrix",
+    "max_correlation_lag",
+    "normalized_cross_correlation",
+    "pearson",
+    "Event",
+    "EventDetectorConfig",
+    "detect_events",
+    "sliding_power",
+    "ButterworthDesign",
+    "butterworth_bandpass",
+    "butterworth_highpass",
+    "butterworth_lowpass",
+    "sos_frequency_response",
+    "sosfilt",
+    "sosfilt_reference",
+    "sosfiltfilt",
+    "MfccConfig",
+    "dct_ii",
+    "hz_to_mel",
+    "mel_filterbank",
+    "mel_to_hz",
+    "mfcc",
+    "EardrumEcho",
+    "EchoSegmenterConfig",
+    "SymmetryCandidate",
+    "autoconvolution",
+    "best_symmetry_point",
+    "find_symmetry_candidates",
+    "parity_decompose",
+    "parity_energies",
+    "segment_eardrum_echo",
+    "downsample",
+    "resample_to",
+    "upsample",
+    "Spectrum",
+    "amplitude_spectrum",
+    "band_energy",
+    "band_slice",
+    "normalize_spectrum",
+    "power_spectrum",
+    "spectral_correlation",
+    "welch_psd",
+    "apply_window",
+    "blackman",
+    "coherent_gain",
+    "equivalent_noise_bandwidth",
+    "hamming",
+    "hann",
+    "rectangular",
+    "tukey",
+]

@@ -1,0 +1,160 @@
+"""Mel-frequency cepstral coefficients over a configurable band.
+
+The paper (Sec. IV-C2) represents the fine spectral structure of the
+eardrum echo with MFCCs.  Ordinary speech MFCCs span 0-8 kHz; EarSonar's
+information lives in the 16-20 kHz probe band, so the filterbank edges
+are configurable and default to the probe band with a small margin.
+
+Everything is built from scratch: the mel scale, the triangular
+filterbank, framing, and an orthonormal DCT-II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .windows import hamming
+
+__all__ = ["hz_to_mel", "mel_to_hz", "mel_filterbank", "dct_ii", "MfccConfig", "mfcc"]
+
+
+def hz_to_mel(frequency_hz: np.ndarray | float) -> np.ndarray | float:
+    """Convert Hz to mel (O'Shaughnessy formula)."""
+    return 2595.0 * np.log10(1.0 + np.asarray(frequency_hz, dtype=float) / 700.0)
+
+
+def mel_to_hz(mel: np.ndarray | float) -> np.ndarray | float:
+    """Convert mel back to Hz."""
+    return 700.0 * (10.0 ** (np.asarray(mel, dtype=float) / 2595.0) - 1.0)
+
+
+def mel_filterbank(
+    num_filters: int,
+    nfft: int,
+    sample_rate: float,
+    low_hz: float,
+    high_hz: float,
+) -> np.ndarray:
+    """Triangular mel filterbank matrix of shape ``(num_filters, nfft//2 + 1)``.
+
+    Filter centres are equally spaced on the mel scale between
+    ``low_hz`` and ``high_hz``; each filter is a unit-peak triangle.
+    """
+    if num_filters < 1:
+        raise ConfigurationError(f"num_filters must be >= 1, got {num_filters}")
+    if not 0.0 <= low_hz < high_hz <= sample_rate / 2.0:
+        raise ConfigurationError(
+            f"need 0 <= low_hz < high_hz <= Nyquist; got {low_hz}, {high_hz} "
+            f"at sample rate {sample_rate}"
+        )
+    mel_edges = np.linspace(hz_to_mel(low_hz), hz_to_mel(high_hz), num_filters + 2)
+    hz_edges = mel_to_hz(mel_edges)
+    bin_freqs = np.fft.rfftfreq(nfft, d=1.0 / sample_rate)
+    bank = np.zeros((num_filters, bin_freqs.size))
+    for i in range(num_filters):
+        left, center, right = hz_edges[i], hz_edges[i + 1], hz_edges[i + 2]
+        rising = (bin_freqs - left) / max(center - left, 1e-12)
+        falling = (right - bin_freqs) / max(right - center, 1e-12)
+        bank[i] = np.clip(np.minimum(rising, falling), 0.0, None)
+    return bank
+
+
+def dct_ii(values: np.ndarray, num_coefficients: int) -> np.ndarray:
+    """Orthonormal DCT-II of the last axis, truncated to ``num_coefficients``."""
+    values = np.asarray(values, dtype=float)
+    n = values.shape[-1]
+    if num_coefficients < 1 or num_coefficients > n:
+        raise ConfigurationError(
+            f"num_coefficients must be in [1, {n}], got {num_coefficients}"
+        )
+    k = np.arange(num_coefficients)[:, None]
+    m = np.arange(n)[None, :]
+    basis = np.cos(np.pi * k * (2.0 * m + 1.0) / (2.0 * n))
+    scale = np.full(num_coefficients, np.sqrt(2.0 / n))
+    scale[0] = np.sqrt(1.0 / n)
+    return (values @ basis.T) * scale
+
+
+@dataclass(frozen=True)
+class MfccConfig:
+    """MFCC extraction parameters tuned for the 16-20 kHz probe band.
+
+    Attributes
+    ----------
+    sample_rate:
+        Audio sample rate in Hz.
+    frame_length / frame_hop:
+        Analysis frame size and hop in samples.  Echo segments are
+        short (tens of samples), so defaults are small.
+    nfft:
+        FFT length per frame (zero-padded).
+    num_filters:
+        Mel filterbank size.
+    num_coefficients:
+        Number of cepstral coefficients kept after the DCT.
+    low_hz / high_hz:
+        Filterbank band edges; defaults bracket the probe band.
+    """
+
+    sample_rate: float = 48_000.0
+    frame_length: int = 32
+    frame_hop: int = 16
+    nfft: int = 128
+    num_filters: int = 20
+    num_coefficients: int = 17
+    low_hz: float = 15_000.0
+    high_hz: float = 21_000.0
+
+    def __post_init__(self) -> None:
+        if self.frame_length < 2:
+            raise ConfigurationError(f"frame_length must be >= 2, got {self.frame_length}")
+        if self.frame_hop < 1:
+            raise ConfigurationError(f"frame_hop must be >= 1, got {self.frame_hop}")
+        if self.nfft < self.frame_length:
+            raise ConfigurationError(
+                f"nfft ({self.nfft}) must be >= frame_length ({self.frame_length})"
+            )
+        if self.num_coefficients > self.num_filters:
+            raise ConfigurationError(
+                f"num_coefficients ({self.num_coefficients}) cannot exceed "
+                f"num_filters ({self.num_filters})"
+            )
+
+
+def _frame_signal(signal: np.ndarray, frame_length: int, hop: int) -> np.ndarray:
+    """Split ``signal`` into overlapping frames; pads the tail with zeros."""
+    if signal.size <= frame_length:
+        padded = np.zeros(frame_length)
+        padded[: signal.size] = signal
+        return padded[None, :]
+    num_frames = 1 + int(np.ceil((signal.size - frame_length) / hop))
+    padded_len = (num_frames - 1) * hop + frame_length
+    padded = np.zeros(padded_len)
+    padded[: signal.size] = signal
+    idx = np.arange(frame_length)[None, :] + hop * np.arange(num_frames)[:, None]
+    return padded[idx]
+
+
+def mfcc(signal: np.ndarray, config: MfccConfig | None = None) -> np.ndarray:
+    """MFCC matrix of shape ``(num_frames, num_coefficients)``.
+
+    Pipeline: frame -> Hamming window -> power spectrum -> mel filterbank
+    -> log -> DCT-II.  A small floor keeps the log finite on silent
+    frames.
+    """
+    config = config or MfccConfig()
+    signal = np.asarray(signal, dtype=float)
+    if signal.size == 0:
+        raise ConfigurationError("mfcc requires a non-empty signal")
+    frames = _frame_signal(signal, config.frame_length, config.frame_hop)
+    frames = frames * hamming(config.frame_length)
+    power = np.abs(np.fft.rfft(frames, config.nfft, axis=-1)) ** 2
+    bank = mel_filterbank(
+        config.num_filters, config.nfft, config.sample_rate, config.low_hz, config.high_hz
+    )
+    energies = power @ bank.T
+    log_energies = np.log(np.maximum(energies, 1e-12))
+    return dct_ii(log_energies, config.num_coefficients)

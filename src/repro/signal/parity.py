@@ -1,0 +1,389 @@
+"""Even/odd (parity) decomposition echo segmentation (paper Sec. IV-B3).
+
+A chirp event contains the direct speaker-to-microphone pulse followed
+by ear-canal multipath and, a few dozen samples later, the eardrum
+echo.  EarSonar's segmentation observes that each individual echo
+packet is locally symmetric (a windowed chirp is nearly even about its
+centre), so points of strong local symmetry mark echo centres.
+
+The machinery, following Gnutti et al. and the paper's Eq. (8)-(10):
+
+* the parity decomposition about a fold point ``n0`` splits ``x`` into
+  ``x_e[n; n0] = (x[n] + x[2 n0 - n]) / 2`` and
+  ``x_o[n; n0] = (x[n] - x[2 n0 - n]) / 2``;
+* the even/odd energies about ``n0`` satisfy
+  ``E_e = E/2 + (x * x)[2 n0] / 2`` and ``E_o = E/2 - (x * x)[2 n0] / 2``
+  where ``(x * x)`` is the *autoconvolution*, so symmetry candidates
+  are exactly the local extrema of the autoconvolution;
+* each candidate is validated by the even (or odd) energy ratio of a
+  subsequence centred on it, and by a physical prior on the distance
+  between the direct signal and the eardrum echo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import NoEchoFoundError, SignalProcessingError
+from .chirp import SPEED_OF_SOUND
+
+__all__ = [
+    "parity_decompose",
+    "autoconvolution",
+    "parity_energies",
+    "best_symmetry_point",
+    "SymmetryCandidate",
+    "find_symmetry_candidates",
+    "EchoSegmenterConfig",
+    "segment_eardrum_echo",
+    "EardrumEcho",
+]
+
+
+def parity_decompose(signal: np.ndarray, fold: float) -> tuple[np.ndarray, np.ndarray]:
+    """Split ``signal`` into even and odd parts about fold point ``fold``.
+
+    ``fold`` may be half-integral (``k/2``), in which case the fold sits
+    between samples.  Samples whose mirror ``2*fold - n`` falls outside
+    the support are mirrored against zero, matching the finite-support
+    convention of the paper.
+
+    Returns ``(even, odd)`` arrays with ``even + odd == signal``.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if signal.size == 0:
+        raise SignalProcessingError("parity_decompose requires a non-empty signal")
+    two_fold = 2.0 * fold
+    if abs(two_fold - round(two_fold)) > 1e-9:
+        raise ValueError(f"fold must be a multiple of 0.5, got {fold}")
+    mirror_idx = int(round(two_fold)) - np.arange(signal.size)
+    mirrored = np.where(
+        (mirror_idx >= 0) & (mirror_idx < signal.size),
+        signal[np.clip(mirror_idx, 0, signal.size - 1)],
+        0.0,
+    )
+    even = (signal + mirrored) / 2.0
+    odd = (signal - mirrored) / 2.0
+    return even, odd
+
+
+def autoconvolution(signal: np.ndarray) -> np.ndarray:
+    """Linear autoconvolution ``(x * x)[m]`` of ``signal`` via FFT.
+
+    Output has length ``2 N - 1``; index ``m`` matches the paper's
+    ``(x * x)[2 n0]`` so fold candidates live at ``n0 = m / 2``.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if signal.size == 0:
+        raise SignalProcessingError("autoconvolution requires a non-empty signal")
+    n = 2 * signal.size - 1
+    nfft = 1 << (n - 1).bit_length()
+    spec = np.fft.rfft(signal, nfft)
+    return np.fft.irfft(spec * spec, nfft)[:n]
+
+
+def parity_energies(signal: np.ndarray, fold: float) -> tuple[float, float]:
+    """Even and odd energies of ``signal`` about ``fold`` (paper Eq. (10))."""
+    even, odd = parity_decompose(signal, fold)
+    return float(np.sum(even**2)), float(np.sum(odd**2))
+
+
+def best_symmetry_point(signal: np.ndarray) -> float:
+    """Fold point maximising |autoconvolution|, i.e. strongest parity."""
+    conv = autoconvolution(signal)
+    return float(np.argmax(np.abs(conv))) / 2.0
+
+
+@dataclass(frozen=True)
+class SymmetryCandidate:
+    """A candidate echo centre found by the symmetry search.
+
+    Attributes
+    ----------
+    center:
+        Fold point in samples (may be half-integral).
+    energy_ratio:
+        ``max(E_even, E_odd) / E`` of the validation subsequence.
+    local_energy:
+        Total energy of the validation subsequence, used to rank
+        candidates of comparable symmetry.
+    """
+
+    center: float
+    energy_ratio: float
+    local_energy: float
+
+
+def find_symmetry_candidates(
+    signal: np.ndarray,
+    *,
+    support: int = 24,
+    energy_ratio_threshold: float = 0.6,
+) -> list[SymmetryCandidate]:
+    """Locate all locally symmetric segments of ``signal``.
+
+    Parameters
+    ----------
+    signal:
+        The event waveform (chirp + echoes).
+    support:
+        Half-length ``ml`` of the validation subsequence around each
+        candidate; the paper's "minimum symmetry support".
+    energy_ratio_threshold:
+        The paper's ``pt`` in (0.5, 1): a candidate survives only if the
+        even *or* odd energy fraction of its subsequence exceeds this.
+
+    Returns candidates sorted by descending local energy.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if signal.size < 4:
+        return []
+    if not 0.5 < energy_ratio_threshold < 1.0:
+        raise ValueError(
+            f"energy_ratio_threshold must be in (0.5, 1), got {energy_ratio_threshold}"
+        )
+    conv = np.abs(autoconvolution(signal))
+    # Local maxima of the autoconvolution magnitude are the fold
+    # candidates (both even- and odd-symmetric points).
+    interior = np.arange(1, conv.size - 1)
+    is_peak = (conv[interior] >= conv[interior - 1]) & (conv[interior] >= conv[interior + 1])
+    peak_positions = interior[is_peak]
+    candidates: list[SymmetryCandidate] = []
+    # Fast evaluation of the parity energy ratio: the validation window
+    # is symmetric about the fold, so mirroring about the fold equals
+    # reversing the window, and (paper Eq. (10))
+    #   E_even = (E + sum(w * reversed(w))) / 2,
+    #   E_odd  = (E - sum(w * reversed(w))) / 2,
+    # hence max(E_even, E_odd) / E = (E + |sum(w * reversed(w))|) / 2E.
+    # The loop below is algebraically identical to calling
+    # :func:`parity_energies` on each window (asserted by the tests)
+    # but avoids building the decomposition arrays.
+    for m in peak_positions:
+        center = m / 2.0
+        lo = int(np.floor(center)) - support
+        hi = int(np.ceil(center)) + support + 1
+        if lo < 0 or hi > signal.size:
+            continue
+        window = signal[lo:hi]
+        total = float(window @ window)
+        if total <= 0.0:
+            continue
+        folded = float(window @ window[::-1])
+        ratio = (total + abs(folded)) / (2.0 * total)
+        if ratio > energy_ratio_threshold:
+            candidates.append(SymmetryCandidate(center, ratio, total))
+    candidates.sort(key=lambda c: c.local_energy, reverse=True)
+    return candidates
+
+
+@dataclass(frozen=True)
+class EchoSegmenterConfig:
+    """Physical and algorithmic priors for eardrum-echo extraction.
+
+    Attributes
+    ----------
+    sample_rate:
+        Audio sample rate of the *input* event signal, in Hz.
+    upsample_factor:
+        Band-limited interpolation factor applied before the symmetry
+        search.  At 48 kHz the drum echo trails the direct pulse by
+        only ~4-8 samples; the paper's "interpolated signal" resolves
+        this — 8x is comfortable.
+    min_distance_m / max_distance_m:
+        One-way earphone-to-eardrum distance prior (the free canal
+        length between earbud tip and drum); the lower bound also
+        rejects the half-delay cross-term artifact of the
+        autoconvolution.
+    support:
+        Validation half-window for the symmetry search, in *upsampled*
+        samples.
+    energy_ratio_threshold:
+        The paper's ``pt``.
+    segment_half_length:
+        Half-length ``N`` of the uniform echo segment cut around the
+        selected echo centre, in *upsampled* samples.
+    """
+
+    sample_rate: float = 48_000.0
+    upsample_factor: int = 8
+    min_distance_m: float = 0.016
+    max_distance_m: float = 0.034
+    support: int = 48
+    energy_ratio_threshold: float = 0.6
+    segment_half_length: int = 256
+    #: "parity" is the paper's fine-grained symmetry segmentation;
+    #: "peak" is the naive ablation baseline (centre the segment a
+    #: fixed physical offset after the event's energy peak).
+    method: str = "parity"
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise ValueError(f"sample_rate must be positive, got {self.sample_rate}")
+        if self.upsample_factor < 1:
+            raise ValueError(f"upsample_factor must be >= 1, got {self.upsample_factor}")
+        if self.method not in ("parity", "peak"):
+            raise ValueError(f"method must be 'parity' or 'peak', got {self.method!r}")
+        if not 0.0 < self.min_distance_m < self.max_distance_m:
+            raise ValueError(
+                f"need 0 < min_distance_m < max_distance_m, got "
+                f"{self.min_distance_m}, {self.max_distance_m}"
+            )
+        if self.segment_half_length < 4:
+            raise ValueError("segment_half_length must be >= 4")
+
+    @property
+    def upsampled_rate(self) -> float:
+        """Effective sample rate after interpolation, in Hz."""
+        return self.sample_rate * self.upsample_factor
+
+    def delay_window_samples(self, speed_of_sound: float = SPEED_OF_SOUND) -> tuple[int, int]:
+        """Allowed round-trip delays (upsampled samples) after the direct pulse."""
+        lo = int(np.floor(2.0 * self.min_distance_m / speed_of_sound * self.upsampled_rate))
+        hi = int(np.ceil(2.0 * self.max_distance_m / speed_of_sound * self.upsampled_rate))
+        return lo, hi
+
+
+@dataclass(frozen=True)
+class EardrumEcho:
+    """The extracted eardrum echo of one chirp event.
+
+    Attributes
+    ----------
+    segment:
+        Uniform-length waveform cut around the echo centre, at the
+        *upsampled* rate ``sample_rate``.
+    sample_rate:
+        Effective sample rate of ``segment`` in Hz (input rate times
+        the segmenter's upsample factor).
+    center:
+        Echo centre in upsampled samples, relative to the event start.
+    direct_center:
+        Direct-pulse centre in upsampled samples.
+    delay_samples:
+        ``center - direct_center`` in upsampled samples.
+    energy_ratio:
+        Parity energy ratio of the selected candidate.
+    """
+
+    segment: np.ndarray
+    sample_rate: float
+    center: float
+    direct_center: float
+    delay_samples: float
+    energy_ratio: float
+
+    def distance(self, speed_of_sound: float = SPEED_OF_SOUND) -> float:
+        """One-way distance implied by the echo delay, in metres."""
+        return self.delay_samples / self.sample_rate * speed_of_sound / 2.0
+
+
+def segment_eardrum_echo(
+    event_signal: np.ndarray, config: EchoSegmenterConfig | None = None
+) -> EardrumEcho:
+    """Extract the eardrum echo from one chirp event.
+
+    Procedure (paper Sec. IV-B3, third step):
+
+    1. band-limit-interpolate the event (the paper's "interpolated
+       signal") so the few-sample echo delay becomes resolvable;
+    2. find all symmetry candidates;
+    3. take the strongest candidate as the direct pulse (the direct
+       path always dominates in-ear recordings);
+    4. among the remaining candidates, keep those whose delay from the
+       direct pulse falls inside the physical eardrum-distance window;
+    5. pick the one with the highest local energy (the first-order drum
+       echo beats wall reflections and the double bounce), breaking
+       ties by parity energy ratio;
+    6. cut a uniform segment of ``2 * segment_half_length`` upsampled
+       samples centred on it (zero-padded at the borders).
+
+    Raises
+    ------
+    NoEchoFoundError
+        If no candidate satisfies the distance prior.
+    """
+    config = config or EchoSegmenterConfig()
+    event_signal = np.asarray(event_signal, dtype=float)
+    if event_signal.size < 4:
+        raise NoEchoFoundError("event too short to segment")
+    from .resample import upsample  # local import avoids a cycle at module load
+
+    if config.method == "peak":
+        return _segment_by_peak(event_signal, config)
+    work = upsample(event_signal, config.upsample_factor)
+    candidates = find_symmetry_candidates(
+        work,
+        support=config.support,
+        energy_ratio_threshold=config.energy_ratio_threshold,
+    )
+    if not candidates:
+        raise NoEchoFoundError("no symmetric segments found in event")
+    direct = candidates[0]
+    lo, hi = config.delay_window_samples()
+    in_window = [
+        c
+        for c in candidates[1:]
+        if lo <= (c.center - direct.center) <= hi
+    ]
+    if not in_window:
+        raise NoEchoFoundError(
+            f"no echo candidate within {lo}-{hi} upsampled samples of the direct pulse"
+        )
+    best = max(in_window, key=lambda c: (c.local_energy, c.energy_ratio))
+    half = config.segment_half_length
+    center_idx = int(round(best.center))
+    lo_idx = center_idx - half
+    hi_idx = center_idx + half
+    segment = np.zeros(2 * half)
+    src_lo = max(0, lo_idx)
+    src_hi = min(work.size, hi_idx)
+    segment[src_lo - lo_idx : src_hi - lo_idx] = work[src_lo:src_hi]
+    return EardrumEcho(
+        segment=segment,
+        sample_rate=config.upsampled_rate,
+        center=best.center,
+        direct_center=direct.center,
+        delay_samples=best.center - direct.center,
+        energy_ratio=best.energy_ratio,
+    )
+
+
+def _segment_by_peak(event_signal: np.ndarray, config: EchoSegmenterConfig) -> EardrumEcho:
+    """Naive segmentation: fixed offset past the event's energy peak.
+
+    The ablation baseline standing in for "no fine-grained
+    segmentation" (the paper attributes its accuracy margin over Chan
+    et al. to the parity machinery): the direct pulse is taken to be
+    the strongest sample and the echo segment is cut a *fixed*
+    mid-window delay later, with no symmetry search and no candidate
+    validation.
+    """
+    from .resample import upsample
+
+    work = upsample(event_signal, config.upsample_factor)
+    if not np.any(work):
+        raise NoEchoFoundError("event contains no energy")
+    direct_center = float(np.argmax(np.abs(work)))
+    lo, hi = config.delay_window_samples()
+    delay = (lo + hi) / 2.0
+    center = direct_center + delay
+    half = config.segment_half_length
+    center_idx = int(round(center))
+    lo_idx = center_idx - half
+    hi_idx = center_idx + half
+    segment = np.zeros(2 * half)
+    src_lo = max(0, lo_idx)
+    src_hi = min(work.size, hi_idx)
+    if src_hi <= src_lo:
+        raise NoEchoFoundError("peak segment falls outside the event")
+    segment[src_lo - lo_idx : src_hi - lo_idx] = work[src_lo:src_hi]
+    return EardrumEcho(
+        segment=segment,
+        sample_rate=config.upsampled_rate,
+        center=center,
+        direct_center=direct_center,
+        delay_samples=delay,
+        energy_ratio=0.0,
+    )

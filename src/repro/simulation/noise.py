@@ -1,0 +1,118 @@
+"""Ambient-noise synthesis at calibrated sound-pressure levels.
+
+The noise study (paper Sec. VI-C2, Fig. 14a-b) plays back room noise at
+45-75 dB SPL one metre from the participant.  Ambient noise reaching
+the in-canal microphone is shaped twice: typical room noise is strongly
+low-frequency weighted (pink-ish spectrum), and the silicone earplug
+attenuates what remains — more so at high frequencies, but imperfectly,
+so loud rooms still leak energy into the 16-20 kHz probe band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["pink_noise", "spl_to_amplitude", "ambient_noise", "QUIET_ROOM_SPL_DB"]
+
+#: The paper's quiet lab sits at 20-30 dB SPL.
+QUIET_ROOM_SPL_DB = 25.0
+
+#: Reference: a 94 dB SPL source maps to unit RMS at the (virtual) mic
+#: before seal attenuation.  Only relative levels matter downstream.
+_REFERENCE_SPL_DB = 94.0
+
+
+def pink_noise(num_samples: int, rng: np.random.Generator, *, alpha: float = 1.0) -> np.ndarray:
+    """Unit-RMS ``1/f^alpha`` noise synthesised in the frequency domain.
+
+    ``alpha = 1`` gives classic pink noise; ``alpha = 0`` is white.
+    """
+    if num_samples <= 0:
+        raise ConfigurationError(f"num_samples must be positive, got {num_samples}")
+    if alpha < 0:
+        raise ConfigurationError(f"alpha must be >= 0, got {alpha}")
+    n_bins = num_samples // 2 + 1
+    magnitudes = np.ones(n_bins)
+    if n_bins > 1:
+        freqs = np.arange(1, n_bins, dtype=float)
+        magnitudes[1:] = freqs ** (-alpha / 2.0)
+    magnitudes[0] = 0.0
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=n_bins)
+    spectrum = magnitudes * np.exp(1j * phases)
+    noise = np.fft.irfft(spectrum, num_samples)
+    rms = np.sqrt(np.mean(noise**2))
+    if rms == 0.0:
+        return noise
+    return noise / rms
+
+
+def spl_to_amplitude(spl_db: float) -> float:
+    """RMS amplitude of ambient noise at ``spl_db`` dB SPL (model units)."""
+    return 10.0 ** ((spl_db - _REFERENCE_SPL_DB) / 20.0)
+
+
+def ambient_noise(
+    num_samples: int,
+    sample_rate: float,
+    spl_db: float,
+    rng: np.random.Generator,
+    *,
+    seal_quality: float = 1.0,
+) -> np.ndarray:
+    """Ambient noise as it arrives at the in-canal microphone.
+
+    Parameters
+    ----------
+    num_samples / sample_rate:
+        Output length and rate.
+    spl_db:
+        Free-field sound pressure level of the room.
+    rng:
+        Randomness source.
+    seal_quality:
+        1.0 = perfect silicone seal (the paper's custom earplugs);
+        lower values leak more.  A perfect seal still passes a little
+        energy (bone/occlusion paths), so attenuation is capped.
+
+    The room noise has two components, both scaling with SPL:
+
+    * a **stationary** pink + wideband floor — largely harmless, since
+      the pipeline averages hundreds of chirps and band-pass filters
+      the rest;
+    * **transient clatter** (doors, toys, speech plosives): short
+      broadband bursts whose rate grows with the room level.  These
+      land inside individual chirp events, corrupting that chirp's
+      echo segment — the mechanism behind the paper's rising FRR in
+      louder rooms (Fig. 14b).
+    """
+    if not 0.0 < seal_quality <= 1.0:
+        raise ConfigurationError(f"seal_quality must be in (0, 1], got {seal_quality}")
+    if sample_rate <= 0:
+        raise ConfigurationError(f"sample_rate must be positive, got {sample_rate}")
+    room = pink_noise(num_samples, rng, alpha=1.0)
+    # A wideband component models the room content reaching the probe band.
+    wideband = rng.standard_normal(num_samples) * 0.8
+    mixed = room + wideband
+    mixed /= np.sqrt(np.mean(mixed**2))
+    seal_attenuation_db = 6.0 * seal_quality
+    amplitude = spl_to_amplitude(spl_db) * 10.0 ** (-seal_attenuation_db / 20.0)
+    noise = amplitude * mixed
+    # Transient clatter: Poisson bursts, rate and strength rising with
+    # the room level above a quiet-room baseline.
+    excess_db = max(0.0, spl_db - 40.0)
+    burst_rate_hz = 0.1 * excess_db**1.5
+    if burst_rate_hz > 0.0:
+        duration_s = num_samples / sample_rate
+        num_bursts = int(rng.poisson(burst_rate_hz * duration_s))
+        burst_len = max(8, int(0.003 * sample_rate))
+        decay = np.exp(-np.arange(burst_len) / (0.0008 * sample_rate))
+        burst_amplitude = 16.0 * amplitude * (1.0 + excess_db / 8.0)
+        for _ in range(num_bursts):
+            start = int(rng.integers(0, num_samples))
+            length = min(burst_len, num_samples - start)
+            noise[start : start + length] += (
+                burst_amplitude * rng.standard_normal(length) * decay[:length]
+            )
+    return noise

@@ -1,0 +1,107 @@
+"""Virtual study participants.
+
+The paper recruited 112 children (60 boys, 52 girls) aged 4-6 from a
+children's hospital and followed each from diagnosis to discharge
+(Sec. V).  A :class:`Participant` bundles the per-child anatomy that
+shapes their recordings — canal geometry, personal middle-ear
+resonance — with their effusion recovery trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..acoustics.absorption import EardrumReflectanceModel, EffusionLoad
+from ..acoustics.ear import EarCanalGeometry
+from ..errors import SimulationError
+from .effusion import MeeState, RecoveryTrajectory
+
+__all__ = ["Participant", "sample_participant"]
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One virtual child in the study cohort.
+
+    Attributes
+    ----------
+    participant_id:
+        Stable identifier ("P001"...), used for leave-one-out splits.
+    age_years:
+        4-6 in the paper's cohort.
+    sex:
+        "M" or "F".
+    geometry:
+        The child's ear-canal anatomy.
+    drum_model:
+        Personal eardrum reflectance model (resonance frequency and
+        baseline dip vary between ears).
+    trajectory:
+        The effusion recovery timeline.
+    """
+
+    participant_id: str
+    age_years: float
+    sex: str
+    geometry: EarCanalGeometry
+    drum_model: EardrumReflectanceModel
+    trajectory: RecoveryTrajectory
+
+    def __post_init__(self) -> None:
+        if self.sex not in ("M", "F"):
+            raise SimulationError(f"sex must be 'M' or 'F', got {self.sex!r}")
+        if not 1.0 <= self.age_years <= 18.0:
+            raise SimulationError(f"age_years {self.age_years} outside plausible range")
+
+    def state_on(self, day: float) -> MeeState:
+        """Ground-truth effusion state on study day ``day``."""
+        return self.trajectory.state_at(day)
+
+    def load_on(self, day: float, rng: np.random.Generator | None = None) -> EffusionLoad | None:
+        """Effusion load on study day ``day`` (None once clear)."""
+        return self.trajectory.load_at(day, rng)
+
+
+def sample_participant(
+    rng: np.random.Generator,
+    participant_id: str,
+    *,
+    total_days: int = 20,
+) -> Participant:
+    """Draw one participant with anatomy typical of a 4-6 year old.
+
+    Canal length is sampled toward the short end of the adult 2-3.5 cm
+    range (children's canals are shorter); the personal middle-ear
+    resonance scatters around 18.2 kHz, matching the paper's observed
+    ~18 kHz dip location.
+
+    The spreads below are calibrated against the paper's Fig. 9: the
+    normalised eardrum-echo spectra of *different* healthy participants
+    correlate above ~90 %, so the anatomy-driven spectral variability
+    between children of this age band is modest — smaller than the
+    effusion-driven changes the system classifies.
+    """
+    age = float(rng.uniform(4.0, 6.0))
+    sex = "M" if rng.random() < 60.0 / 112.0 else "F"
+    geometry = EarCanalGeometry(
+        length_m=float(np.clip(rng.normal(0.026, 0.001), 0.0235, 0.0285)),
+        radius_m=float(np.clip(rng.normal(0.0033, 0.0002), 0.0028, 0.0038)),
+        wall_reflectivity=float(np.clip(rng.normal(0.28, 0.03), 0.2, 0.36)),
+    )
+    drum_model = EardrumReflectanceModel(
+        base_reflectance=float(np.clip(rng.normal(0.92, 0.01), 0.88, 0.96)),
+        resonance_hz=float(np.clip(rng.normal(18_200.0, 80.0), 17_900.0, 18_500.0)),
+        clear_dip_depth=float(np.clip(rng.normal(0.12, 0.015), 0.07, 0.17)),
+        clear_dip_width_hz=float(np.clip(rng.normal(650.0, 40.0), 520.0, 780.0)),
+    )
+    trajectory = RecoveryTrajectory.sample(rng, total_days=total_days)
+    return Participant(
+        participant_id=participant_id,
+        age_years=age,
+        sex=sex,
+        geometry=geometry,
+        drum_model=drum_model,
+        trajectory=trajectory,
+    )

@@ -1,0 +1,90 @@
+"""WAV export/import for simulated recordings.
+
+Lets users listen to the virtual clinic's captures, feed them to
+external tools, or run the pipeline on recordings produced elsewhere.
+The RIFF/WAVE container is written from scratch (16-bit PCM, mono) —
+the standard-library ``wave`` module serves as the oracle in tests.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["write_wav", "read_wav"]
+
+
+def write_wav(path: str | Path, waveform: np.ndarray, sample_rate: float) -> Path:
+    """Write a mono 16-bit PCM WAV file.
+
+    The waveform is peak-normalised only if it exceeds full scale;
+    otherwise sample values map 1.0 -> 32767 directly so round trips
+    preserve relative levels.
+    """
+    path = Path(path)
+    if path.suffix.lower() != ".wav":
+        path = path.with_suffix(".wav")
+    waveform = np.asarray(waveform, dtype=float)
+    if waveform.ndim != 1 or waveform.size == 0:
+        raise ConfigurationError("write_wav requires a non-empty 1-D waveform")
+    if sample_rate <= 0:
+        raise ConfigurationError(f"sample_rate must be positive, got {sample_rate}")
+    peak = float(np.max(np.abs(waveform)))
+    scaled = waveform / peak if peak > 1.0 else waveform
+    samples = np.clip(np.round(scaled * 32767.0), -32768, 32767).astype("<i2")
+
+    rate = int(round(sample_rate))
+    data = samples.tobytes()
+    bytes_per_sample = 2
+    block_align = bytes_per_sample  # mono
+    byte_rate = rate * block_align
+    header = b"".join(
+        [
+            b"RIFF",
+            struct.pack("<I", 36 + len(data)),
+            b"WAVE",
+            b"fmt ",
+            struct.pack("<IHHIIHH", 16, 1, 1, rate, byte_rate, block_align, 16),
+            b"data",
+            struct.pack("<I", len(data)),
+        ]
+    )
+    path.write_bytes(header + data)
+    return path
+
+
+def read_wav(path: str | Path) -> tuple[np.ndarray, float]:
+    """Read a mono 16-bit PCM WAV file written by :func:`write_wav`.
+
+    Returns ``(waveform, sample_rate)`` with samples in [-1, 1].
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    if len(raw) < 44 or raw[:4] != b"RIFF" or raw[8:12] != b"WAVE":
+        raise ConfigurationError(f"{path} is not a RIFF/WAVE file")
+    offset = 12
+    fmt = None
+    data = None
+    while offset + 8 <= len(raw):
+        chunk_id = raw[offset : offset + 4]
+        (chunk_size,) = struct.unpack("<I", raw[offset + 4 : offset + 8])
+        body = raw[offset + 8 : offset + 8 + chunk_size]
+        if chunk_id == b"fmt ":
+            fmt = struct.unpack("<HHIIHH", body[:16])
+        elif chunk_id == b"data":
+            data = body
+        offset += 8 + chunk_size + (chunk_size % 2)
+    if fmt is None or data is None:
+        raise ConfigurationError(f"{path} is missing fmt/data chunks")
+    audio_format, channels, rate, _, _, bits = fmt
+    if audio_format != 1 or channels != 1 or bits != 16:
+        raise ConfigurationError(
+            f"unsupported WAV layout (format={audio_format}, channels={channels}, bits={bits}); "
+            "only mono 16-bit PCM is supported"
+        )
+    samples = np.frombuffer(data, dtype="<i2").astype(float) / 32767.0
+    return samples, float(rate)

@@ -1,0 +1,71 @@
+"""Tests for the from-scratch logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.logistic import LogisticRegression
+from repro.errors import ConfigurationError, ModelError, NotFittedError
+
+
+def _separable(rng, n=60):
+    x0 = rng.normal(-2.0, 0.5, size=(n, 2))
+    x1 = rng.normal(2.0, 0.5, size=(n, 2))
+    features = np.vstack([x0, x1])
+    labels = np.concatenate([np.zeros(n), np.ones(n)])
+    return features, labels
+
+
+class TestFitPredict:
+    def test_separable_data_high_accuracy(self, rng):
+        features, labels = _separable(rng)
+        model = LogisticRegression().fit(features, labels)
+        assert np.mean(model.predict(features) == labels) > 0.97
+
+    def test_probabilities_bounded_and_monotone(self, rng):
+        features, labels = _separable(rng)
+        model = LogisticRegression().fit(features, labels)
+        grid = np.column_stack([np.linspace(-4, 4, 50), np.zeros(50)])
+        probs = model.predict_proba(grid)
+        assert np.all(probs >= 0.0) and np.all(probs <= 1.0)
+        assert np.all(np.diff(probs) >= -1e-9)  # monotone along the axis
+
+    def test_single_vector_predict(self, rng):
+        features, labels = _separable(rng)
+        model = LogisticRegression().fit(features, labels)
+        assert model.predict(np.array([3.0, 3.0]))[0] == 1
+        assert model.predict(np.array([-3.0, -3.0]))[0] == 0
+
+    def test_threshold_shifts_decisions(self, rng):
+        features, labels = _separable(rng)
+        model = LogisticRegression().fit(features, labels)
+        strict = model.predict(features, threshold=0.99).sum()
+        lax = model.predict(features, threshold=0.01).sum()
+        assert strict < lax
+
+    def test_l2_shrinks_weights(self, rng):
+        features, labels = _separable(rng)
+        loose = LogisticRegression(l2=1e-6).fit(features, labels)
+        tight = LogisticRegression(l2=1.0).fit(features, labels)
+        assert np.linalg.norm(tight.weights_) < np.linalg.norm(loose.weights_)
+
+
+class TestValidation:
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(rng.normal(size=(3, 2)))
+
+    def test_nonbinary_labels_rejected(self, rng):
+        with pytest.raises(ModelError):
+            LogisticRegression().fit(rng.normal(size=(4, 2)), np.array([0, 1, 2, 1]))
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ModelError):
+            LogisticRegression().fit(rng.normal(size=(4, 2)), np.zeros(3))
+
+    def test_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            LogisticRegression(learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            LogisticRegression(num_iterations=0)
+        with pytest.raises(ConfigurationError):
+            LogisticRegression(l2=-1.0)

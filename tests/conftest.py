@@ -1,0 +1,75 @@
+"""Shared fixtures for the EarSonar test suite.
+
+Heavy objects (a small simulated study and its extracted features) are
+session-scoped so integration tests across files share one simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EarSonarPipeline, extract_features
+from repro.simulation import (
+    SessionConfig,
+    StudyDesign,
+    build_cohort,
+    record_session,
+    sample_participant,
+    simulate_study,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def participant(rng):
+    """One virtual child with a deterministic draw."""
+    return sample_participant(rng, "P001")
+
+
+@pytest.fixture
+def short_session_config() -> SessionConfig:
+    """A fast 0.1 s session (20 chirps) for unit-level tests."""
+    return SessionConfig(duration_s=0.1)
+
+
+@pytest.fixture
+def recording(participant, short_session_config, rng):
+    """One short recording of the fixture participant on a purulent day."""
+    return record_session(participant, 0.5, short_session_config, rng)
+
+
+@pytest.fixture
+def clear_recording(participant, short_session_config, rng):
+    """One short recording of the same participant after recovery."""
+    return record_session(participant, 19.5, short_session_config, rng)
+
+
+@pytest.fixture(scope="session")
+def pipeline() -> EarSonarPipeline:
+    """Default pipeline, shared (stateless with respect to recordings)."""
+    return EarSonarPipeline()
+
+
+@pytest.fixture(scope="session")
+def small_study():
+    """A 6-participant, 8-day, one-session-per-day study (48 recordings)."""
+    study_rng = np.random.default_rng(777)
+    cohort = build_cohort(6, study_rng, total_days=8)
+    design = StudyDesign(
+        total_days=8,
+        sessions_per_day=1,
+        session_config=SessionConfig(duration_s=0.5),
+    )
+    return simulate_study(cohort, design, study_rng)
+
+
+@pytest.fixture(scope="session")
+def small_feature_table(small_study, pipeline):
+    """Features of the shared small study."""
+    return extract_features(small_study, pipeline)

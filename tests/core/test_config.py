@@ -1,0 +1,62 @@
+"""Tests for the bundled EarSonar configuration."""
+
+import pytest
+
+from repro.core.config import BandpassConfig, DetectorConfig, EarSonarConfig
+from repro.errors import ConfigurationError
+from repro.signal.chirp import ChirpDesign
+from repro.signal.parity import EchoSegmenterConfig
+
+
+class TestBandpassConfig:
+    def test_defaults_bracket_probe_band(self):
+        cfg = BandpassConfig()
+        assert cfg.low_hz < 16_000.0
+        assert cfg.high_hz > 20_000.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BandpassConfig(order=0)
+        with pytest.raises(ConfigurationError):
+            BandpassConfig(low_hz=21_000.0, high_hz=15_000.0)
+
+
+class TestDetectorConfig:
+    def test_paper_defaults(self):
+        cfg = DetectorConfig()
+        assert cfg.num_states == 4
+        assert cfg.selected_features == 25
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_states": 1},
+            {"clusters_per_state": 0},
+            {"selected_features": 0},
+            {"kmeans_restarts": 0},
+            {"outlier_loops": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(**kwargs)
+
+
+class TestEarSonarConfig:
+    def test_default_is_consistent(self):
+        EarSonarConfig()  # must not raise
+
+    def test_segmenter_rate_must_match_chirp(self):
+        with pytest.raises(ConfigurationError):
+            EarSonarConfig(
+                chirp=ChirpDesign(sample_rate=48_000.0),
+                segmenter=EchoSegmenterConfig(sample_rate=44_100.0),
+            )
+
+    def test_bandpass_must_contain_sweep(self):
+        with pytest.raises(ConfigurationError):
+            EarSonarConfig(bandpass=BandpassConfig(low_hz=17_000.0, high_hz=21_000.0))
+
+    def test_min_echoes_positive(self):
+        with pytest.raises(ConfigurationError):
+            EarSonarConfig(min_echoes=0)

@@ -1,0 +1,84 @@
+"""Tests for the k-means MEE detector on synthetic feature clouds."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import MeeDetector
+from repro.errors import ModelError, NotFittedError
+from repro.simulation.effusion import MeeState
+
+STATES = MeeState.ordered()
+
+
+def _synthetic_features(rng, n_per=40, dim=105, separation=6.0):
+    """Four well-separated Gaussian clouds in feature space."""
+    vectors, states = [], []
+    for idx, state in enumerate(STATES):
+        center = np.zeros(dim)
+        center[idx * 3 : idx * 3 + 3] = separation
+        vectors.append(rng.normal(0.0, 1.0, size=(n_per, dim)) + center)
+        states.extend([state] * n_per)
+    return np.vstack(vectors), states
+
+
+class TestFitPredict:
+    def test_recovers_synthetic_states(self, rng):
+        features, states = _synthetic_features(rng)
+        detector = MeeDetector(DetectorConfig(selected_features=25))
+        detector.fit(features, states)
+        predicted = detector.predict(features)
+        accuracy = np.mean([p is t for p, t in zip(predicted, states)])
+        assert accuracy > 0.95
+
+    def test_generalises_to_new_samples(self, rng):
+        features, states = _synthetic_features(rng)
+        detector = MeeDetector().fit(features, states)
+        new_features, new_states = _synthetic_features(np.random.default_rng(99))
+        predicted = detector.predict(new_features)
+        accuracy = np.mean([p is t for p, t in zip(predicted, new_states)])
+        assert accuracy > 0.9
+
+    def test_predict_single_vector(self, rng):
+        features, states = _synthetic_features(rng)
+        detector = MeeDetector().fit(features, states)
+        assert detector.predict(features[0])[0] in STATES
+
+    def test_is_fitted_flag(self, rng):
+        detector = MeeDetector()
+        assert not detector.is_fitted
+        features, states = _synthetic_features(rng)
+        detector.fit(features, states)
+        assert detector.is_fitted
+
+    def test_decision_distances_shape_and_argmin(self, rng):
+        features, states = _synthetic_features(rng)
+        detector = MeeDetector().fit(features, states)
+        distances = detector.decision_distances(features[:10])
+        assert distances.shape == (10, 4)
+        predicted = detector.predict_indices(features[:10])
+        np.testing.assert_array_equal(np.argmin(distances, axis=1), predicted)
+
+    def test_outlier_removal_can_be_disabled(self, rng):
+        features, states = _synthetic_features(rng)
+        detector = MeeDetector(DetectorConfig(outlier_removal=False))
+        detector.fit(features, states)
+        assert detector.is_fitted
+
+
+class TestValidation:
+    def test_unfitted_predict_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            MeeDetector().predict(rng.normal(size=(3, 105)))
+
+    def test_label_count_mismatch(self, rng):
+        with pytest.raises(ModelError):
+            MeeDetector().fit(rng.normal(size=(10, 105)), [MeeState.CLEAR] * 9)
+
+    def test_too_few_samples(self, rng):
+        with pytest.raises(ModelError):
+            MeeDetector().fit(rng.normal(size=(3, 105)), [MeeState.CLEAR] * 3)
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ModelError):
+            MeeDetector().fit(rng.normal(size=105), [MeeState.CLEAR])

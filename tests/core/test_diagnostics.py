@@ -1,0 +1,86 @@
+"""Tests for the recording-quality diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import QualityThresholds, diagnose
+from repro.simulation.motion import Movement
+from repro.simulation.session import Recording, SessionConfig, record_session
+
+
+class TestCleanRecording:
+    def test_quiet_sitting_recording_is_usable(self, participant, pipeline, rng):
+        rec = record_session(participant, 0.5, SessionConfig(duration_s=0.25), rng)
+        quality = diagnose(rec, pipeline)
+        assert quality.usable
+        assert quality.issues() == []
+
+    def test_scores_in_expected_ranges(self, participant, pipeline, rng):
+        rec = record_session(participant, 0.5, SessionConfig(duration_s=0.25), rng)
+        quality = diagnose(rec, pipeline)
+        assert quality.snr_db > 12.0
+        assert quality.echo_yield > 0.8
+        assert quality.spacing_deviation < 0.05
+        assert quality.curve_stability > 0.9
+
+
+class TestDegradedRecordings:
+    def test_silence_is_unusable(self, participant, pipeline, rng):
+        rec = record_session(participant, 0.5, SessionConfig(duration_s=0.25), rng)
+        silent = Recording(
+            waveform=np.zeros_like(rec.waveform),
+            sample_rate=rec.sample_rate,
+            participant_id=rec.participant_id,
+            day=rec.day,
+            state=rec.state,
+            config=rec.config,
+        )
+        quality = diagnose(silent, pipeline)
+        assert not quality.usable
+
+    def test_loud_room_lowers_snr(self, participant, pipeline):
+        quiet = record_session(
+            participant, 0.5, SessionConfig(duration_s=0.25, noise_spl_db=25.0),
+            np.random.default_rng(5),
+        )
+        loud = record_session(
+            participant, 0.5, SessionConfig(duration_s=0.25, noise_spl_db=75.0),
+            np.random.default_rng(5),
+        )
+        q_quiet = diagnose(quiet, pipeline)
+        q_loud = diagnose(loud, pipeline)
+        assert q_loud.snr_db < q_quiet.snr_db
+
+    def test_walking_degrades_some_score(self, participant, pipeline):
+        sit = record_session(
+            participant, 0.5, SessionConfig(duration_s=0.25),
+            np.random.default_rng(6),
+        )
+        walk = record_session(
+            participant, 0.5,
+            SessionConfig(duration_s=0.25, movement=Movement.WALKING),
+            np.random.default_rng(6),
+        )
+        q_sit = diagnose(sit, pipeline)
+        q_walk = diagnose(walk, pipeline)
+        # Walking is at least as bad on every score, strictly worse on SNR.
+        assert q_walk.snr_db <= q_sit.snr_db + 1.0
+
+    def test_issue_messages_name_the_problem(self, participant, pipeline, rng):
+        rec = record_session(participant, 0.5, SessionConfig(duration_s=0.25), rng)
+        strict = QualityThresholds(min_snr_db=1000.0)
+        quality = diagnose(rec, pipeline, strict)
+        assert not quality.usable
+        assert any("SNR" in issue for issue in quality.issues())
+
+
+class TestThresholds:
+    def test_custom_thresholds_respected(self, participant, pipeline, rng):
+        rec = record_session(participant, 0.5, SessionConfig(duration_s=0.25), rng)
+        lenient = QualityThresholds(
+            min_snr_db=0.0,
+            min_echo_yield=0.0,
+            max_spacing_deviation=1.0,
+            min_curve_stability=-1.0,
+        )
+        assert diagnose(rec, pipeline, lenient).usable

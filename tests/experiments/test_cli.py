@@ -1,0 +1,32 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import _EXPERIMENTS, main
+
+
+class TestCli:
+    def test_all_experiment_names_registered(self):
+        expected = {
+            "fig02", "fig07", "fig08", "fig09", "fig10", "fig11", "fig13",
+            "fig14", "fig15", "table1", "table2", "table3", "baseline",
+            "ablations", "labelnoise",
+        }
+        assert set(_EXPERIMENTS) == expected
+
+    def test_invalid_name_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["fig07"]) == 0
+        out = capsys.readouterr().out
+        assert "Figs. 7-8" in out
+        assert "events detected" in out
+
+    def test_scale_flag_sets_environment(self, monkeypatch, capsys):
+        monkeypatch.delenv("EARSONAR_SCALE", raising=False)
+        import os
+
+        assert main(["fig07", "--scale", "small"]) == 0
+        assert os.environ.get("EARSONAR_SCALE") == "small"

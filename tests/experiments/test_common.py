@@ -1,0 +1,88 @@
+"""Tests for the experiment infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    ExperimentScale,
+    build_study,
+    format_table,
+    percent,
+    scale_from_env,
+    sparkline,
+)
+
+
+class TestScale:
+    def test_defaults(self):
+        scale = ExperimentScale()
+        assert scale.num_participants == 16
+        assert scale.num_recordings == 160
+
+    def test_paper_preset_matches_protocol(self, monkeypatch):
+        monkeypatch.setenv("EARSONAR_SCALE", "paper")
+        scale = scale_from_env()
+        assert scale.num_participants == 112
+        assert scale.total_days == 20
+        assert scale.sessions_per_day == 2
+        assert scale.num_recordings == 4480  # the paper's 112 x 20 x 2
+
+    def test_integer_env(self, monkeypatch):
+        monkeypatch.setenv("EARSONAR_SCALE", "24")
+        assert scale_from_env().num_participants == 24
+
+    def test_invalid_env(self, monkeypatch):
+        monkeypatch.setenv("EARSONAR_SCALE", "huge")
+        with pytest.raises(ConfigurationError):
+            scale_from_env()
+
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("EARSONAR_SCALE", raising=False)
+        assert scale_from_env().num_participants == 16
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentScale(num_participants=1)
+        with pytest.raises(ConfigurationError):
+            ExperimentScale(total_days=5)
+
+    def test_build_study_size(self):
+        scale = ExperimentScale(
+            num_participants=2, total_days=8, sessions_per_day=1, duration_s=0.05
+        )
+        assert len(build_study(scale)) == 16
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bbbb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_format_table_title(self):
+        out = format_table(["x"], [["1"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_format_table_row_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["1"]])
+
+    def test_sparkline_length_and_monotone(self):
+        line = sparkline(np.linspace(0, 1, 8))
+        assert len(line) == 8
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_sparkline_downsamples(self):
+        assert len(sparkline(np.arange(500.0), width=40)) == 40
+
+    def test_sparkline_constant(self):
+        assert set(sparkline(np.ones(5))) == {"▁"}
+
+    def test_sparkline_empty(self):
+        assert sparkline(np.array([])) == ""
+
+    def test_percent(self):
+        assert percent(0.928) == "92.8%"

@@ -1,0 +1,63 @@
+"""Tests for the condition-sweep machinery."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.conditions import ConditionResult, state_days
+from repro.simulation.effusion import MeeState
+
+
+def _result(true, pred, rejected=None):
+    return ConditionResult(
+        name="test",
+        true_indices=np.array(true, dtype=int),
+        predicted_indices=np.array(pred, dtype=int),
+        num_rejected_per_state=rejected or {},
+    )
+
+
+class TestConditionResult:
+    def test_accuracy_basic(self):
+        r = _result([0, 1, 2, 3], [0, 1, 2, 0])
+        assert r.accuracy == pytest.approx(0.75)
+
+    def test_rejections_count_as_wrong(self):
+        r = _result([0, 1], [0, 1], rejected={MeeState.PURULENT: 2})
+        assert r.num_tested == 4
+        assert r.accuracy == pytest.approx(0.5)
+
+    def test_far_ignores_rejections(self):
+        # A rejected purulent recording must not count as acceptance
+        # of any state.
+        r = _result([0, 0, 1], [0, 1, 1], rejected={MeeState.PURULENT: 5})
+        # FAR of serous (idx 1): one clear sample accepted as serous
+        # out of two non-serous samples.
+        assert r.far(MeeState.SEROUS) == pytest.approx(0.5)
+
+    def test_frr_includes_rejections(self):
+        # 2 purulent samples classified fine, 2 rejected -> FRR 0.5.
+        r = _result([3, 3], [3, 3], rejected={MeeState.PURULENT: 2})
+        assert r.frr(MeeState.PURULENT) == pytest.approx(0.5)
+
+    def test_frr_of_absent_state_is_zero(self):
+        r = _result([0], [0])
+        assert r.frr(MeeState.MUCOID) == 0.0
+
+    def test_perfect_condition(self):
+        r = _result([0, 1, 2, 3], [0, 1, 2, 3])
+        assert r.accuracy == 1.0
+        for state in MeeState.ordered():
+            assert r.far(state) == 0.0
+            assert r.frr(state) == 0.0
+
+
+class TestStateDays:
+    def test_days_cover_all_states(self, participant):
+        days = state_days(participant, total_days=20)
+        assert set(days) == set(MeeState.ordered())
+        for state, day in days.items():
+            assert participant.state_on(day) is state
+
+    def test_days_within_study(self, participant):
+        days = state_days(participant, total_days=20)
+        assert all(0.0 <= d < 20.0 for d in days.values())

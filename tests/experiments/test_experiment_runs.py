@@ -1,0 +1,100 @@
+"""Smoke tests: every experiment runs at tiny scale and renders.
+
+These guard the experiment plumbing (configs, result containers,
+render methods) — the scientific assertions live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig02_feasibility,
+    fig07_08_signals,
+    fig13_overall,
+    table2_3_system,
+)
+from repro.experiments.common import ExperimentScale
+from repro.simulation.effusion import MeeState
+
+TINY = ExperimentScale(
+    num_participants=4, total_days=8, sessions_per_day=1, duration_s=0.5
+)
+
+
+class TestFig02:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig02_feasibility.run(fig02_feasibility.Fig02Config(duration_s=0.5))
+
+    def test_curves_shape(self, result):
+        assert result.fluid_curve.shape == result.clear_curve.shape == (64,)
+
+    def test_render_mentions_both_conditions(self, result):
+        text = result.render()
+        assert "with fluid" in text
+        assert "without fluid" in text
+
+    def test_dip_statistics_sane(self, result):
+        assert 0.0 <= result.dip_depth(result.fluid_curve) < 1.0
+        assert 16_000.0 <= result.dip_frequency(result.fluid_curve) <= 20_000.0
+
+
+class TestFig0708:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig07_08_signals.run(
+            fig07_08_signals.SignalFigureConfig(duration_s=0.1)
+        )
+
+    def test_events_found(self, result):
+        assert len(result.events) == result.expected_chirps
+
+    def test_render(self, result):
+        assert "Figs. 7-8" in result.render()
+
+    def test_yield(self, result):
+        assert result.echo_yield > 0.5
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self, small_feature_table):
+        from repro.core.config import DetectorConfig
+
+        return fig13_overall.run_on_table(
+            small_feature_table, DetectorConfig(clusters_per_state=2)
+        )
+
+    def test_report_attached(self, result):
+        assert result.report.confusion.shape == (4, 4)
+        assert result.num_failed == 0
+
+    def test_render_includes_paper_numbers(self, result):
+        text = result.render()
+        assert "92.8%" in text
+        assert "confusion" in text
+
+
+class TestSystemTables:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2_3_system.run(
+            table2_3_system.SystemConfig(
+                duration_s=0.5,
+                repeats=2,
+                training_scale=TINY,
+            )
+        )
+
+    def test_latencies_positive(self, result):
+        assert result.latencies.bandpass_ms > 0.0
+        assert result.latencies.feature_extract_ms > 0.0
+        assert result.latencies.inference_ms > 0.0
+
+    def test_power_for_all_phones(self, result):
+        assert set(result.power_mw) == {"Huawei", "Galaxy", "MI 10"}
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Table II" in text
+        assert "Table III" in text

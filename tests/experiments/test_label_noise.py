@@ -1,0 +1,35 @@
+"""Tests for the label-noise experiment containers."""
+
+import pytest
+
+from repro.experiments.label_noise import LabelNoiseConfig, LabelNoiseResult
+
+
+class TestResultContainer:
+    def test_graceful_flag_true(self):
+        result = LabelNoiseResult(
+            accuracies={0.0: 0.95, 1.0: 0.93, 2.0: 0.90, 4.0: 0.60},
+            training_label_error={0.0: 0.0, 1.0: 0.1, 2.0: 0.2, 4.0: 0.4},
+        )
+        assert result.degrades_gracefully
+
+    def test_graceful_flag_false(self):
+        result = LabelNoiseResult(
+            accuracies={0.0: 0.95, 1.0: 0.80, 2.0: 0.70},
+            training_label_error={0.0: 0.0, 1.0: 0.1, 2.0: 0.2},
+        )
+        assert not result.degrades_gracefully
+
+    def test_render_lists_all_levels(self):
+        result = LabelNoiseResult(
+            accuracies={0.0: 0.95, 2.0: 0.9},
+            training_label_error={0.0: 0.0, 2.0: 0.2},
+        )
+        text = result.render()
+        assert "0x" in text and "2x" in text
+        assert "95.0%" in text
+
+    def test_config_defaults(self):
+        config = LabelNoiseConfig()
+        assert 0.0 in config.noise_multipliers
+        assert max(config.noise_multipliers) >= 2.0

@@ -1,0 +1,110 @@
+"""Tests for experiment result containers (trend checks, rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.conditions import ConditionResult
+from repro.experiments.fig14_noise_motion import Fig14Result
+from repro.experiments.table1_angle import Table1Result
+from repro.experiments.ablations import AblationResult
+from repro.experiments.fig15_devices_training import (
+    DeviceResult,
+    Fig15Result,
+    TrainingSizeResult,
+)
+from repro.simulation.effusion import MeeState
+
+
+def _condition(name, accuracy, n=40):
+    """Condition with the requested accuracy over n balanced samples."""
+    per_class = n // 4
+    true = np.repeat(np.arange(4), per_class)
+    pred = true.copy()
+    wrong = int(round((1.0 - accuracy) * n))
+    for i in range(wrong):
+        pred[i] = (true[i] + 1) % 4
+    return ConditionResult(name=name, true_indices=true, predicted_indices=pred)
+
+
+class TestTable1Result:
+    def test_trend_detects_decline(self):
+        conditions = [
+            _condition("0 deg", a) for a in (0.95, 0.93, 0.94, 0.9, 0.88)
+        ]
+        for c, name in zip(conditions, ("0 deg", "10 deg", "20 deg", "30 deg", "40 deg")):
+            c.name = name
+        result = Table1Result(conditions=conditions)
+        assert result.declines_with_angle
+
+    def test_trend_rejects_flat_or_rising(self):
+        conditions = [_condition(f"{a} deg", acc) for a, acc in
+                      zip((0, 10, 20, 30, 40), (0.88, 0.9, 0.9, 0.93, 0.95))]
+        result = Table1Result(conditions=conditions)
+        assert not result.declines_with_angle
+
+    def test_render_contains_paper_reference(self):
+        conditions = [_condition(f"{a} deg", 0.9) for a in (0, 10, 20, 30, 40)]
+        text = Table1Result(conditions=conditions).render()
+        assert "92.8%" in text  # paper's 0-degree accuracy
+        assert "Table I" in text
+
+    def test_accuracies_mapping(self):
+        conditions = [_condition("0 deg", 0.9)]
+        assert Table1Result(conditions=conditions).accuracies["0 deg"] == pytest.approx(
+            0.9
+        )
+
+
+class TestFig14Result:
+    def test_mean_rates(self):
+        result = Fig14Result(
+            noise_conditions=[_condition("45 dB", 1.0), _condition("60 dB", 0.8)],
+            movement_conditions=[_condition("sit", 1.0), _condition("walking", 0.8),
+                                 _condition("nodding", 0.85)],
+        )
+        assert result.mean_frr(result.noise_conditions[0]) == 0.0
+        assert result.mean_frr(result.noise_conditions[1]) > 0.0
+        assert result.frr_grows_with_noise
+        assert result.movement_hurts
+
+    def test_render_structure(self):
+        result = Fig14Result(
+            noise_conditions=[_condition("45 dB", 0.95)],
+            movement_conditions=[
+                _condition("sit", 0.95),
+                _condition("walking", 0.9),
+                _condition("nodding", 0.9),
+            ],
+        )
+        text = result.render()
+        assert "Fig. 14a-b" in text
+        assert "Fig. 14c-d" in text
+
+
+class TestFig15Result:
+    def test_usable_flag(self):
+        good = Fig15Result(
+            devices=[DeviceResult("X", 0.9, 0.9)],
+            training=[TrainingSizeResult(0.25, 0.8), TrainingSizeResult(1.0, 0.9)],
+        )
+        assert good.all_devices_usable
+        assert good.accuracy_grows_with_data
+        bad = Fig15Result(
+            devices=[DeviceResult("X", 0.5, 0.9)],
+            training=[TrainingSizeResult(0.25, 0.9), TrainingSizeResult(1.0, 0.7)],
+        )
+        assert not bad.all_devices_usable
+        assert not bad.accuracy_grows_with_data
+
+
+class TestAblationResult:
+    def test_delta(self):
+        result = AblationResult(
+            accuracies={"full system": 0.9, "variant": 0.8}
+        )
+        assert result.baseline == pytest.approx(0.9)
+        assert result.delta("variant") == pytest.approx(-0.1)
+
+    def test_render_shows_delta(self):
+        result = AblationResult(accuracies={"full system": 0.9, "variant": 0.85})
+        assert "-5.0pp" in result.render()

@@ -1,0 +1,82 @@
+"""Tests for Laplacian-score feature selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.features.laplacian import LaplacianScoreSelector, laplacian_scores
+
+
+def _clustered_data(rng, n_per=30):
+    """Two clusters separated along feature 0; feature 1 is noise."""
+    a = rng.normal(0.0, 0.3, size=(n_per, 1))
+    b = rng.normal(5.0, 0.3, size=(n_per, 1))
+    informative = np.vstack([a, b])
+    noise = rng.normal(0.0, 1.0, size=(2 * n_per, 1))
+    return np.hstack([informative, noise])
+
+
+class TestScores:
+    def test_informative_feature_scores_lower(self, rng):
+        data = _clustered_data(rng)
+        scores = laplacian_scores(data, num_neighbors=5)
+        assert scores[0] < scores[1]
+
+    def test_constant_feature_scores_infinite(self, rng):
+        data = np.hstack([rng.normal(size=(20, 1)), np.ones((20, 1))])
+        scores = laplacian_scores(data)
+        assert np.isinf(scores[1])
+        assert np.isfinite(scores[0])
+
+    def test_scores_nonnegative(self, rng):
+        data = rng.normal(size=(30, 8))
+        scores = laplacian_scores(data)
+        finite = scores[np.isfinite(scores)]
+        assert np.all(finite >= -1e-9)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            laplacian_scores(rng.normal(size=(2, 3)))
+        with pytest.raises(ConfigurationError):
+            laplacian_scores(rng.normal(size=10))
+        with pytest.raises(ConfigurationError):
+            laplacian_scores(rng.normal(size=(10, 3)), num_neighbors=0)
+
+
+class TestSelector:
+    def test_selects_informative_features(self, rng):
+        informative = _clustered_data(rng)  # features 0 (good), 1 (noise)
+        more_noise = rng.normal(size=(informative.shape[0], 3))
+        data = np.hstack([informative, more_noise])
+        selector = LaplacianScoreSelector(num_features=1).fit(data)
+        assert selector.selected_indices_.tolist() == [0]
+
+    def test_transform_shape(self, rng):
+        data = rng.normal(size=(40, 10))
+        selector = LaplacianScoreSelector(num_features=4)
+        reduced = selector.fit_transform(data)
+        assert reduced.shape == (40, 4)
+
+    def test_transform_consistency(self, rng):
+        data = rng.normal(size=(40, 10))
+        selector = LaplacianScoreSelector(num_features=4).fit(data)
+        np.testing.assert_allclose(
+            selector.transform(data), data[:, selector.selected_indices_]
+        )
+
+    def test_indices_sorted(self, rng):
+        selector = LaplacianScoreSelector(num_features=5).fit(rng.normal(size=(30, 12)))
+        idx = selector.selected_indices_
+        assert np.all(np.diff(idx) > 0)
+
+    def test_unfitted_transform_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            LaplacianScoreSelector().transform(rng.normal(size=(5, 30)))
+
+    def test_too_many_features_requested(self, rng):
+        with pytest.raises(ConfigurationError):
+            LaplacianScoreSelector(num_features=20).fit(rng.normal(size=(10, 5)))
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            LaplacianScoreSelector(num_features=0)

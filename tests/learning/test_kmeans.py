@@ -1,0 +1,117 @@
+"""Tests for the from-scratch k-means implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, ModelError, NotFittedError
+from repro.learning.kmeans import KMeans, euclidean_distances, kmeans_plus_plus_init
+
+
+def _blobs(rng, centers, n_per=40, spread=0.2):
+    points = []
+    for c in centers:
+        points.append(rng.normal(0.0, spread, size=(n_per, len(c))) + np.asarray(c))
+    return np.vstack(points)
+
+
+class TestDistances:
+    def test_matches_direct_computation(self, rng):
+        points = rng.normal(size=(10, 4))
+        centers = rng.normal(size=(3, 4))
+        d = euclidean_distances(points, centers)
+        for i in range(10):
+            for j in range(3):
+                assert d[i, j] == pytest.approx(
+                    np.linalg.norm(points[i] - centers[j]), abs=1e-9
+                )
+
+    def test_zero_distance_to_self(self, rng):
+        p = rng.normal(size=(5, 3))
+        d = euclidean_distances(p, p)
+        np.testing.assert_allclose(np.diag(d), np.zeros(5), atol=1e-9)
+
+
+class TestInit:
+    def test_plus_plus_spreads_centers(self, rng):
+        data = _blobs(rng, [(0, 0), (10, 0), (0, 10), (10, 10)])
+        centers = kmeans_plus_plus_init(data, 4, rng)
+        # All four blobs should be represented (pairwise distance > blob spread).
+        d = euclidean_distances(centers, centers)
+        np.fill_diagonal(d, np.inf)
+        assert d.min() > 3.0
+
+    def test_degenerate_identical_points(self, rng):
+        data = np.ones((10, 2))
+        centers = kmeans_plus_plus_init(data, 3, rng)
+        np.testing.assert_allclose(centers, np.ones((3, 2)))
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        centers = [(0, 0), (10, 0), (0, 10), (10, 10)]
+        data = _blobs(rng, centers)
+        model = KMeans(num_clusters=4, seed=1).fit(data)
+        found = model.cluster_centers_
+        for c in centers:
+            distances = np.linalg.norm(found - np.asarray(c), axis=1)
+            assert distances.min() < 0.5
+
+    def test_labels_match_predict(self, rng):
+        data = _blobs(rng, [(0, 0), (8, 8)])
+        model = KMeans(num_clusters=2, seed=0).fit(data)
+        np.testing.assert_array_equal(model.labels_, model.predict(data))
+
+    def test_inertia_is_objective(self, rng):
+        data = _blobs(rng, [(0, 0), (8, 8)])
+        model = KMeans(num_clusters=2, seed=0).fit(data)
+        d = euclidean_distances(data, model.cluster_centers_)
+        expected = float(np.sum(np.min(d, axis=1) ** 2))
+        assert model.inertia_ == pytest.approx(expected)
+
+    def test_more_clusters_lower_inertia(self, rng):
+        data = rng.normal(size=(100, 3))
+        i2 = KMeans(num_clusters=2, seed=0).fit(data).inertia_
+        i8 = KMeans(num_clusters=8, seed=0).fit(data).inertia_
+        assert i8 < i2
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_labels_in_range(self, k):
+        rng = np.random.default_rng(k)
+        data = rng.normal(size=(50, 4))
+        labels = KMeans(num_clusters=k, seed=0).fit_predict(data)
+        assert labels.min() >= 0
+        assert labels.max() < k
+
+    def test_single_vector_predict(self, rng):
+        data = _blobs(rng, [(0, 0), (8, 8)])
+        model = KMeans(num_clusters=2, seed=0).fit(data)
+        assert model.predict(np.array([7.9, 8.1])).shape == (1,)
+
+    def test_transform_shape(self, rng):
+        data = rng.normal(size=(30, 5))
+        model = KMeans(num_clusters=3, seed=0).fit(data)
+        assert model.transform(data).shape == (30, 3)
+
+    def test_deterministic_for_seed(self, rng):
+        data = rng.normal(size=(60, 4))
+        a = KMeans(num_clusters=3, seed=42).fit(data)
+        b = KMeans(num_clusters=3, seed=42).fit(data)
+        np.testing.assert_allclose(a.cluster_centers_, b.cluster_centers_)
+
+    def test_no_empty_clusters_on_duplicated_data(self):
+        # More clusters than distinct points exercises empty-cluster repair.
+        data = np.repeat(np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.0]]), 5, axis=0)
+        model = KMeans(num_clusters=3, seed=0).fit(data)
+        assert len(set(model.labels_.tolist())) == 3
+
+    def test_errors(self, rng):
+        with pytest.raises(ConfigurationError):
+            KMeans(num_clusters=0)
+        with pytest.raises(ModelError):
+            KMeans(num_clusters=5).fit(rng.normal(size=(3, 2)))
+        with pytest.raises(ModelError):
+            KMeans().fit(rng.normal(size=10))
+        with pytest.raises(NotFittedError):
+            KMeans().predict(rng.normal(size=(3, 2)))

@@ -1,0 +1,108 @@
+"""Tests for the Hungarian algorithm and cluster-label mapping."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.errors import ModelError
+from repro.learning.mapping import contingency_matrix, hungarian, map_clusters_to_labels
+
+
+class TestHungarian:
+    @given(st.integers(min_value=1, max_value=7), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_square_matches_scipy(self, n, seed):
+        rng = np.random.default_rng(seed)
+        cost = rng.uniform(0.0, 10.0, size=(n, n))
+        rows, cols = hungarian(cost)
+        ref_rows, ref_cols = linear_sum_assignment(cost)
+        assert cost[rows, cols].sum() == pytest.approx(
+            cost[ref_rows, ref_cols].sum(), abs=1e-9
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rectangular_matches_scipy(self, n_rows, n_cols, seed):
+        rng = np.random.default_rng(seed)
+        cost = rng.uniform(0.0, 10.0, size=(n_rows, n_cols))
+        rows, cols = hungarian(cost)
+        ref_rows, ref_cols = linear_sum_assignment(cost)
+        assert cost[rows, cols].sum() == pytest.approx(
+            cost[ref_rows, ref_cols].sum(), abs=1e-9
+        )
+        assert len(rows) == min(n_rows, n_cols)
+
+    def test_matches_brute_force(self, rng):
+        cost = rng.uniform(size=(4, 4))
+        rows, cols = hungarian(cost)
+        best = min(
+            sum(cost[i, p[i]] for i in range(4))
+            for p in itertools.permutations(range(4))
+        )
+        assert cost[rows, cols].sum() == pytest.approx(best, abs=1e-12)
+
+    def test_identity_on_diagonal_costs(self):
+        cost = np.array([[0.0, 1.0, 1.0], [1.0, 0.0, 1.0], [1.0, 1.0, 0.0]])
+        rows, cols = hungarian(cost)
+        np.testing.assert_array_equal(cols[np.argsort(rows)], [0, 1, 2])
+
+    def test_requires_2d(self):
+        with pytest.raises(ModelError):
+            hungarian(np.ones(4))
+
+
+class TestContingency:
+    def test_counts(self):
+        clusters = np.array([0, 0, 1, 1, 1])
+        labels = np.array([1, 1, 0, 0, 1])
+        matrix = contingency_matrix(clusters, labels, 2, 2)
+        np.testing.assert_array_equal(matrix, [[0, 2], [2, 1]])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ModelError):
+            contingency_matrix(np.array([3]), np.array([0]), 2, 2)
+        with pytest.raises(ModelError):
+            contingency_matrix(np.array([0]), np.array([5]), 2, 2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            contingency_matrix(np.array([0, 1]), np.array([0]), 2, 2)
+
+
+class TestClusterLabelMapping:
+    def test_perfect_bijection(self):
+        clusters = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        labels = np.array([2, 2, 0, 0, 3, 3, 1, 1])
+        mapping = map_clusters_to_labels(clusters, labels, 4, 4)
+        assert mapping == {0: 2, 1: 0, 2: 3, 3: 1}
+
+    def test_bijection_even_with_skewed_majorities(self):
+        # Cluster 0 is mostly label 1, but label 0 must go somewhere:
+        # the assignment maximises total agreement.
+        clusters = np.array([0, 0, 0, 1, 1, 1])
+        labels = np.array([1, 1, 0, 1, 0, 0])
+        mapping = map_clusters_to_labels(clusters, labels, 2, 2)
+        assert set(mapping.values()) == {0, 1}
+        assert mapping[0] == 1
+        assert mapping[1] == 0
+
+    def test_surplus_clusters_use_majority(self):
+        # 6 clusters onto 2 labels: each cluster maps to its majority.
+        clusters = np.array([0, 1, 2, 3, 4, 5, 5])
+        labels = np.array([0, 0, 0, 1, 1, 1, 1])
+        mapping = map_clusters_to_labels(clusters, labels, 6, 2)
+        assert mapping[0] == 0 and mapping[1] == 0 and mapping[2] == 0
+        assert mapping[3] == 1 and mapping[4] == 1 and mapping[5] == 1
+
+    def test_empty_cluster_gets_default(self):
+        clusters = np.array([0, 0, 1])
+        labels = np.array([0, 0, 1])
+        mapping = map_clusters_to_labels(clusters, labels, 3, 2)
+        assert 2 in mapping  # the empty cluster still has a mapping

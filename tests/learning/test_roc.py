@@ -1,0 +1,86 @@
+"""Tests for ROC analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.learning.roc import auc, equal_error_rate, roc_curve
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        curve = roc_curve(labels, scores)
+        assert curve.auc == pytest.approx(1.0)
+
+    def test_random_scores_half_auc(self, rng):
+        labels = rng.integers(0, 2, 2000)
+        if labels.sum() in (0, 2000):
+            labels[0] = 1 - labels[0]
+        scores = rng.uniform(size=2000)
+        assert auc(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_inverted_scores_give_complement(self, rng):
+        labels = np.array([0, 1] * 50)
+        scores = rng.uniform(size=100) + 0.5 * labels
+        assert auc(labels, scores) == pytest.approx(1.0 - auc(labels, -scores), abs=1e-9)
+
+    def test_auc_is_pairwise_ranking_probability(self, rng):
+        labels = np.array([0] * 30 + [1] * 20)
+        scores = rng.normal(size=50) + labels * 1.0
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        wins = sum((p > n) + 0.5 * (p == n) for p in pos for n in neg)
+        expected = wins / (len(pos) * len(neg))
+        assert auc(labels, scores) == pytest.approx(expected, abs=1e-9)
+
+    def test_curve_endpoints(self, rng):
+        labels = np.array([0, 1] * 10)
+        scores = rng.uniform(size=20)
+        curve = roc_curve(labels, scores)
+        assert curve.false_positive_rate[0] == 0.0
+        assert curve.true_positive_rate[0] == 0.0
+        assert curve.false_positive_rate[-1] == 1.0
+        assert curve.true_positive_rate[-1] == 1.0
+
+    def test_curve_monotone(self, rng):
+        labels = rng.integers(0, 2, 100)
+        labels[:2] = [0, 1]
+        scores = rng.normal(size=100)
+        curve = roc_curve(labels, scores)
+        assert np.all(np.diff(curve.false_positive_rate) >= 0)
+        assert np.all(np.diff(curve.true_positive_rate) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            roc_curve(np.array([0, 0]), np.array([0.1, 0.2]))  # one class
+        with pytest.raises(ModelError):
+            roc_curve(np.array([0, 2]), np.array([0.1, 0.2]))  # non-binary
+        with pytest.raises(ModelError):
+            roc_curve(np.array([]), np.array([]))
+
+
+class TestEer:
+    def test_perfect_separation_zero_eer(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        eer, _ = equal_error_rate(labels, scores)
+        assert eer == pytest.approx(0.0, abs=1e-9)
+
+    def test_random_scores_half_eer(self, rng):
+        labels = rng.integers(0, 2, 4000)
+        labels[:2] = [0, 1]
+        scores = rng.uniform(size=4000)
+        eer, _ = equal_error_rate(labels, scores)
+        assert eer == pytest.approx(0.5, abs=0.06)
+
+    def test_threshold_is_usable(self, rng):
+        labels = np.array([0] * 100 + [1] * 100)
+        scores = np.concatenate([rng.normal(0, 1, 100), rng.normal(2, 1, 100)])
+        eer, threshold = equal_error_rate(labels, scores)
+        predictions = (scores >= threshold).astype(int)
+        fpr = np.mean(predictions[labels == 0])
+        fnr = np.mean(1 - predictions[labels == 1])
+        assert abs(fpr - fnr) < 0.12
+        assert eer < 0.3

@@ -1,0 +1,124 @@
+"""Tests for the from-scratch MFCC implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.fft import dct as scipy_dct
+
+from repro.errors import ConfigurationError
+from repro.signal.mfcc import (
+    MfccConfig,
+    dct_ii,
+    hz_to_mel,
+    mel_filterbank,
+    mel_to_hz,
+    mfcc,
+)
+
+
+class TestMelScale:
+    def test_known_values(self):
+        assert hz_to_mel(0.0) == pytest.approx(0.0)
+        assert hz_to_mel(1000.0) == pytest.approx(999.99, rel=1e-3)
+
+    @given(st.floats(min_value=0.0, max_value=24_000.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, hz):
+        assert mel_to_hz(hz_to_mel(hz)) == pytest.approx(hz, rel=1e-9, abs=1e-6)
+
+    def test_monotone(self):
+        f = np.linspace(10.0, 23_000.0, 100)
+        assert np.all(np.diff(hz_to_mel(f)) > 0)
+
+
+class TestFilterbank:
+    def test_shape(self):
+        bank = mel_filterbank(20, 256, 48_000.0, 15_000.0, 21_000.0)
+        assert bank.shape == (20, 129)
+
+    def test_band_coverage(self):
+        bank = mel_filterbank(20, 1024, 48_000.0, 15_000.0, 21_000.0)
+        freqs = np.fft.rfftfreq(1024, d=1.0 / 48_000.0)
+        inside = (freqs > 15_500.0) & (freqs < 20_500.0)
+        assert np.all(bank[:, ~((freqs >= 15_000.0) & (freqs <= 21_000.0))] == 0.0)
+        # Every interior frequency is covered by at least one filter.
+        assert np.all(bank[:, inside].sum(axis=0) > 0.0)
+
+    def test_unit_peaks(self):
+        bank = mel_filterbank(10, 2048, 48_000.0, 15_000.0, 21_000.0)
+        peaks = bank.max(axis=1)
+        assert np.all(peaks > 0.8)  # fine grid reaches near the apex
+
+    def test_invalid_band(self):
+        with pytest.raises(ConfigurationError):
+            mel_filterbank(10, 256, 48_000.0, 21_000.0, 15_000.0)
+        with pytest.raises(ConfigurationError):
+            mel_filterbank(0, 256, 48_000.0, 15_000.0, 21_000.0)
+        with pytest.raises(ConfigurationError):
+            mel_filterbank(10, 256, 48_000.0, 15_000.0, 25_000.0)
+
+
+class TestDct:
+    def test_matches_scipy_ortho(self, rng):
+        x = rng.standard_normal((5, 16))
+        mine = dct_ii(x, 16)
+        ref = scipy_dct(x, type=2, norm="ortho", axis=-1)
+        np.testing.assert_allclose(mine, ref, atol=1e-10)
+
+    def test_truncation(self, rng):
+        x = rng.standard_normal(16)
+        np.testing.assert_allclose(dct_ii(x, 5), dct_ii(x, 16)[:5], atol=1e-12)
+
+    def test_orthonormal_energy(self, rng):
+        x = rng.standard_normal(32)
+        full = dct_ii(x, 32)
+        assert np.sum(full**2) == pytest.approx(np.sum(x**2), rel=1e-9)
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            dct_ii(np.ones(8), 9)
+        with pytest.raises(ConfigurationError):
+            dct_ii(np.ones(8), 0)
+
+
+class TestMfcc:
+    def test_output_shape(self, rng):
+        config = MfccConfig()
+        out = mfcc(rng.standard_normal(512), config)
+        assert out.shape[1] == config.num_coefficients
+        assert out.shape[0] >= 1
+
+    def test_short_signal_single_frame(self, rng):
+        config = MfccConfig()
+        out = mfcc(rng.standard_normal(10), config)
+        assert out.shape == (1, config.num_coefficients)
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            mfcc(np.array([]))
+
+    def test_distinguishes_band_positions(self, rng):
+        """Tones at different in-band frequencies give different MFCCs."""
+        config = MfccConfig(sample_rate=48_000.0, low_hz=15_000.0, high_hz=21_000.0)
+        t = np.arange(512) / 48_000.0
+        a = mfcc(np.sin(2 * np.pi * 16_500.0 * t), config).mean(axis=0)
+        b = mfcc(np.sin(2 * np.pi * 19_500.0 * t), config).mean(axis=0)
+        assert np.linalg.norm(a - b) > 1.0
+
+    def test_amplitude_mostly_affects_c0(self):
+        """Scaling the signal shifts only the log-energy (first) coefficient."""
+        config = MfccConfig()
+        t = np.arange(512) / 48_000.0
+        x = np.sin(2 * np.pi * 18_000.0 * t)
+        a = mfcc(x, config).mean(axis=0)
+        b = mfcc(3.0 * x, config).mean(axis=0)
+        assert abs(b[0] - a[0]) > 0.5
+        np.testing.assert_allclose(a[1:], b[1:], atol=1e-6)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            MfccConfig(frame_length=1)
+        with pytest.raises(ConfigurationError):
+            MfccConfig(nfft=16, frame_length=32)
+        with pytest.raises(ConfigurationError):
+            MfccConfig(num_coefficients=30, num_filters=20)

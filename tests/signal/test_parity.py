@@ -1,0 +1,187 @@
+"""Tests for the even/odd decomposition segmentation machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NoEchoFoundError, SignalProcessingError
+from repro.signal.chirp import ChirpDesign, linear_chirp
+from repro.signal.parity import (
+    EchoSegmenterConfig,
+    autoconvolution,
+    best_symmetry_point,
+    find_symmetry_candidates,
+    parity_decompose,
+    parity_energies,
+    segment_eardrum_echo,
+)
+
+finite_arrays = st.lists(
+    st.floats(min_value=-10.0, max_value=10.0, allow_nan=False), min_size=4, max_size=64
+).map(np.array)
+
+
+class TestParityDecompose:
+    @given(finite_arrays, st.integers(min_value=0, max_value=126))
+    @settings(max_examples=60, deadline=None)
+    def test_sum_reconstructs_signal(self, x, two_fold):
+        fold = min(two_fold, 2 * (x.size - 1)) / 2.0
+        even, odd = parity_decompose(x, fold)
+        np.testing.assert_allclose(even + odd, x, atol=1e-9)
+
+    @given(finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_even_part_is_even_odd_part_is_odd(self, x):
+        fold = (x.size - 1) / 2.0 if x.size % 2 == 1 else x.size / 2.0 - 0.5
+        # Use integer fold for the simple index check.
+        fold = float(int(fold))
+        even, odd = parity_decompose(x, fold)
+        c = int(fold)
+        for d in range(1, min(c, x.size - 1 - c) + 1):
+            assert even[c - d] == pytest.approx(even[c + d], abs=1e-9)
+            assert odd[c - d] == pytest.approx(-odd[c + d], abs=1e-9)
+
+    def test_pure_even_signal(self):
+        x = np.array([1.0, 2.0, 3.0, 2.0, 1.0])
+        even, odd = parity_decompose(x, 2.0)
+        np.testing.assert_allclose(even, x)
+        np.testing.assert_allclose(odd, np.zeros_like(x))
+
+    def test_pure_odd_signal(self):
+        x = np.array([-2.0, -1.0, 0.0, 1.0, 2.0])
+        even, odd = parity_decompose(x, 2.0)
+        np.testing.assert_allclose(odd, x)
+        np.testing.assert_allclose(even, np.zeros_like(x))
+
+    def test_half_sample_fold(self):
+        x = np.array([1.0, 2.0, 2.0, 1.0])
+        even, odd = parity_decompose(x, 1.5)
+        np.testing.assert_allclose(even, x)
+        np.testing.assert_allclose(odd, np.zeros_like(x))
+
+    def test_invalid_fold_rejected(self):
+        with pytest.raises(ValueError):
+            parity_decompose(np.ones(8), 1.3)
+
+    def test_empty_raises(self):
+        with pytest.raises(SignalProcessingError):
+            parity_decompose(np.array([]), 0.0)
+
+
+class TestAutoconvolution:
+    @given(finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_numpy_convolve(self, x):
+        np.testing.assert_allclose(
+            autoconvolution(x), np.convolve(x, x), atol=1e-7
+        )
+
+    def test_energy_relation_eq10(self, rng):
+        # Paper Eq. (10): E_even/odd = E/2 +- (x*x)[2 n0] / 2.
+        x = rng.standard_normal(32)
+        conv = autoconvolution(x)
+        total = float(np.sum(x**2))
+        n0 = 15
+        even_e, odd_e = parity_energies(x, float(n0))
+        # Mirror indices outside [0, N) contribute zero on both sides,
+        # so the identity holds with the linear autoconvolution.
+        assert even_e - odd_e == pytest.approx(conv[2 * n0], abs=1e-9)
+        assert even_e + odd_e <= total + 1e-9
+
+    def test_best_symmetry_point_of_symmetric_pulse(self):
+        pulse = np.sin(np.linspace(0, np.pi, 41))  # even about sample 20
+        assert best_symmetry_point(pulse) == pytest.approx(20.0, abs=0.5)
+
+
+class TestCandidates:
+    def test_symmetric_pulse_found(self):
+        signal = np.zeros(200)
+        pulse = np.sin(np.linspace(0, np.pi, 31)) * np.sin(np.arange(31) * 2.4)
+        signal[80:111] = pulse
+        candidates = find_symmetry_candidates(signal, support=20)
+        assert candidates
+        # The fold with the best parity ratio is the pulse centre.
+        best = max(candidates, key=lambda c: c.energy_ratio)
+        assert best.center == pytest.approx(95.0, abs=2.0)
+
+    def test_threshold_bounds(self):
+        with pytest.raises(ValueError):
+            find_symmetry_candidates(np.ones(50), energy_ratio_threshold=0.4)
+        with pytest.raises(ValueError):
+            find_symmetry_candidates(np.ones(50), energy_ratio_threshold=1.0)
+
+    def test_short_signal_returns_empty(self):
+        assert find_symmetry_candidates(np.ones(3)) == []
+
+    def test_candidates_sorted_by_energy(self, rng):
+        signal = rng.standard_normal(300) * 0.05
+        signal[100:130] += 2.0 * np.sin(np.arange(30) * 2.0)
+        candidates = find_symmetry_candidates(signal, support=10)
+        energies = [c.energy_ratio for c in candidates]
+        local = [c.local_energy for c in candidates]
+        assert local == sorted(local, reverse=True)
+        assert all(0.5 < r <= 1.0 + 1e-9 for r in energies)
+
+
+class TestSegmenter:
+    def test_config_delay_window(self):
+        cfg = EchoSegmenterConfig()
+        lo, hi = cfg.delay_window_samples()
+        # 16-34 mm at 343 m/s and 384 kHz effective rate.
+        assert lo == int(np.floor(2 * 0.016 / 343.0 * 384_000))
+        assert hi == int(np.ceil(2 * 0.034 / 343.0 * 384_000))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EchoSegmenterConfig(min_distance_m=0.05, max_distance_m=0.03)
+        with pytest.raises(ValueError):
+            EchoSegmenterConfig(upsample_factor=0)
+        with pytest.raises(ValueError):
+            EchoSegmenterConfig(segment_half_length=2)
+
+    def test_synthetic_two_pulse_event(self):
+        """Direct pulse + delayed echo at a known distance is recovered."""
+        design = ChirpDesign()
+        pulse = linear_chirp(design)
+        event = np.zeros(120)
+        event[:24] += pulse
+        delay = 6  # samples at 48 kHz -> 48 upsampled
+        event[delay : delay + 24] += 0.5 * pulse
+        cfg = EchoSegmenterConfig(min_distance_m=0.018, max_distance_m=0.03)
+        echo = segment_eardrum_echo(event, cfg)
+        assert echo.sample_rate == pytest.approx(384_000.0)
+        # Estimated delay within a couple of original samples of truth.
+        assert echo.delay_samples / 8.0 == pytest.approx(delay, abs=2.5)
+        assert echo.segment.size == 2 * cfg.segment_half_length
+
+    def test_no_echo_in_silence(self):
+        with pytest.raises(NoEchoFoundError):
+            segment_eardrum_echo(np.zeros(240))
+
+    def test_too_short_event_raises(self):
+        with pytest.raises(NoEchoFoundError):
+            segment_eardrum_echo(np.ones(3))
+
+    def test_distance_helper(self):
+        design = ChirpDesign()
+        pulse = linear_chirp(design)
+        event = np.zeros(120)
+        event[:24] += pulse
+        event[6:30] += 0.5 * pulse
+        cfg = EchoSegmenterConfig(min_distance_m=0.018, max_distance_m=0.03)
+        echo = segment_eardrum_echo(event, cfg)
+        assert 0.015 < echo.distance() < 0.035
+
+    def test_fast_ratio_matches_parity_energies(self, rng):
+        """The inlined energy-ratio formula equals the reference decomposition."""
+        x = rng.standard_normal(101)
+        support = 15
+        for center in (40.0, 50.5, 60.0):
+            lo = int(np.floor(center)) - support
+            hi = int(np.ceil(center)) + support + 1
+            window = x[lo:hi]
+            total = float(window @ window)
+            fast = (total + abs(float(window @ window[::-1]))) / (2.0 * total)
+            even_e, odd_e = parity_energies(window, center - lo)
+            ref = max(even_e, odd_e) / total
+            assert fast == pytest.approx(ref, abs=1e-9)

@@ -1,0 +1,57 @@
+"""Tests for the naive peak-picking segmentation (ablation baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NoEchoFoundError
+from repro.signal.chirp import ChirpDesign, linear_chirp
+from repro.signal.parity import EchoSegmenterConfig, segment_eardrum_echo
+
+
+@pytest.fixture
+def peak_config():
+    return EchoSegmenterConfig(method="peak")
+
+
+class TestPeakSegmentation:
+    def test_method_validation(self):
+        with pytest.raises(ValueError):
+            EchoSegmenterConfig(method="magic")
+
+    def test_returns_fixed_delay(self, peak_config):
+        pulse = linear_chirp(ChirpDesign())
+        event = np.zeros(120)
+        event[:24] += pulse
+        event[6:30] += 0.5 * pulse
+        echo = segment_eardrum_echo(event, peak_config)
+        lo, hi = peak_config.delay_window_samples()
+        # The naive picker always uses the window midpoint.
+        assert echo.delay_samples == pytest.approx((lo + hi) / 2.0)
+
+    def test_segment_shape_matches_parity_mode(self, peak_config):
+        pulse = linear_chirp(ChirpDesign())
+        event = np.zeros(120)
+        event[:24] += pulse
+        event[6:30] += 0.5 * pulse
+        echo = segment_eardrum_echo(event, peak_config)
+        assert echo.segment.size == 2 * peak_config.segment_half_length
+        assert echo.sample_rate == peak_config.upsampled_rate
+
+    def test_no_symmetry_validation(self, peak_config):
+        """Peak mode accepts events the parity mode would reject."""
+        rng = np.random.default_rng(0)
+        noise_event = rng.standard_normal(240) * 0.1
+        echo = segment_eardrum_echo(noise_event, peak_config)
+        assert echo.energy_ratio == 0.0
+
+    def test_empty_event_raises(self, peak_config):
+        with pytest.raises(NoEchoFoundError):
+            segment_eardrum_echo(np.zeros(240), peak_config)
+
+    def test_pipeline_runs_with_peak_mode(self, recording):
+        from repro.core.config import EarSonarConfig
+        from repro.core.pipeline import EarSonarPipeline
+
+        config = EarSonarConfig(segmenter=EchoSegmenterConfig(method="peak"))
+        processed = EarSonarPipeline(config).process(recording)
+        assert processed.features.size == 105

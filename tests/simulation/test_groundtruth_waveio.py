@@ -1,0 +1,119 @@
+"""Tests for the otoscopist label-noise model and WAV I/O."""
+
+import wave as stdlib_wave
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.effusion import MeeState
+from repro.simulation.groundtruth import (
+    OtoscopistModel,
+    label_agreement,
+    relabel_states,
+)
+from repro.simulation.waveio import read_wav, write_wav
+
+
+class TestOtoscopistModel:
+    def test_zero_error_is_identity(self, rng):
+        model = OtoscopistModel(presence_error=0.0, type_error=0.0)
+        states = [s for s in MeeState.ordered()] * 20
+        assert relabel_states(states, rng, model) == states
+
+    def test_errors_are_adjacent_only(self, rng):
+        model = OtoscopistModel(presence_error=0.3, type_error=0.3)
+        order = MeeState.ordered()
+        for true_state in order:
+            for _ in range(200):
+                observed = model.observe(true_state, rng)
+                assert abs(order.index(observed) - order.index(true_state)) <= 1
+
+    def test_error_rate_matches_configuration(self):
+        rng = np.random.default_rng(3)
+        model = OtoscopistModel(presence_error=0.0, type_error=0.2)
+        observations = [model.observe(MeeState.MUCOID, rng) for _ in range(4000)]
+        errors = np.mean([o is not MeeState.MUCOID for o in observations])
+        # Mucoid has two fluid-type neighbours -> total error ~0.4.
+        assert errors == pytest.approx(0.4, abs=0.04)
+
+    def test_clear_never_becomes_mucoid(self):
+        rng = np.random.default_rng(4)
+        model = OtoscopistModel(presence_error=0.4, type_error=0.4)
+        observed = {model.observe(MeeState.CLEAR, rng) for _ in range(500)}
+        assert MeeState.MUCOID not in observed
+        assert MeeState.PURULENT not in observed
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OtoscopistModel(presence_error=0.6)
+        with pytest.raises(ConfigurationError):
+            OtoscopistModel(type_error=-0.1)
+
+    def test_label_agreement(self):
+        a = [MeeState.CLEAR, MeeState.SEROUS]
+        b = [MeeState.CLEAR, MeeState.MUCOID]
+        assert label_agreement(a, b) == pytest.approx(0.5)
+        with pytest.raises(ConfigurationError):
+            label_agreement(a, [MeeState.CLEAR])
+
+
+class TestDetectionUnderLabelNoise:
+    def test_accuracy_degrades_gracefully(self, small_feature_table):
+        """Training labels with otoscope noise still yield a working detector."""
+        from repro.core.config import DetectorConfig
+        from repro.core.detector import MeeDetector
+        from repro.core.results import state_to_index
+
+        rng = np.random.default_rng(5)
+        table = small_feature_table
+        noisy = relabel_states(table.states, rng, OtoscopistModel())
+        detector = MeeDetector(DetectorConfig(clusters_per_state=2))
+        detector.fit(table.features, noisy)
+        predicted = detector.predict_indices(table.features)
+        truth = np.array([state_to_index(s) for s in table.states])
+        # Scored against the *true* states: the clustering is label-free,
+        # so modest label noise mostly perturbs cluster naming.
+        assert np.mean(predicted == truth) > 0.6
+
+
+class TestWavIO:
+    def test_roundtrip(self, tmp_path, rng):
+        waveform = 0.5 * np.sin(np.arange(4800) * 0.3)
+        path = write_wav(tmp_path / "tone", waveform, 48_000.0)
+        loaded, rate = read_wav(path)
+        assert rate == 48_000.0
+        np.testing.assert_allclose(loaded, waveform, atol=1.0 / 32000.0)
+
+    def test_stdlib_wave_can_read_our_files(self, tmp_path):
+        waveform = 0.25 * np.sin(np.arange(960) * 0.5)
+        path = write_wav(tmp_path / "check.wav", waveform, 48_000.0)
+        with stdlib_wave.open(str(path), "rb") as handle:
+            assert handle.getnchannels() == 1
+            assert handle.getsampwidth() == 2
+            assert handle.getframerate() == 48_000
+            assert handle.getnframes() == 960
+
+    def test_clipping_inputs_normalised(self, tmp_path):
+        waveform = 3.0 * np.sin(np.arange(480) * 0.3)
+        path = write_wav(tmp_path / "loud", waveform, 48_000.0)
+        loaded, _ = read_wav(path)
+        assert np.max(np.abs(loaded)) <= 1.0
+
+    def test_recording_export(self, tmp_path, recording):
+        path = write_wav(tmp_path / "session", recording.waveform, recording.sample_rate)
+        loaded, rate = read_wav(path)
+        assert loaded.size == recording.waveform.size
+        assert rate == recording.sample_rate
+
+    def test_invalid_inputs(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_wav(tmp_path / "bad", np.zeros(0), 48_000.0)
+        with pytest.raises(ConfigurationError):
+            write_wav(tmp_path / "bad", np.zeros(10), 0.0)
+
+    def test_read_rejects_non_wav(self, tmp_path):
+        path = tmp_path / "not.wav"
+        path.write_bytes(b"hello world, definitely not RIFF")
+        with pytest.raises(ConfigurationError):
+            read_wav(path)

@@ -1,0 +1,80 @@
+"""End-to-end integration tests over the shared small study."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.config import DetectorConfig
+from repro.core.evaluation import evaluate_loocv
+from repro.learning.metrics import classification_report
+from repro.simulation.effusion import MeeState
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_public_exports_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestEndToEnd:
+    def test_pipeline_processes_every_recording(self, small_feature_table, small_study):
+        assert len(small_feature_table) + small_feature_table.num_failed == len(small_study)
+        assert small_feature_table.num_failed <= 0.1 * len(small_study)
+
+    def test_loocv_confusion_structure(self, small_feature_table):
+        """Adjacent-state confusion, strong diagonal (Fig. 13 shape)."""
+        result = evaluate_loocv(
+            small_feature_table, DetectorConfig(clusters_per_state=2)
+        )
+        report = result.report()
+        confusion = report.normalized_confusion()
+        # Clear is the easiest class (paper Sec. VI-B).
+        assert confusion[0, 0] >= confusion[1:, 1:].diagonal().min()
+        # Clear is essentially never confused with purulent.
+        assert confusion[0, 3] < 0.15
+
+    def test_both_detectors_beat_chance(self, small_study, small_feature_table):
+        """Sanity: EarSonar and the Chan baseline both work end-to-end.
+
+        The headline EarSonar-vs-Chan margin (the paper's ~8 %) only
+        emerges at realistic training scale (Fig. 15b) and is
+        reproduced by ``benchmarks/bench_baseline_comparison.py``; at
+        this 6-child scale we only require both to clear chance.
+        """
+        from repro.baselines.chan2019 import Chan2019Detector
+
+        pids = small_study.participant_ids
+        train_p = set(pids[:4])
+        train = [r for r in small_study if r.participant_id in train_p]
+        test = [r for r in small_study if r.participant_id not in train_p]
+
+        chan = Chan2019Detector()
+        chan.fit_states(train, [r.state for r in train])
+        chan_acc = np.mean(
+            [p is r.state for p, r in zip(chan.predict_states(test), test)]
+        )
+
+        from repro.core.detector import MeeDetector
+
+        table = small_feature_table
+        groups = np.array(table.groups)
+        train_mask = np.isin(groups, sorted(train_p))
+        detector = MeeDetector(DetectorConfig(clusters_per_state=2))
+        detector.fit(
+            table.features[train_mask],
+            [s for s, m in zip(table.states, train_mask) if m],
+        )
+        predicted = detector.predict_indices(table.features[~train_mask])
+        truth = table.state_indices[~train_mask]
+        ours_acc = float(np.mean(predicted == truth))
+        assert ours_acc > 0.4
+        assert chan_acc > 0.4
+
+    def test_all_states_predicted_somewhere(self, small_feature_table):
+        result = evaluate_loocv(
+            small_feature_table, DetectorConfig(clusters_per_state=2)
+        )
+        assert set(np.unique(result.predicted_indices)) == {0, 1, 2, 3}

@@ -1,0 +1,75 @@
+"""Tests for .npz persistence of studies and feature tables."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import extract_features
+from repro.errors import EarSonarError
+from repro.io import (
+    load_feature_table,
+    load_recordings,
+    save_feature_table,
+    save_recordings,
+)
+
+
+class TestFeatureTableRoundtrip:
+    def test_roundtrip_preserves_features(self, small_feature_table, tmp_path):
+        path = save_feature_table(small_feature_table, tmp_path / "table")
+        loaded = load_feature_table(path)
+        np.testing.assert_allclose(loaded.features, small_feature_table.features)
+
+    def test_roundtrip_preserves_labels_and_groups(self, small_feature_table, tmp_path):
+        path = save_feature_table(small_feature_table, tmp_path / "table.npz")
+        loaded = load_feature_table(path)
+        assert loaded.states == small_feature_table.states
+        assert loaded.groups == small_feature_table.groups
+        assert loaded.num_failed == small_feature_table.num_failed
+
+    def test_roundtrip_preserves_curves(self, small_feature_table, tmp_path):
+        path = save_feature_table(small_feature_table, tmp_path / "t")
+        loaded = load_feature_table(path)
+        for a, b in zip(loaded.processed, small_feature_table.processed):
+            np.testing.assert_allclose(a.curve, b.curve)
+            assert a.day == b.day
+
+    def test_loaded_table_supports_loocv(self, small_feature_table, tmp_path):
+        from repro.core.config import DetectorConfig
+        from repro.core.evaluation import evaluate_loocv
+
+        path = save_feature_table(small_feature_table, tmp_path / "t")
+        loaded = load_feature_table(path)
+        result = evaluate_loocv(loaded, DetectorConfig(clusters_per_state=2))
+        assert result.report().accuracy > 0.4
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(EarSonarError):
+            load_feature_table(tmp_path / "absent.npz")
+
+
+class TestRecordingRoundtrip:
+    def test_roundtrip_waveforms(self, small_study, tmp_path):
+        path = save_recordings(small_study, tmp_path / "study")
+        loaded = load_recordings(path)
+        assert len(loaded) == len(small_study)
+        np.testing.assert_allclose(
+            loaded.recordings[0].waveform, small_study.recordings[0].waveform
+        )
+
+    def test_roundtrip_labels(self, small_study, tmp_path):
+        path = save_recordings(small_study, tmp_path / "study")
+        loaded = load_recordings(path)
+        assert [r.state for r in loaded] == [r.state for r in small_study]
+        assert loaded.participant_ids == small_study.participant_ids
+
+    def test_loaded_recordings_are_processable(self, small_study, pipeline, tmp_path):
+        path = save_recordings(small_study, tmp_path / "study")
+        loaded = load_recordings(path)
+        table = extract_features(
+            type(loaded)(loaded.recordings[:4]), pipeline
+        )
+        assert table.features.shape[1] == 105
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(EarSonarError):
+            load_recordings(tmp_path / "absent.npz")
