@@ -26,7 +26,18 @@ Quick start::
     print(result.state, result.confidence)
 """
 
-from . import acoustics, baselines, core, experiments, features, io, learning, signal, simulation
+from . import (
+    acoustics,
+    baselines,
+    core,
+    experiments,
+    features,
+    io,
+    learning,
+    runtime,
+    signal,
+    simulation,
+)
 from .core import (
     EarSonarConfig,
     EarSonarPipeline,
@@ -56,6 +67,7 @@ __all__ = [
     "features",
     "io",
     "learning",
+    "runtime",
     "signal",
     "simulation",
     "EarSonarConfig",

@@ -7,7 +7,7 @@ analysis, and MEE detection — plus the study-level evaluation protocol
 and the home-screening API.
 """
 
-from .config import BandpassConfig, DetectorConfig, EarSonarConfig
+from .config import BandpassConfig, DetectorConfig, EarSonarConfig, config_fingerprint
 from .detector import MeeDetector
 from .diagnostics import QualityThresholds, RecordingQuality, diagnose
 from .evaluation import (
@@ -32,6 +32,7 @@ __all__ = [
     "BandpassConfig",
     "DetectorConfig",
     "EarSonarConfig",
+    "config_fingerprint",
     "MeeDetector",
     "QualityThresholds",
     "RecordingQuality",

@@ -9,7 +9,11 @@ container exists so applications configure the system in one place.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
+from enum import Enum
 
 from ..errors import ConfigurationError
 from ..features.vector import FeatureVectorConfig
@@ -17,7 +21,48 @@ from ..signal.chirp import ChirpDesign
 from ..signal.events import EventDetectorConfig
 from ..signal.parity import EchoSegmenterConfig
 
-__all__ = ["BandpassConfig", "DetectorConfig", "EarSonarConfig"]
+__all__ = ["BandpassConfig", "DetectorConfig", "EarSonarConfig", "config_fingerprint"]
+
+
+def _canonicalize(value):
+    """Reduce a config value to a deterministic JSON-serializable form.
+
+    Dataclasses become ``{"<ClassName>": {field: ...}}`` so that moving a
+    value between differently-named sub-configs cannot collide; floats go
+    through ``repr`` to keep full precision across platforms.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _canonicalize(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {type(value).__name__: fields}
+    if isinstance(value, Enum):
+        return [type(value).__name__, value.name]
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonicalize(v) for k, v in sorted(value.items())}
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    raise ConfigurationError(
+        f"cannot fingerprint config value of type {type(value).__name__}"
+    )
+
+
+def config_fingerprint(config) -> str:
+    """Stable SHA-256 hex digest of a (possibly nested) config dataclass.
+
+    Two configs share a fingerprint iff every nested field is equal, so
+    the digest is safe to use as a cache namespace: any parameter change
+    anywhere in the tree invalidates previously cached results.
+    """
+    canonical = json.dumps(
+        _canonicalize(config), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -118,3 +163,12 @@ class EarSonarConfig:
             raise ConfigurationError(
                 "band-pass filter must contain the chirp sweep band"
             )
+
+    def fingerprint(self) -> str:
+        """Content hash of the full configuration tree.
+
+        Used by :mod:`repro.runtime.cache` as part of every cache key:
+        features computed under one configuration are never served for
+        another, however small the difference.
+        """
+        return config_fingerprint(self)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -23,6 +24,12 @@ from .config import DetectorConfig
 from .detector import MeeDetector
 from .pipeline import EarSonarPipeline
 from .results import EvaluationResult, ProcessedRecording, state_to_index
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..runtime.cache import FeatureCache
+    from ..runtime.executor import BatchExecutor
+    from ..runtime.faults import FailedRecording
+    from ..runtime.metrics import RuntimeMetrics
 
 __all__ = ["FeatureTable", "extract_features", "evaluate_loocv", "evaluate_split"]
 
@@ -42,9 +49,12 @@ class FeatureTable:
     processed:
         Full per-recording pipeline outputs.
     num_failed:
-        Recordings that raised :class:`NoEchoFoundError`.
+        Recordings the pipeline could not process.
     failed_states:
         Ground-truth states of the failed recordings (rejections).
+    quarantine:
+        Structured :class:`~repro.runtime.faults.FailedRecording`
+        entries for every failure, in study order.
     """
 
     features: np.ndarray
@@ -53,6 +63,7 @@ class FeatureTable:
     processed: list[ProcessedRecording]
     num_failed: int = 0
     failed_states: list[MeeState] = field(default_factory=list)
+    quarantine: "list[FailedRecording]" = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.states)
@@ -63,37 +74,53 @@ class FeatureTable:
         return np.array([state_to_index(s) for s in self.states])
 
 
-def extract_features(dataset: StudyDataset, pipeline: EarSonarPipeline) -> FeatureTable:
+def extract_features(
+    dataset: StudyDataset,
+    pipeline: EarSonarPipeline,
+    *,
+    workers: int = 1,
+    cache: "FeatureCache | None" = None,
+    metrics: "RuntimeMetrics | None" = None,
+    executor: "BatchExecutor | None" = None,
+) -> FeatureTable:
     """Run the signal pipeline over every recording of a study.
 
-    Recordings where no eardrum echo is found (bad seal, extreme noise
-    or motion) are counted as failures rather than aborting the study —
-    in deployment these would prompt a re-measurement.
+    Executes on the batch runtime (:mod:`repro.runtime`): recordings
+    where no eardrum echo is found (bad seal, extreme noise or motion)
+    are quarantined rather than aborting the study — in deployment these
+    would prompt a re-measurement.  The default ``workers=1`` keeps
+    extraction serial and in-process; ``workers > 1`` fans out over a
+    process pool with byte-identical results in the same order, and a
+    ``cache`` skips the DSP for already-seen waveforms.  Pass a
+    pre-built ``executor`` to override all of the above.
     """
+    from ..runtime.executor import BatchExecutor
+
+    if executor is None:
+        executor = BatchExecutor(
+            pipeline, workers=workers, cache=cache, metrics=metrics
+        )
+    batch = executor.run(list(dataset))
     vectors: list[np.ndarray] = []
     states: list[MeeState] = []
     groups: list[str] = []
     processed: list[ProcessedRecording] = []
-    failed_states: list[MeeState] = []
-    for recording in dataset:
-        try:
-            result = pipeline.process(recording)
-        except NoEchoFoundError:
-            failed_states.append(recording.state)
-            continue
+    for result in batch.processed:
         vectors.append(result.features)
-        states.append(recording.state)
-        groups.append(recording.participant_id)
+        states.append(result.true_state)
+        groups.append(result.participant_id)
         processed.append(result)
     if not vectors:
         raise NoEchoFoundError("no recording in the study produced echoes")
+    quarantine = batch.quarantine
     return FeatureTable(
         features=np.stack(vectors),
         states=states,
         groups=groups,
         processed=processed,
-        num_failed=len(failed_states),
-        failed_states=failed_states,
+        num_failed=len(quarantine),
+        failed_states=[f.true_state for f in quarantine],
+        quarantine=quarantine,
     )
 
 

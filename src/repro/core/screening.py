@@ -38,9 +38,24 @@ class EarSonarScreener:
         """Whether the screener has been calibrated on a study."""
         return self.detector.is_fitted
 
-    def fit(self, dataset: StudyDataset) -> "EarSonarScreener":
-        """Calibrate the detector on a labelled reference study."""
-        table = extract_features(dataset, self.pipeline)
+    def fit(
+        self,
+        dataset: StudyDataset,
+        *,
+        workers: int = 1,
+        cache=None,
+        metrics=None,
+    ) -> "EarSonarScreener":
+        """Calibrate the detector on a labelled reference study.
+
+        Feature extraction runs on the batch runtime: ``workers > 1``
+        fans the DSP out over a process pool (identical results, less
+        wall-clock) and a :class:`~repro.runtime.cache.FeatureCache`
+        makes re-fits on unchanged studies skip signal processing.
+        """
+        table = extract_features(
+            dataset, self.pipeline, workers=workers, cache=cache, metrics=metrics
+        )
         self.detector.fit(table.features, table.states)
         self._feature_table = table
         return self

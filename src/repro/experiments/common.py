@@ -29,6 +29,7 @@ from ..simulation.session import SessionConfig
 __all__ = [
     "ExperimentScale",
     "scale_from_env",
+    "workers_from_env",
     "build_study",
     "build_feature_table",
     "format_table",
@@ -102,6 +103,27 @@ def scale_from_env(default: str = "default") -> ExperimentScale:
     return ExperimentScale(num_participants=count)
 
 
+def workers_from_env(default: int = 1) -> int:
+    """Worker-pool size from ``EARSONAR_WORKERS`` (serial when unset).
+
+    ``EARSONAR_WORKERS=auto`` uses the machine's CPU count.
+    """
+    raw = os.environ.get("EARSONAR_WORKERS", "").strip().lower()
+    if not raw:
+        return default
+    if raw == "auto":
+        return os.cpu_count() or 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"EARSONAR_WORKERS={raw!r} is neither an integer nor 'auto'"
+        ) from None
+    if workers < 1:
+        raise ConfigurationError(f"EARSONAR_WORKERS must be >= 1, got {workers}")
+    return workers
+
+
 def build_study(
     scale: ExperimentScale,
     *,
@@ -124,11 +146,25 @@ def build_feature_table(
     *,
     session_config: SessionConfig | None = None,
     pipeline: EarSonarPipeline | None = None,
+    workers: int | None = None,
+    cache=None,
+    metrics=None,
 ) -> FeatureTable:
-    """Simulate a study and run the signal pipeline over it."""
+    """Simulate a study and run the signal pipeline over it.
+
+    Extraction runs on the batch runtime (:mod:`repro.runtime`).  The
+    worker count defaults to the ``EARSONAR_WORKERS`` environment
+    variable (1 — serial — when unset), so existing experiment scripts
+    pick up parallelism without code changes; results are identical
+    either way.
+    """
     study = build_study(scale, session_config=session_config)
     pipeline = pipeline or EarSonarPipeline(EarSonarConfig())
-    return extract_features(study, pipeline)
+    if workers is None:
+        workers = workers_from_env()
+    return extract_features(
+        study, pipeline, workers=workers, cache=cache, metrics=metrics
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,40 @@
+"""The batch-screening runtime: execution layer of the reproduction.
+
+Sits between the virtual clinic (``repro.simulation``) and the learning
+stack (``repro.learning`` / ``repro.core``): everything that turns *many*
+raw :class:`~repro.simulation.session.Recording` objects into feature
+vectors — worker pools, content-addressed caching, per-recording fault
+quarantine, and runtime metrics — lives here, so experiments and the
+screening API stay declarative about *what* to compute and the runtime
+decides *how*.
+
+Quick use::
+
+    from repro.runtime import BatchExecutor, FeatureCache, RuntimeMetrics
+
+    executor = BatchExecutor(workers=4, cache=FeatureCache())
+    result = executor.run(study.recordings)
+    result.processed        # in input order, byte-identical to serial
+    result.quarantine       # structured FailedRecording entries
+    executor.metrics.report()
+
+or ``python -m repro.runtime --participants 4 --days 8 --workers 4``
+for an end-to-end demonstration with a metrics report.
+"""
+
+from .cache import FeatureCache, recording_key
+from .executor import BatchExecutor, BatchResult
+from .faults import DEFAULT_RETRY_POLICY, FailedRecording, RetryPolicy
+from .metrics import Histogram, RuntimeMetrics
+
+__all__ = [
+    "BatchExecutor",
+    "BatchResult",
+    "FeatureCache",
+    "recording_key",
+    "FailedRecording",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "Histogram",
+    "RuntimeMetrics",
+]

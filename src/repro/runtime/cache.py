@@ -1,0 +1,168 @@
+"""Content-addressed cache of pipeline outputs.
+
+Re-running an experiment, re-fitting a screener, or benchmarking twice
+re-executes the exact same DSP on the exact same waveforms.  The cache
+keys each :class:`~repro.core.results.ProcessedRecording` by the SHA-256
+of the raw waveform bytes (plus sample rate) and the pipeline
+configuration's :func:`~repro.core.config.config_fingerprint`, so
+
+- identical audio under an identical config is computed once, ever;
+- any config change — however deep in the tree — misses cleanly.
+
+The key is *content*-addressed on purpose: provenance (participant id,
+day, ground truth) is not hashed, and on a hit the cached result is
+re-stamped with the requesting recording's provenance.  Two children
+with bit-identical waveforms (it happens constantly in seeded
+simulations) therefore share the DSP but keep their own labels.
+
+Two tiers: an in-memory LRU (bounded by entry count) and an optional
+on-disk ``.npz`` store that survives processes, making warm re-runs of
+whole studies skip signal processing entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from ..core.results import ProcessedRecording
+from ..simulation.effusion import MeeState
+from ..simulation.session import Recording
+
+__all__ = ["recording_key", "FeatureCache"]
+
+
+def recording_key(recording: Recording, config_fingerprint: str) -> str:
+    """Cache key: hash of waveform content, sample rate, and config."""
+    digest = hashlib.sha256()
+    waveform = np.ascontiguousarray(recording.waveform, dtype=np.float64)
+    digest.update(waveform.tobytes())
+    digest.update(repr(float(recording.sample_rate)).encode("utf-8"))
+    digest.update(config_fingerprint.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class FeatureCache:
+    """Two-tier (memory LRU + optional disk) store of pipeline outputs.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum in-memory entries; the least recently used entry is
+        evicted beyond it.  ``None`` means unbounded.
+    directory:
+        Optional directory for ``.npz`` persistence.  Entries evicted
+        from memory remain on disk and are transparently reloaded
+        (and re-promoted to memory) on the next hit.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = 4096,
+        directory: str | Path | None = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._entries: OrderedDict[str, ProcessedRecording] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries or self._disk_path_if_exists(key) is not None
+
+    # -- lookup / store ------------------------------------------------
+
+    def get(self, key: str) -> ProcessedRecording | None:
+        """Cached result for ``key``, or ``None`` on a miss."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            return entry
+        path = self._disk_path_if_exists(key)
+        if path is None:
+            return None
+        entry = self._load(path)
+        self._store_memory(key, entry)
+        return entry
+
+    def get_for(
+        self, recording: Recording, config_fingerprint: str
+    ) -> ProcessedRecording | None:
+        """Content-addressed lookup, re-stamped with ``recording``'s provenance."""
+        entry = self.get(recording_key(recording, config_fingerprint))
+        if entry is None:
+            return None
+        return dataclasses.replace(
+            entry,
+            participant_id=recording.participant_id,
+            day=recording.day,
+            true_state=recording.state,
+        )
+
+    def put(self, key: str, processed: ProcessedRecording) -> None:
+        """Store a pipeline output under ``key`` (memory and disk)."""
+        self._store_memory(key, processed)
+        if self.directory is not None:
+            self._save(self.directory / f"{key}.npz", processed)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (disk entries remain)."""
+        self._entries.clear()
+
+    # -- internals -----------------------------------------------------
+
+    def _store_memory(self, key: str, processed: ProcessedRecording) -> None:
+        self._entries[key] = processed
+        self._entries.move_to_end(key)
+        if self.capacity is not None:
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def _disk_path_if_exists(self, key: str) -> Path | None:
+        if self.directory is None:
+            return None
+        path = self.directory / f"{key}.npz"
+        return path if path.exists() else None
+
+    @staticmethod
+    def _save(path: Path, processed: ProcessedRecording) -> None:
+        state = processed.true_state.value if processed.true_state else ""
+        tmp = path.with_suffix(".tmp.npz")
+        np.savez(
+            tmp,
+            features=processed.features,
+            curve=processed.curve,
+            mean_segment=processed.mean_segment,
+            segment_rate=np.float64(processed.segment_rate),
+            num_events=np.int64(processed.num_events),
+            num_echoes=np.int64(processed.num_echoes),
+            participant_id=np.str_(processed.participant_id),
+            day=np.float64(processed.day),
+            true_state=np.str_(state),
+        )
+        tmp.replace(path)
+
+    @staticmethod
+    def _load(path: Path) -> ProcessedRecording:
+        with np.load(path) as data:
+            state_str = str(data["true_state"])
+            return ProcessedRecording(
+                features=np.array(data["features"]),
+                curve=np.array(data["curve"]),
+                mean_segment=np.array(data["mean_segment"]),
+                segment_rate=float(data["segment_rate"]),
+                num_events=int(data["num_events"]),
+                num_echoes=int(data["num_echoes"]),
+                participant_id=str(data["participant_id"]),
+                day=float(data["day"]),
+                true_state=MeeState(state_str) if state_str else None,
+            )

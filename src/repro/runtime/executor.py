@@ -1,0 +1,300 @@
+"""Order-preserving, fault-isolated batch execution of the pipeline.
+
+``BatchExecutor`` is the execution layer between raw recordings and the
+learning stack.  One call fans ``EarSonarPipeline.process`` out across
+a process pool (the DSP is CPU-bound, so threads would serialize on the
+GIL), consults the feature cache before dispatching anything, and
+quarantines per-recording failures instead of crashing the batch.
+
+Three properties are load-bearing and tested:
+
+- **Determinism** — results come back in input order and are
+  byte-identical to a serial run: parallelism changes wall-clock, not
+  science.
+- **Cache-before-dispatch** — lookups happen in the parent, so a fully
+  warm cache performs *zero* pipeline calls and never pays pool
+  startup.
+- **Fault isolation** — expected signal failures become structured
+  :class:`~repro.runtime.faults.FailedRecording` entries; programming
+  errors still propagate.
+
+Work is chunked before pickling so each pool task amortizes the cost of
+shipping waveforms to a worker; workers rebuild the pipeline once per
+(process, config) pair and reuse it across chunks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from ..core.config import EarSonarConfig
+from ..core.pipeline import EarSonarPipeline
+from ..core.results import ProcessedRecording
+from ..errors import ConfigurationError
+from ..simulation.session import Recording
+from .cache import FeatureCache, recording_key
+from .faults import DEFAULT_RETRY_POLICY, FailedRecording, RetryPolicy, run_with_policy
+from .metrics import RuntimeMetrics
+
+__all__ = ["BatchExecutor", "BatchResult"]
+
+Outcome = Union[ProcessedRecording, FailedRecording]
+
+
+@dataclass
+class BatchResult:
+    """Per-recording outcomes of one batch run, in input order."""
+
+    outcomes: list[Outcome] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def processed(self) -> list[ProcessedRecording]:
+        """Successful pipeline outputs, in input order."""
+        return [o for o in self.outcomes if isinstance(o, ProcessedRecording)]
+
+    @property
+    def quarantine(self) -> list[FailedRecording]:
+        """Quarantined failures, in input order."""
+        return [o for o in self.outcomes if isinstance(o, FailedRecording)]
+
+    @property
+    def ok_count(self) -> int:
+        """Number of successfully processed recordings."""
+        return sum(1 for o in self.outcomes if isinstance(o, ProcessedRecording))
+
+    @property
+    def failed_count(self) -> int:
+        """Number of quarantined recordings."""
+        return len(self.outcomes) - self.ok_count
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+#: Per-worker-process pipeline cache, keyed by config fingerprint, so a
+#: worker serving many chunks designs its filters/templates only once.
+_WORKER_PIPELINES: dict[str, EarSonarPipeline] = {}
+
+
+def _worker_pipeline(config: EarSonarConfig) -> EarSonarPipeline:
+    key = config.fingerprint()
+    pipeline = _WORKER_PIPELINES.get(key)
+    if pipeline is None:
+        pipeline = _WORKER_PIPELINES[key] = EarSonarPipeline(config)
+    return pipeline
+
+
+def _process_chunk(
+    config: EarSonarConfig,
+    policy: RetryPolicy,
+    chunk: list[tuple[int, Recording]],
+) -> list[tuple[int, Outcome, object, int]]:
+    """Process one chunk in a worker; never raises for expected faults.
+
+    Returns ``(index, outcome, stage_latencies_or_None, attempts)``
+    tuples; quarantining happens here so the parent's merge step is the
+    same for serial and parallel runs.
+    """
+    pipeline = _worker_pipeline(config)
+    out = []
+    for index, recording in chunk:
+        result, attempts = run_with_policy(pipeline.timed_process, recording, policy)
+        if isinstance(result, FailedRecording):
+            out.append((index, result, None, attempts))
+        else:
+            processed, latencies = result
+            out.append((index, processed, latencies, attempts))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class BatchExecutor:
+    """Run the EarSonar pipeline over many recordings, fast and safely.
+
+    Parameters
+    ----------
+    pipeline:
+        The pipeline to execute (a default one is built when omitted).
+        The serial path uses this instance directly; parallel workers
+        rebuild an identical pipeline from its config.
+    workers:
+        Process count.  1 (the default) runs serially in-process, which
+        keeps single-study experiments deterministic-by-construction
+        and avoids pool startup for small batches.
+    chunk_size:
+        Recordings per pool task.  ``None`` auto-sizes to about four
+        chunks per worker, balancing pickling overhead against
+        stragglers.
+    cache:
+        Optional :class:`FeatureCache` consulted before any dispatch.
+    metrics:
+        Optional :class:`RuntimeMetrics` registry; one is created per
+        executor when omitted.
+    retry_policy:
+        Bounded retry for transient failures (default: no retries).
+    """
+
+    def __init__(
+        self,
+        pipeline: EarSonarPipeline | None = None,
+        *,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        cache: FeatureCache | None = None,
+        metrics: RuntimeMetrics | None = None,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1 or None, got {chunk_size}"
+            )
+        self.pipeline = pipeline or EarSonarPipeline(EarSonarConfig())
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.cache = cache
+        self.metrics = metrics or RuntimeMetrics()
+        self.retry_policy = retry_policy
+        self._fingerprint = self.pipeline.config.fingerprint()
+
+    # -- public API ----------------------------------------------------
+
+    def run(self, recordings: Sequence[Recording]) -> BatchResult:
+        """Process every recording, preserving input order.
+
+        Cache hits are resolved first in the parent; only misses are
+        executed (serially or on the pool).  The outcome list aligns
+        one-to-one with the input sequence.
+        """
+        recordings = list(recordings)
+        t0 = time.perf_counter()
+        self.metrics.increment("recordings.submitted", len(recordings))
+        outcomes: list[Outcome | None] = [None] * len(recordings)
+
+        misses: list[tuple[int, Recording]] = []
+        for index, recording in enumerate(recordings):
+            hit = self._cache_lookup(recording)
+            if hit is not None:
+                outcomes[index] = hit
+            else:
+                misses.append((index, recording))
+
+        if misses:
+            if self._effective_workers(len(misses)) > 1:
+                self._run_pool(misses, outcomes)
+            else:
+                self._run_serial(misses, outcomes)
+
+        self.metrics.increment(
+            "recordings.ok",
+            sum(1 for o in outcomes if isinstance(o, ProcessedRecording)),
+        )
+        self.metrics.increment(
+            "recordings.failed",
+            sum(1 for o in outcomes if isinstance(o, FailedRecording)),
+        )
+        self.metrics.observe("batch_ms", (time.perf_counter() - t0) * 1e3)
+        assert all(o is not None for o in outcomes)
+        return BatchResult(outcomes=list(outcomes))
+
+    # -- internals -----------------------------------------------------
+
+    def _cache_lookup(self, recording: Recording) -> ProcessedRecording | None:
+        if self.cache is None:
+            return None
+        hit = self.cache.get_for(recording, self._fingerprint)
+        self.metrics.increment("cache.hits" if hit is not None else "cache.misses")
+        return hit
+
+    def _cache_store(self, recording: Recording, processed: ProcessedRecording) -> None:
+        if self.cache is not None:
+            self.cache.put(recording_key(recording, self._fingerprint), processed)
+
+    def _effective_workers(self, num_misses: int) -> int:
+        if self.workers == 1:
+            return 1
+        if multiprocessing.current_process().daemon:
+            # Daemonized processes (e.g. inside another pool) cannot
+            # fork children; degrade gracefully instead of crashing.
+            self.metrics.increment("executor.serial_fallback")
+            return 1
+        return min(self.workers, num_misses)
+
+    def _record_outcome(
+        self,
+        index: int,
+        recording: Recording,
+        outcome: Outcome,
+        latencies,
+        attempts: int,
+        outcomes: list[Outcome | None],
+    ) -> None:
+        outcomes[index] = outcome
+        self.metrics.increment("pipeline.calls", attempts)
+        if attempts > 1:
+            self.metrics.increment("recordings.retried", attempts - 1)
+        if isinstance(outcome, ProcessedRecording):
+            self._cache_store(recording, outcome)
+            if latencies is not None:
+                self.metrics.observe("stage.bandpass_ms", latencies.bandpass_ms)
+                self.metrics.observe("stage.features_ms", latencies.feature_extract_ms)
+                self.metrics.observe(
+                    "recording_ms", latencies.bandpass_ms + latencies.feature_extract_ms
+                )
+
+    def _run_serial(
+        self, misses: list[tuple[int, Recording]], outcomes: list[Outcome | None]
+    ) -> None:
+        for index, recording in misses:
+            result, attempts = run_with_policy(
+                self.pipeline.timed_process, recording, self.retry_policy
+            )
+            if isinstance(result, FailedRecording):
+                self._record_outcome(index, recording, result, None, attempts, outcomes)
+            else:
+                processed, latencies = result
+                self._record_outcome(
+                    index, recording, processed, latencies, attempts, outcomes
+                )
+
+    def _run_pool(
+        self, misses: list[tuple[int, Recording]], outcomes: list[Outcome | None]
+    ) -> None:
+        workers = self._effective_workers(len(misses))
+        chunks = self._chunk(misses, workers)
+        self.metrics.increment("chunks.dispatched", len(chunks))
+        by_index = {index: recording for index, recording in misses}
+        config = self.pipeline.config
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_process_chunk, config, self.retry_policy, chunk)
+                for chunk in chunks
+            ]
+            for future in futures:
+                for index, outcome, latencies, attempts in future.result():
+                    self._record_outcome(
+                        index, by_index[index], outcome, latencies, attempts, outcomes
+                    )
+
+    def _chunk(
+        self, misses: list[tuple[int, Recording]], workers: int
+    ) -> list[list[tuple[int, Recording]]]:
+        size = self.chunk_size
+        if size is None:
+            # ~4 chunks per worker: small enough to balance stragglers,
+            # large enough to amortize pickling waveforms per task.
+            size = max(1, -(-len(misses) // (workers * 4)))
+        return [misses[i : i + size] for i in range(0, len(misses), size)]

@@ -1,0 +1,113 @@
+"""Per-recording fault isolation for batch runs.
+
+In a home-screening deployment some fraction of captures always fails —
+bad earbud seal, a child yanking the cable, a truck outside.  The paper
+treats those as re-measurement prompts, not crashes; the batch runtime
+therefore quarantines them as structured :class:`FailedRecording`
+entries instead of aborting the study or silently dropping rows.
+
+Only the library's expected signal-processing failures
+(:class:`~repro.errors.SignalProcessingError`, which includes
+:class:`~repro.errors.NoEchoFoundError`) are quarantined; programming
+errors still propagate and fail the batch loudly.
+
+:class:`RetryPolicy` is the bounded-retry hook: the simulated DSP is
+deterministic so nothing retries by default, but a real deployment
+reading waveforms off flaky storage or a network can declare which
+exception types are transient and how many extra attempts they get.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SignalProcessingError
+from ..simulation.effusion import MeeState
+
+__all__ = ["FailedRecording", "RetryPolicy", "DEFAULT_RETRY_POLICY"]
+
+
+@dataclass(frozen=True)
+class FailedRecording:
+    """Quarantine record for one recording the pipeline could not process.
+
+    Attributes
+    ----------
+    participant_id / day:
+        Provenance of the failed capture, enough to schedule a
+        re-measurement.
+    error_type:
+        Exception class name (e.g. ``"NoEchoFoundError"``).
+    message:
+        The exception's message.
+    attempts:
+        Total processing attempts made (1 when no retry happened).
+    true_state:
+        Ground-truth state if the recording carried one (simulation);
+        ``None`` for field recordings.
+    """
+
+    participant_id: str
+    day: float
+    error_type: str
+    message: str
+    attempts: int = 1
+    true_state: MeeState | None = None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry for transient per-recording failures.
+
+    Attributes
+    ----------
+    max_retries:
+        Extra attempts after the first (0 disables retry entirely).
+    transient:
+        Exception types considered worth retrying.  Anything else —
+        including the deterministic :class:`NoEchoFoundError` — is
+        quarantined on first failure.
+    """
+
+    max_retries: int = 0
+    transient: tuple[type[BaseException], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (1-based) may be retried."""
+        if attempt > self.max_retries:
+            return False
+        return isinstance(exc, self.transient)
+
+
+#: No retries: correct for the deterministic simulation pipeline.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def run_with_policy(func, recording, policy: RetryPolicy):
+    """Call ``func(recording)`` under ``policy``.
+
+    Returns ``(result, attempts)`` on success.  On a quarantinable
+    failure returns ``(FailedRecording, attempts)``; other exceptions
+    propagate unchanged.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return func(recording), attempt
+        except SignalProcessingError as exc:
+            if policy.should_retry(exc, attempt):
+                continue
+            failed = FailedRecording(
+                participant_id=recording.participant_id,
+                day=recording.day,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                attempts=attempt,
+                true_state=getattr(recording, "state", None),
+            )
+            return failed, attempt

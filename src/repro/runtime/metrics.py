@@ -1,0 +1,183 @@
+"""Lightweight runtime observability: counters and latency histograms.
+
+A production batch runtime needs to answer three questions cheaply —
+how much work ran, how long it took (with tail percentiles, since a
+screening service cares about the p99 a caregiver experiences), and how
+often the cache saved a pipeline invocation.  :class:`RuntimeMetrics`
+is a small in-process registry answering exactly those; it has no
+external dependencies and serializes to a plain dict so benchmarks and
+the CLI can dump it as JSON.
+
+All mutation goes through a single lock: the executor's parallel path
+records results from the parent process only, but user code may share
+one registry across threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Histogram", "RuntimeMetrics"]
+
+
+class Histogram:
+    """Sample-keeping latency histogram with percentile summaries.
+
+    Keeps raw observations (batch-screening cardinalities are modest —
+    one value per recording or chunk), so percentiles are exact rather
+    than bucket-approximated.
+    """
+
+    __slots__ = ("_samples",)
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation (e.g. a latency in milliseconds)."""
+        self._samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of recorded observations."""
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return float(sum(self._samples))
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-th percentile (0-100) of the samples."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    def summary(self) -> dict[str, float]:
+        """Count / mean / p50 / p95 / p99 / max digest of the samples."""
+        if not self._samples:
+            return {
+                "count": 0,
+                "mean": 0.0,
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+                "max": 0.0,
+            }
+        data = np.asarray(self._samples)
+        p50, p95, p99 = np.percentile(data, [50.0, 95.0, 99.0])
+        return {
+            "count": int(data.size),
+            "mean": float(data.mean()),
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
+            "max": float(data.max()),
+        }
+
+
+class RuntimeMetrics:
+    """Registry of named counters and histograms for one batch run.
+
+    Canonical names used by the executor and cache:
+
+    - ``recordings.submitted`` / ``recordings.ok`` / ``recordings.failed``
+    - ``recordings.retried`` — extra attempts granted by the retry policy
+    - ``pipeline.calls`` — actual DSP invocations (cache misses only)
+    - ``cache.hits`` / ``cache.misses``
+    - ``executor.serial_fallback`` — parallel run degraded to serial
+    - histograms ``recording_ms``, ``stage.bandpass_ms``,
+      ``stage.features_ms``, ``batch_ms``
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- counters ------------------------------------------------------
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the named counter (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(amount)
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # -- histograms ----------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation in the named histogram."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(value)
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram (created empty on first access)."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            return hist
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Context manager recording the block's wall time in ms."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, (time.perf_counter() - start) * 1e3)
+
+    # -- derived views -------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 with no lookups)."""
+        hits = self.counter("cache.hits")
+        misses = self.counter("cache.misses")
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def report(self) -> dict:
+        """Serializable snapshot: counters, histogram digests, rates."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = {
+                name: hist.summary() for name, hist in self._histograms.items()
+            }
+        hits = counters.get("cache.hits", 0)
+        misses = counters.get("cache.misses", 0)
+        lookups = hits + misses
+        return {
+            "counters": counters,
+            "histograms": histograms,
+            "cache_hit_rate": hits / lookups if lookups else 0.0,
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line report (CLI output)."""
+        report = self.report()
+        lines = ["counters:"]
+        for name in sorted(report["counters"]):
+            lines.append(f"  {name:<28} {report['counters'][name]}")
+        if report["histograms"]:
+            lines.append("histograms (ms):")
+            for name in sorted(report["histograms"]):
+                s = report["histograms"][name]
+                lines.append(
+                    f"  {name:<28} n={s['count']:<5} mean={s['mean']:.2f} "
+                    f"p50={s['p50']:.2f} p95={s['p95']:.2f} p99={s['p99']:.2f}"
+                )
+        lines.append(f"cache hit rate: {100.0 * report['cache_hit_rate']:.1f}%")
+        return "\n".join(lines)

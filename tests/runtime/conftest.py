@@ -1,0 +1,43 @@
+"""Fixtures for the batch-runtime tests.
+
+The shared study is deliberately tiny (3 participants x 8 days of 0.1 s
+recordings) and has three recordings poisoned with silence so that
+``NoEchoFoundError`` quarantining is exercised on every run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import EarSonarConfig, EarSonarPipeline
+from repro.simulation import SessionConfig, StudyDesign, build_cohort, simulate_study
+
+#: Input positions replaced with silent waveforms (guaranteed failures).
+POISONED = (2, 9, 17)
+
+
+@pytest.fixture(scope="package")
+def runtime_pipeline() -> EarSonarPipeline:
+    return EarSonarPipeline(EarSonarConfig())
+
+
+@pytest.fixture(scope="package")
+def runtime_study():
+    """24 fast recordings, three of them silent (unprocessable)."""
+    rng = np.random.default_rng(4242)
+    cohort = build_cohort(3, rng, total_days=8)
+    design = StudyDesign(
+        total_days=8,
+        sessions_per_day=1,
+        session_config=SessionConfig(duration_s=0.1),
+    )
+    study = simulate_study(cohort, design, rng)
+    recordings = list(study.recordings)
+    for index in POISONED:
+        recordings[index] = dataclasses.replace(
+            recordings[index], waveform=np.zeros_like(recordings[index].waveform)
+        )
+    return dataclasses.replace(study, recordings=recordings)

@@ -1,0 +1,73 @@
+"""Smoke tests for ``python -m repro.runtime``."""
+
+import json
+
+from repro.runtime.__main__ import main
+
+
+class TestRuntimeCli:
+    def test_json_report(self, capsys):
+        exit_code = main(
+            [
+                "--participants",
+                "2",
+                "--days",
+                "2",
+                "--duration",
+                "0.1",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["passes"]) == {"cold", "warm"}
+        cold, warm = payload["passes"]["cold"], payload["passes"]["warm"]
+        assert cold["recordings"] == warm["recordings"] == 4
+        assert cold["ok"] + cold["failed"] == 4
+        # Second pass is fully cache-served.
+        counters = payload["metrics"]["counters"]
+        assert counters["cache.hits"] == cold["ok"]
+        assert payload["metrics"]["cache_hit_rate"] > 0.0
+
+    def test_text_report_and_workers(self, capsys):
+        exit_code = main(
+            [
+                "--participants",
+                "2",
+                "--days",
+                "2",
+                "--duration",
+                "0.1",
+                "--workers",
+                "2",
+                "--no-warm-pass",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "cold pass:" in out
+        assert "warm pass:" not in out
+        assert "cache hit rate" in out
+
+    def test_disk_cache_between_invocations(self, capsys, tmp_path):
+        args = [
+            "--participants",
+            "1",
+            "--days",
+            "2",
+            "--duration",
+            "0.1",
+            "--no-warm-pass",
+            "--json",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        main(args)
+        first = json.loads(capsys.readouterr().out)
+        main(args)
+        second = json.loads(capsys.readouterr().out)
+        ok = first["passes"]["cold"]["ok"]
+        assert first["metrics"]["counters"].get("cache.hits", 0) == 0
+        # Same seed, same waveforms: the second process-level run is
+        # served from the persisted cache.
+        assert second["metrics"]["counters"]["cache.hits"] == ok

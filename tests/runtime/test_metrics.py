@@ -1,0 +1,74 @@
+"""Unit tests for the runtime metrics registry."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.metrics import Histogram, RuntimeMetrics
+
+
+class TestHistogram:
+    def test_empty_summary_is_zeros(self):
+        s = Histogram().summary()
+        assert s == {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+
+    def test_percentiles_are_exact(self):
+        hist = Histogram()
+        for v in range(1, 101):
+            hist.observe(float(v))
+        assert hist.count == 100
+        assert hist.percentile(50) == pytest.approx(50.5)
+        assert hist.percentile(99) == pytest.approx(np.percentile(np.arange(1, 101), 99))
+        s = hist.summary()
+        assert s["count"] == 100
+        assert s["mean"] == pytest.approx(50.5)
+        assert s["max"] == 100.0
+        assert s["p50"] <= s["p95"] <= s["p99"] <= s["max"]
+
+
+class TestRuntimeMetrics:
+    def test_counters_accumulate(self):
+        m = RuntimeMetrics()
+        assert m.counter("recordings.ok") == 0
+        m.increment("recordings.ok")
+        m.increment("recordings.ok", 4)
+        assert m.counter("recordings.ok") == 5
+
+    def test_observe_creates_histograms(self):
+        m = RuntimeMetrics()
+        m.observe("recording_ms", 10.0)
+        m.observe("recording_ms", 20.0)
+        assert m.histogram("recording_ms").count == 2
+
+    def test_time_context_manager_records_ms(self):
+        m = RuntimeMetrics()
+        with m.time("block_ms"):
+            pass
+        hist = m.histogram("block_ms")
+        assert hist.count == 1
+        assert 0.0 <= hist.total < 1000.0
+
+    def test_cache_hit_rate(self):
+        m = RuntimeMetrics()
+        assert m.cache_hit_rate == 0.0
+        m.increment("cache.hits", 3)
+        m.increment("cache.misses", 1)
+        assert m.cache_hit_rate == pytest.approx(0.75)
+
+    def test_report_is_json_serializable(self):
+        import json
+
+        m = RuntimeMetrics()
+        m.increment("cache.hits", 2)
+        m.increment("cache.misses", 2)
+        m.observe("batch_ms", 12.5)
+        report = json.loads(json.dumps(m.report()))
+        assert report["counters"]["cache.hits"] == 2
+        assert report["cache_hit_rate"] == pytest.approx(0.5)
+        assert report["histograms"]["batch_ms"]["count"] == 1
+
+    def test_render_mentions_all_counters(self):
+        m = RuntimeMetrics()
+        m.increment("pipeline.calls", 7)
+        text = m.render()
+        assert "pipeline.calls" in text
+        assert "7" in text
