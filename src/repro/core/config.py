@@ -52,7 +52,7 @@ def _canonicalize(value):
     )
 
 
-def config_fingerprint(config) -> str:
+def config_fingerprint(config: object) -> str:
     """Stable SHA-256 hex digest of a (possibly nested) config dataclass.
 
     Two configs share a fingerprint iff every nested field is equal, so

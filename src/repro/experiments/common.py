@@ -16,8 +16,13 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..runtime.cache import FeatureCache
+    from ..runtime.metrics import RuntimeMetrics
 
 from ..core.config import EarSonarConfig
 from ..core.evaluation import FeatureTable, extract_features
@@ -147,8 +152,8 @@ def build_feature_table(
     session_config: SessionConfig | None = None,
     pipeline: EarSonarPipeline | None = None,
     workers: int | None = None,
-    cache=None,
-    metrics=None,
+    cache: "FeatureCache | None" = None,
+    metrics: "RuntimeMetrics | None" = None,
 ) -> FeatureTable:
     """Simulate a study and run the signal pipeline over it.
 

@@ -1,0 +1,58 @@
+"""repro.qa — AST-based domain lint engine for reproducibility invariants.
+
+The EarSonar reproduction's results are only trustworthy while a set of
+*domain* invariants hold — invariants no general-purpose linter knows
+about:
+
+- **QA001 determinism** — science packages never touch ambient entropy
+  or wall clocks; randomness arrives as a threaded, seeded
+  ``np.random.Generator``.
+- **QA002 fingerprint completeness** — every field of the
+  ``EarSonarConfig`` tree is visible to ``config_fingerprint``, so the
+  feature cache can never serve results computed under a different
+  configuration.
+- **QA003 pool safety** — callables dispatched to process pools are
+  module-level and state-free, so parallel runs stay byte-identical to
+  serial ones.
+- **QA004 unit discipline** — sample rates and band edges come from the
+  config, never from inline literals.
+- **QA005 public-API hygiene** — exported names carry docstrings and
+  annotations.
+
+Run it as ``python -m repro.qa`` (see :mod:`repro.qa.__main__`); use it
+programmatically via :class:`QAEngine`::
+
+    from pathlib import Path
+    from repro.qa import Project, QAEngine
+
+    report = QAEngine().run(Project.scan(Path("src")))
+    for finding in report.findings:
+        print(finding.render())
+
+Suppression is two-layered: a ``# qa: ignore[QA001]`` pragma on the
+offending line, or an accepted-debt baseline (``qa_baseline.json``,
+written by ``--write-baseline``) that makes only *new* findings fail.
+"""
+
+from .baseline import Baseline, BaselineResult, apply_baseline
+from .engine import QAEngine, Report, Rule, all_rules, register
+from .findings import Finding, Severity
+from .pragmas import PragmaIndex, parse_pragmas
+from .project import ModuleInfo, Project
+
+__all__ = [
+    "Baseline",
+    "BaselineResult",
+    "apply_baseline",
+    "QAEngine",
+    "Report",
+    "Rule",
+    "all_rules",
+    "register",
+    "Finding",
+    "Severity",
+    "PragmaIndex",
+    "parse_pragmas",
+    "ModuleInfo",
+    "Project",
+]

@@ -1,0 +1,164 @@
+"""Command-line entry point: ``python -m repro.qa``.
+
+Examples::
+
+    python -m repro.qa                       # lint src/, text report
+    python -m repro.qa --strict              # warnings fail too (CI)
+    python -m repro.qa --format json         # machine-readable output
+    python -m repro.qa --write-baseline      # accept current findings
+    python -m repro.qa --rules QA001,QA004   # subset of rules
+    python -m repro.qa --root other/src      # lint a different tree
+
+Exit codes: 0 clean, 1 findings (new errors; with ``--strict`` any new
+finding), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import Baseline
+from .engine import QAEngine, Report, all_rules
+
+__all__ = ["main"]
+
+
+def _default_root() -> Path:
+    """``src/`` when run from a repo checkout, else the working dir."""
+    src = Path("src")
+    return src if (src / "repro").is_dir() else Path(".")
+
+
+def _render_text(report: Report, baseline_path: Path) -> str:
+    lines = [f.render() for f in report.findings]
+    summary = (
+        f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
+        f" ({len(report.pragma_suppressed)} pragma-suppressed,"
+        f" {len(report.baseline_suppressed)} baselined)"
+    )
+    lines.append(summary)
+    if report.stale_baseline_keys:
+        lines.append(
+            f"note: {len(report.stale_baseline_keys)} stale baseline entr"
+            f"{'y' if len(report.stale_baseline_keys) == 1 else 'ies'} in "
+            f"{baseline_path} no longer match anything; re-run "
+            "--write-baseline to ratchet the debt down"
+        )
+    return "\n".join(lines)
+
+
+def _render_json(report: Report) -> str:
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in report.findings],
+            "counts": {
+                "errors": len(report.errors),
+                "warnings": len(report.warnings),
+                "pragma_suppressed": len(report.pragma_suppressed),
+                "baseline_suppressed": len(report.baseline_suppressed),
+            },
+            "stale_baseline_keys": report.stale_baseline_keys,
+        },
+        indent=2,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the lint engine; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.qa",
+        description="Domain lint: determinism, cache-key, and pool-safety "
+        "invariants of the EarSonar reproduction.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="source root to lint (default: ./src if it contains repro/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("qa_baseline.json"),
+        help="baseline file of accepted findings (default: qa_baseline.json)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings as well as errors (CI mode)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id} [{rule.severity.value}] {rule.description}")
+        return 0
+    if args.rules:
+        wanted = {r.strip().upper() for r in args.rules.split(",") if r.strip()}
+        unknown = wanted - {r.rule_id for r in rules}
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+        rules = [r for r in rules if r.rule_id in wanted]
+
+    root = args.root if args.root is not None else _default_root()
+    if not root.exists():
+        print(f"source root {root} does not exist", file=sys.stderr)
+        return 2
+
+    from .project import Project
+
+    project = Project.scan(root)
+    try:
+        baseline = Baseline.load(args.baseline)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    engine = QAEngine(rules=rules, baseline=baseline)
+
+    if args.write_baseline:
+        # Pragma-suppressed findings stay suppressed by their pragma;
+        # everything else becomes accepted debt.
+        report = QAEngine(rules=rules).run(project)
+        Baseline.from_findings(report.findings).save(args.baseline)
+        print(
+            f"wrote {len(report.findings)} finding(s) to {args.baseline}",
+        )
+        return 0
+
+    report = engine.run(project)
+    if args.format == "json":
+        print(_render_json(report))
+    else:
+        print(_render_text(report, args.baseline))
+    return report.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Baseline file: accepted pre-existing findings.
+
+Introducing a linter into a living codebase needs a ratchet: existing
+debt is recorded once (``python -m repro.qa --write-baseline``) and only
+*new* findings fail the build afterwards.  The baseline maps each
+finding's line-free :meth:`~repro.qa.findings.Finding.key` to an
+occurrence count, so
+
+- moving code within a file does not resurrect accepted findings, and
+- adding a *second* instance of an accepted violation is still new
+  (counts are per-key budgets, not blanket waivers).
+
+Entries that no longer match anything are *stale*; they are reported so
+the baseline can be re-written smaller, ratcheting debt monotonically
+down.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import Finding
+
+__all__ = ["Baseline", "apply_baseline", "BaselineResult"]
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Accepted-finding budgets keyed by ``path::rule::message``."""
+
+    entries: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != _VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline format (expected version {_VERSION})"
+            )
+        entries = data.get("entries", {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"{path}: 'entries' must be an object")
+        return cls({str(k): int(v) for k, v in entries.items()})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Baseline accepting exactly the given findings."""
+        return cls(dict(Counter(f.key() for f in findings)))
+
+    def save(self, path: Path) -> None:
+        """Write the baseline deterministically (sorted keys, trailing \\n)."""
+        payload = {"version": _VERSION, "entries": dict(sorted(self.entries.items()))}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of filtering findings through a baseline."""
+
+    active: list[Finding]
+    suppressed: list[Finding]
+    stale_keys: list[str]
+
+
+def apply_baseline(findings: Sequence[Finding], baseline: Baseline) -> BaselineResult:
+    """Split findings into new (active) and baseline-accepted (suppressed).
+
+    For each key the first ``budget`` occurrences (in file/line order)
+    are suppressed; any beyond the budget are active.  Unused budget
+    surfaces the key as stale.
+    """
+    budgets = dict(baseline.entries)
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in sorted(findings):
+        remaining = budgets.get(finding.key(), 0)
+        if remaining > 0:
+            budgets[finding.key()] = remaining - 1
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+    stale = sorted(key for key, remaining in budgets.items() if remaining > 0)
+    return BaselineResult(active=active, suppressed=suppressed, stale_keys=stale)

@@ -1,0 +1,28 @@
+"""Domain lint rules.
+
+Importing this package registers every rule with the engine registry
+(:func:`repro.qa.engine.all_rules` relies on that side effect).  Each
+rule lives in its own module, named after its id, and documents the
+scientific invariant it protects in its module docstring.
+"""
+
+from . import (  # noqa: F401  (imports register the rules)
+    qa001_determinism,
+    qa002_fingerprint,
+    qa003_pool_safety,
+    qa004_units,
+    qa005_api,
+)
+from .qa001_determinism import DeterminismRule
+from .qa002_fingerprint import FingerprintCompletenessRule
+from .qa003_pool_safety import PoolSafetyRule
+from .qa004_units import UnitDisciplineRule
+from .qa005_api import PublicApiRule
+
+__all__ = [
+    "DeterminismRule",
+    "FingerprintCompletenessRule",
+    "PoolSafetyRule",
+    "UnitDisciplineRule",
+    "PublicApiRule",
+]

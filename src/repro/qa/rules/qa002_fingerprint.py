@@ -1,0 +1,292 @@
+"""QA002 — cache-key (fingerprint) completeness of the config tree.
+
+PR 1's :class:`~repro.runtime.cache.FeatureCache` keys every cached
+result by ``EarSonarConfig.fingerprint()``.  The fingerprint walks the
+dataclass tree with ``dataclasses.fields`` and canonicalizes each leaf,
+so it is complete *only if* every tunable value in the tree is
+
+1. an actual dataclass **field** — a bare class attribute or a
+   ``ClassVar``/``InitVar`` is invisible to ``dataclasses.fields`` and
+   therefore silently excluded from the cache key;
+2. of a **canonicalizable type** — a scalar, enum, nested config
+   dataclass, or container thereof.  An ``np.ndarray`` or callable
+   field would make ``config_fingerprint`` raise at runtime, i.e. the
+   first cache lookup after someone adds it, far from the edit;
+3. on a **frozen dataclass** — mutating a config after results were
+   cached under its fingerprint silently decouples key from content.
+
+This rule proves all three statically: it finds the root config class
+(``EarSonarConfig``), resolves every nested annotation across modules,
+and walks the whole tree.  Adding a config field that the cache key
+cannot cover is a lint error at the line of the new field.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Rule, register
+from ..findings import Finding, Severity
+from ..project import ModuleInfo, Project
+
+__all__ = ["FingerprintCompletenessRule", "ROOT_CONFIG_CLASS"]
+
+#: Name of the root class whose tree must be fully fingerprintable.
+ROOT_CONFIG_CLASS = "EarSonarConfig"
+
+#: Builtin scalar annotations ``_canonicalize`` accepts directly.
+_SCALAR_NAMES = frozenset({"bool", "int", "float", "str"})
+
+#: Generic containers whose element types are checked recursively.
+_CONTAINER_NAMES = frozenset(
+    {"list", "tuple", "dict", "List", "Tuple", "Dict", "Sequence", "Mapping",
+     "FrozenSet", "frozenset", "Set", "set"}
+)
+
+#: Enum base-class names we recognise statically.
+_ENUM_BASES = frozenset({"Enum", "IntEnum", "StrEnum", "IntFlag", "Flag"})
+
+
+def _decorator_info(node: ast.ClassDef) -> tuple[bool, bool]:
+    """(is_dataclass, is_frozen) from a class's decorator list."""
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else None
+        )
+        if name != "dataclass":
+            continue
+        frozen = False
+        if isinstance(deco, ast.Call):
+            for kw in deco.keywords:
+                if kw.arg == "frozen" and isinstance(kw.value, ast.Constant):
+                    frozen = bool(kw.value.value)
+        return True, frozen
+    return False, False
+
+
+def _annotation_names(node: ast.expr) -> str | None:
+    """Trailing identifier of an annotation expression, if any."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register
+class FingerprintCompletenessRule(Rule):
+    """Every leaf of the root config tree must reach the fingerprint."""
+
+    rule_id = "QA002"
+    severity = Severity.ERROR
+    description = (
+        "every field of the EarSonarConfig tree must be a fingerprintable "
+        "dataclass field (no ClassVar/bare attributes, canonicalizable types, "
+        "frozen dataclasses only)"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        for module in project:
+            root = module.top_level_classes().get(ROOT_CONFIG_CLASS)
+            if root is not None:
+                yield from self._check_tree(project, module, root)
+
+    # -- tree walk -----------------------------------------------------
+
+    def _check_tree(
+        self, project: Project, module: ModuleInfo, root: ast.ClassDef
+    ) -> Iterable[Finding]:
+        queue: list[tuple[ModuleInfo, ast.ClassDef]] = [(module, root)]
+        visited: set[tuple[str, str]] = set()
+        while queue:
+            mod, cls = queue.pop(0)
+            key = (mod.name, cls.name)
+            if key in visited:
+                continue
+            visited.add(key)
+            yield from self._check_config_class(project, mod, cls, queue)
+
+    def _check_config_class(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        cls: ast.ClassDef,
+        queue: list[tuple[ModuleInfo, ast.ClassDef]],
+    ) -> Iterable[Finding]:
+        is_dataclass, frozen = _decorator_info(cls)
+        if not is_dataclass:
+            yield self.finding(
+                module,
+                cls.lineno,
+                f"config class '{cls.name}' is not a dataclass; "
+                "config_fingerprint cannot traverse it",
+                "decorate it with @dataclass(frozen=True)",
+            )
+            return
+        if not frozen:
+            yield self.finding(
+                module,
+                cls.lineno,
+                f"config dataclass '{cls.name}' is not frozen; mutation after "
+                "caching would decouple cache keys from content",
+                "use @dataclass(frozen=True)",
+            )
+
+        for stmt in cls.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                yield from self._check_field(
+                    project, module, cls, stmt, queue
+                )
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and not target.id.startswith("__"):
+                        yield self.finding(
+                            module,
+                            stmt.lineno,
+                            f"'{cls.name}.{target.id}' is a bare class attribute: "
+                            "invisible to dataclasses.fields() and therefore "
+                            "excluded from the cache fingerprint",
+                            "annotate it as a dataclass field (or move it out of "
+                            "the config tree)",
+                        )
+
+    def _check_field(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        cls: ast.ClassDef,
+        stmt: ast.AnnAssign,
+        queue: list[tuple[ModuleInfo, ast.ClassDef]],
+    ) -> Iterable[Finding]:
+        field_name = stmt.target.id  # type: ignore[union-attr]
+        annotation = stmt.annotation
+        head = _annotation_names(annotation)
+        if isinstance(annotation, ast.Subscript):
+            head = _annotation_names(annotation.value)
+        if head in ("ClassVar", "InitVar"):
+            yield self.finding(
+                module,
+                stmt.lineno,
+                f"'{cls.name}.{field_name}' is {head}-"
+                "annotated: excluded from dataclasses.fields() and the "
+                "cache fingerprint",
+                "make it a regular field or move it off the config",
+            )
+            return
+        yield from self._check_annotation(
+            project, module, cls, field_name, stmt.lineno, annotation, queue
+        )
+
+    def _check_annotation(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        cls: ast.ClassDef,
+        field_name: str,
+        lineno: int,
+        annotation: ast.expr,
+        queue: list[tuple[ModuleInfo, ast.ClassDef]],
+    ) -> Iterable[Finding]:
+        def bad(reason: str) -> Finding:
+            return self.finding(
+                module,
+                lineno,
+                f"'{cls.name}.{field_name}' has non-fingerprintable type "
+                f"{ast.unparse(annotation)!s}: {reason}",
+                "use scalars, enums, containers of those, or a frozen config "
+                "dataclass; config_fingerprint would reject this value",
+            )
+
+        ok, reason = self._annotation_ok(project, module, annotation, queue)
+        if not ok:
+            yield bad(reason)
+
+    def _annotation_ok(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        node: ast.expr,
+        queue: list[tuple[ModuleInfo, ast.ClassDef]],
+    ) -> tuple[bool, str]:
+        """Whether an annotation subtree is statically canonicalizable."""
+        # String (forward-reference) annotations: parse and recurse.
+        if isinstance(node, ast.Constant):
+            if node.value is None:
+                return True, ""
+            if isinstance(node.value, str):
+                try:
+                    parsed = ast.parse(node.value, mode="eval").body
+                except SyntaxError:
+                    return False, "unparsable string annotation"
+                return self._annotation_ok(project, module, parsed, queue)
+            return False, f"literal annotation {node.value!r}"
+
+        if isinstance(node, ast.Name) or isinstance(node, ast.Attribute):
+            name = _annotation_names(node)
+            if name in _SCALAR_NAMES or name == "None":
+                return True, ""
+            if name in ("Any", "object", "ndarray", "array", "Callable", "Path"):
+                return False, f"'{name}' cannot be canonicalized deterministically"
+            resolved = project.resolve_class(module, name) if isinstance(
+                node, ast.Name
+            ) else None
+            if resolved is None:
+                return False, f"cannot statically resolve type '{ast.unparse(node)}'"
+            res_module, res_cls = resolved
+            base_names = {
+                _annotation_names(base) for base in res_cls.bases
+            }
+            if base_names & _ENUM_BASES:
+                return True, ""
+            is_dc, _ = _decorator_info(res_cls)
+            if is_dc:
+                queue.append((res_module, res_cls))
+                return True, ""
+            return False, (
+                f"'{name}' is neither a scalar, an Enum, nor a dataclass"
+            )
+
+        if isinstance(node, ast.Subscript):
+            head = _annotation_names(node.value)
+            if head == "Literal":
+                return True, ""  # Literal args are scalar constants by definition
+            if head in ("Optional", "Union"):
+                return self._subscript_args_ok(project, module, node, queue)
+            if head in _CONTAINER_NAMES:
+                return self._subscript_args_ok(project, module, node, queue)
+            return False, f"unsupported generic '{head}'"
+
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            for side in (node.left, node.right):
+                ok, reason = self._annotation_ok(project, module, side, queue)
+                if not ok:
+                    return ok, reason
+            return True, ""
+
+        if isinstance(node, ast.Tuple):
+            for elt in node.elts:
+                ok, reason = self._annotation_ok(project, module, elt, queue)
+                if not ok:
+                    return ok, reason
+            return True, ""
+
+        return False, f"unsupported annotation form '{ast.unparse(node)}'"
+
+    def _subscript_args_ok(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        node: ast.Subscript,
+        queue: list[tuple[ModuleInfo, ast.ClassDef]],
+    ) -> tuple[bool, str]:
+        inner = node.slice
+        elements = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        for element in elements:
+            if isinstance(element, ast.Constant) and element.value is Ellipsis:
+                continue
+            ok, reason = self._annotation_ok(project, module, element, queue)
+            if not ok:
+                return ok, reason
+        return True, ""

@@ -1,0 +1,117 @@
+"""QA004 — unit discipline: no magic sample-rate literals in DSP code.
+
+Every stage of the pipeline derives its timing from the config's
+``sample_rate``/Hz fields; the config validators then prove the whole
+chain consistent (chirp band inside the band-pass, segmenter rate equal
+to chirp rate, …).  A literal ``48000`` buried in a function body
+bypasses that proof: it keeps working until someone runs the system at
+a different rate, at which point delays, band edges, and distances are
+silently wrong — no exception, just corrupted features.
+
+The rule flags numeric literals matching well-known audio sample rates
+inside function bodies of the DSP packages.  Literals are *allowed*
+where rates legitimately live:
+
+- dataclass field defaults (the config layer — includes nested
+  ``default_factory`` expressions), and
+- module-level ``ALL_CAPS`` constants (named, greppable, documented).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Rule, register
+from ..findings import Finding, Severity
+from ..project import ModuleInfo, Project
+from ._helpers import module_subpackage
+
+__all__ = ["UnitDisciplineRule", "SAMPLE_RATE_LITERALS"]
+
+#: Common audio sample rates (Hz), plus the pipeline's 8x upsampled rate.
+SAMPLE_RATE_LITERALS = frozenset(
+    {
+        8_000,
+        11_025,
+        16_000,
+        22_050,
+        24_000,
+        32_000,
+        44_100,
+        48_000,
+        88_200,
+        96_000,
+        176_400,
+        192_000,
+        384_000,
+    }
+)
+
+#: Packages whose function bodies must take rates from the config.
+_DSP_SUBPACKAGES = ("signal", "features", "acoustics", "core")
+
+
+@register
+class UnitDisciplineRule(Rule):
+    """Sample rates come from the config, not from inline literals."""
+
+    rule_id = "QA004"
+    severity = Severity.ERROR
+    description = (
+        "magic sample-rate literals in DSP code bypass the config's "
+        "sample_rate/Hz fields and their cross-stage validation"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterable[Finding]:
+        if module_subpackage(module) not in _DSP_SUBPACKAGES:
+            return
+        allowed = self._allowed_literal_ids(module.tree)
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and type(node.value) in (int, float)
+                and float(node.value) in {float(v) for v in SAMPLE_RATE_LITERALS}
+                and id(node) not in allowed
+            ):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"magic sample-rate literal {node.value!r} bypasses the "
+                    "config's sample_rate/Hz fields",
+                    "take the rate from the relevant config (ChirpDesign."
+                    "sample_rate etc.) or hoist it to a named module constant",
+                )
+
+    def _allowed_literal_ids(self, tree: ast.Module) -> set[int]:
+        """AST node ids of constants in sanctioned positions."""
+        allowed: set[int] = set()
+
+        def allow_subtree(node: ast.AST) -> None:
+            for child in ast.walk(node):
+                allowed.add(id(child))
+
+        for node in tree.body:
+            # Module-level ALL_CAPS constants are named rates: fine.
+            if isinstance(node, ast.Assign) and all(
+                isinstance(t, ast.Name) and t.id.isupper() for t in node.targets
+            ):
+                allow_subtree(node.value)
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id.isupper()
+                and node.value is not None
+            ):
+                allow_subtree(node.value)
+
+        for node in ast.walk(tree):
+            # Class-body field defaults (incl. default_factory lambdas)
+            # are the config layer where rate defaults belong.
+            if isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.AnnAssign, ast.Assign)):
+                        value = stmt.value
+                        if value is not None:
+                            allow_subtree(value)
+        return allowed

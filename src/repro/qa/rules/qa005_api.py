@@ -1,0 +1,163 @@
+"""QA005 — public-API hygiene.
+
+A name placed in ``__all__`` is a promise to downstream code.  The rule
+holds every such export to a minimum contract, in its *defining*
+module (re-exports are checked at the definition site, not at each
+``__init__`` that forwards them):
+
+- exported functions need a docstring, annotations on every named
+  parameter, and a return annotation — the published surface is what
+  ``mypy`` and readers reason from;
+- exported classes need a docstring;
+- an ``__all__`` entry that names nothing in the module is a plain
+  error (it breaks ``from pkg import *`` and documentation tooling).
+
+Hygiene gaps are WARNING severity: they fail ``--strict`` (CI) but not
+a default run, so a local iteration loop is not blocked by a missing
+docstring.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Rule, register
+from ..findings import Finding, Severity
+from ..project import ModuleInfo, Project
+
+__all__ = ["PublicApiRule"]
+
+
+def _exported_names(tree: ast.Module) -> tuple[list[str], int] | None:
+    """(names, line) of the module's ``__all__`` literal, if present."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    names = [
+                        elt.value
+                        for elt in value.elts
+                        if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                    ]
+                    return names, node.lineno
+    return None
+
+
+def _imported_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def _unannotated_args(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    """Named parameters lacking annotations (self/cls exempt)."""
+    args = fn.args
+    named = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    missing = [
+        a.arg
+        for a in named
+        if a.annotation is None and a.arg not in ("self", "cls")
+    ]
+    for star in (args.vararg, args.kwarg):
+        if star is not None and star.annotation is None:
+            missing.append(f"*{star.arg}")
+    return missing
+
+
+@register
+class PublicApiRule(Rule):
+    """Exports in ``__all__`` need docstrings and type annotations."""
+
+    rule_id = "QA005"
+    severity = Severity.WARNING
+    description = (
+        "names exported via __all__ need docstrings and (for functions) "
+        "complete type annotations"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterable[Finding]:
+        exported = _exported_names(module.tree)
+        if exported is None:
+            return
+        names, all_line = exported
+        imported = _imported_names(module.tree)
+        assigned = {
+            t.id
+            for node in module.tree.body
+            if isinstance(node, ast.Assign)
+            for t in node.targets
+            if isinstance(t, ast.Name)
+        } | {
+            node.target.id
+            for node in module.tree.body
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name)
+        }
+        defs: dict[str, ast.AST] = {}
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                defs[node.name] = node
+
+        for name in names:
+            node = defs.get(name)
+            if node is None:
+                if name not in imported and name not in assigned:
+                    yield self.finding(
+                        module,
+                        all_line,
+                        f"__all__ exports '{name}' but the module neither "
+                        "defines nor imports it",
+                        "remove the entry or define the name",
+                        severity=Severity.ERROR,
+                    )
+                continue  # re-exports/constants are checked where defined
+            yield from self._check_definition(module, name, node)
+
+    def _check_definition(
+        self, module: ModuleInfo, name: str, node: ast.AST
+    ) -> Iterable[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if ast.get_docstring(node) is None:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"exported function '{name}' has no docstring",
+                    "describe what it computes and the units/shapes involved",
+                )
+            missing = _unannotated_args(node)
+            if missing:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"exported function '{name}' has unannotated "
+                    f"parameter(s): {', '.join(missing)}",
+                    "annotate the public signature",
+                )
+            if node.returns is None:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"exported function '{name}' has no return annotation",
+                    "annotate the public signature",
+                )
+        elif isinstance(node, ast.ClassDef):
+            if ast.get_docstring(node) is None:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"exported class '{name}' has no docstring",
+                    "one line on the invariant the class maintains is enough",
+                )

@@ -1,0 +1,118 @@
+"""QA002 regression: the rule guards the *real* config tree.
+
+These tests copy the repository's actual config modules into a scratch
+tree, then mutate the copy the way a future contributor plausibly
+would.  If QA002 ever stops resolving the real tree (an import style
+change, a moved module), the canary test fails even though the
+synthetic fixtures in ``test_rules.py`` still pass.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.qa import Project, QAEngine
+from repro.qa.rules import FingerprintCompletenessRule
+
+#: Modules the EarSonarConfig tree spans (copied verbatim).
+CONFIG_TREE_FILES = [
+    "repro/__init__.py",
+    "repro/errors.py",
+    "repro/core/__init__.py",
+    "repro/core/config.py",
+    "repro/signal/__init__.py",
+    "repro/signal/chirp.py",
+    "repro/signal/events.py",
+    "repro/signal/parity.py",
+    "repro/signal/mfcc.py",
+    "repro/features/__init__.py",
+    "repro/features/vector.py",
+]
+
+
+@pytest.fixture
+def config_tree_copy(tmp_path, repo_src_root) -> Path:
+    """Copy of the real config modules under a scratch source root.
+
+    Package ``__init__`` files are emptied: they pull in the rest of
+    the package, which is irrelevant to the config tree and would drag
+    every module into the copy.
+    """
+    root = tmp_path / "src_copy"
+    for relpath in CONFIG_TREE_FILES:
+        src = repo_src_root / relpath
+        dst = root / relpath
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        if relpath.endswith("__init__.py"):
+            dst.write_text("", encoding="utf-8")
+        else:
+            shutil.copyfile(src, dst)
+    return root
+
+
+def run_qa002(root: Path):
+    report = QAEngine(rules=[FingerprintCompletenessRule()]).run(Project.scan(root))
+    return report.findings
+
+
+def test_copied_real_tree_is_clean(config_tree_copy):
+    assert run_qa002(config_tree_copy) == []
+
+
+def test_resolution_actually_reaches_nested_modules(config_tree_copy):
+    """Canary: breaking a *nested* config must be detected, proving the
+    cross-module import resolution is live (not silently skipping)."""
+    chirp = config_tree_copy / "repro/signal/chirp.py"
+    text = chirp.read_text(encoding="utf-8").replace(
+        "@dataclass(frozen=True)\nclass ChirpDesign:",
+        "@dataclass\nclass ChirpDesign:",
+        1,
+    )
+    assert "@dataclass\nclass ChirpDesign:" in text  # replacement applied
+    chirp.write_text(text, encoding="utf-8")
+    findings = run_qa002(config_tree_copy)
+    assert any(
+        f.path == "repro/signal/chirp.py" and "not frozen" in f.message
+        for f in findings
+    )
+
+
+def test_synthetic_unfingerprable_field_is_flagged(config_tree_copy):
+    """Appending a field the cache key cannot cover is a lint error."""
+    config = config_tree_copy / "repro/core/config.py"
+    text = config.read_text(encoding="utf-8")
+    anchor = "    #: Minimum echoes that must be extracted for a recording to count.\n"
+    assert anchor in text
+    text = text.replace(
+        anchor,
+        "    #: Synthetic regression field: an ndarray cannot be fingerprinted.\n"
+        "    warp_table: np.ndarray = None  # type: ignore[assignment]\n" + anchor,
+        1,
+    )
+    config.write_text(text, encoding="utf-8")
+    findings = run_qa002(config_tree_copy)
+    matching = [f for f in findings if "warp_table" in f.message]
+    assert len(matching) == 1
+    assert matching[0].rule == "QA002"
+    assert matching[0].path == "repro/core/config.py"
+
+
+def test_synthetic_classvar_field_is_flagged(config_tree_copy):
+    """A ClassVar 'setting' silently escapes dataclasses.fields()."""
+    config = config_tree_copy / "repro/core/config.py"
+    text = config.read_text(encoding="utf-8")
+    anchor = "    min_echoes: int = 3\n"
+    assert anchor in text
+    text = text.replace(
+        anchor,
+        anchor + "    strict_mode: ClassVar[bool] = False\n",
+        1,
+    )
+    config.write_text(text, encoding="utf-8")
+    findings = run_qa002(config_tree_copy)
+    matching = [f for f in findings if "strict_mode" in f.message]
+    assert len(matching) == 1
+    assert "excluded from dataclasses.fields()" in matching[0].message

@@ -1,0 +1,355 @@
+"""Per-rule tests: fixture modules with known violations at known lines.
+
+Each test declares a small source tree inline and asserts the exact
+``(rule, line)`` pairs the engine reports — both that real violations
+are caught *where they are*, and that the sanctioned idioms nearby stay
+silent.
+"""
+
+from __future__ import annotations
+
+from repro.qa.rules import (
+    DeterminismRule,
+    FingerprintCompletenessRule,
+    PoolSafetyRule,
+    PublicApiRule,
+    UnitDisciplineRule,
+)
+
+
+def pairs(findings):
+    """(rule, line) pairs of findings, sorted."""
+    return sorted((f.rule, f.line) for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# QA001 — determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_flags_entropy_and_clock_sources(self, findings_of):
+        findings = findings_of(
+            DeterminismRule,
+            {
+                "repro/signal/bad.py": """
+                    import random
+                    import time
+                    import numpy as np
+
+                    def jitter(x):
+                        noise = np.random.rand(3)
+                        random.shuffle(x)
+                        stamp = time.time()
+                        rng = np.random.default_rng(42)
+                        return noise, stamp, rng
+                    """
+            },
+        )
+        assert pairs(findings) == [
+            ("QA001", 1),  # import random
+            ("QA001", 6),  # np.random.rand
+            ("QA001", 7),  # random.shuffle
+            ("QA001", 8),  # time.time()
+            ("QA001", 9),  # default_rng(42) literal seed
+        ]
+
+    def test_flags_unseeded_default_rng(self, findings_of):
+        findings = findings_of(
+            DeterminismRule,
+            {
+                "repro/features/bad.py": """
+                    import numpy as np
+
+                    def sample():
+                        return np.random.default_rng().standard_normal()
+                    """
+            },
+        )
+        assert pairs(findings) == [("QA001", 4)]
+
+    def test_allows_threaded_generator_and_perf_counter(self, findings_of):
+        findings = findings_of(
+            DeterminismRule,
+            {
+                "repro/simulation/good.py": """
+                    import time
+                    import numpy as np
+
+                    def simulate(rng: np.random.Generator, seed):
+                        t0 = time.perf_counter()
+                        rng2 = np.random.default_rng(seed)  # seed is threaded, not literal
+                        return rng.standard_normal(), rng2, time.perf_counter() - t0
+                    """
+            },
+        )
+        assert findings == []
+
+    def test_out_of_scope_packages_are_ignored(self, findings_of):
+        findings = findings_of(
+            DeterminismRule,
+            {
+                "repro/runtime/clocky.py": """
+                    import time
+
+                    def stamp():
+                        return time.time()
+                    """
+            },
+        )
+        assert findings == []
+
+    def test_local_variable_named_random_is_not_flagged(self, findings_of):
+        findings = findings_of(
+            DeterminismRule,
+            {
+                "repro/core/shadow.py": """
+                    def pick(random):
+                        return random.choice()
+                    """
+            },
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# QA002 — fingerprint completeness
+# ---------------------------------------------------------------------------
+
+GOOD_CONFIG_TREE = {
+    "repro/signal/chirp.py": """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class ChirpDesign:
+            sample_rate: float = 48_000.0
+            bandwidth: float = 4_000.0
+        """,
+    "repro/core/config.py": """
+        from dataclasses import dataclass, field
+
+        from ..signal.chirp import ChirpDesign
+
+        @dataclass(frozen=True)
+        class EarSonarConfig:
+            chirp: ChirpDesign = field(default_factory=ChirpDesign)
+            min_echoes: int = 3
+        """,
+}
+
+
+class TestFingerprintCompleteness:
+    def test_clean_tree_passes(self, findings_of):
+        assert findings_of(FingerprintCompletenessRule, GOOD_CONFIG_TREE) == []
+
+    def test_classvar_and_bare_attribute_escape_fingerprint(self, findings_of):
+        files = dict(GOOD_CONFIG_TREE)
+        files["repro/core/config.py"] = """
+            from dataclasses import dataclass, field
+            from typing import ClassVar
+
+            from ..signal.chirp import ChirpDesign
+
+            @dataclass(frozen=True)
+            class EarSonarConfig:
+                chirp: ChirpDesign = field(default_factory=ChirpDesign)
+                debug: ClassVar[bool] = False
+                cache_dir = "/tmp/cache"
+            """
+        findings = findings_of(FingerprintCompletenessRule, files)
+        assert pairs(findings) == [("QA002", 9), ("QA002", 10)]
+
+    def test_unfrozen_nested_config_is_flagged_across_modules(self, findings_of):
+        files = dict(GOOD_CONFIG_TREE)
+        files["repro/signal/chirp.py"] = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class ChirpDesign:
+                sample_rate: float = 48_000.0
+            """
+        findings = findings_of(FingerprintCompletenessRule, files)
+        assert pairs(findings) == [("QA002", 4)]
+        assert findings[0].path == "repro/signal/chirp.py"
+
+    def test_non_dataclass_in_tree_is_flagged_at_field_site(self, findings_of):
+        files = dict(GOOD_CONFIG_TREE)
+        files["repro/signal/chirp.py"] = """
+            class ChirpDesign:
+                pass
+            """
+        findings = findings_of(FingerprintCompletenessRule, files)
+        # Reported at the field referencing the unusable type, which is
+        # where the fingerprint would break.
+        assert pairs(findings) == [("QA002", 7)]
+        assert findings[0].path == "repro/core/config.py"
+
+
+# ---------------------------------------------------------------------------
+# QA003 — pool safety
+# ---------------------------------------------------------------------------
+
+
+class TestPoolSafety:
+    def test_flags_lambda_nested_and_bound(self, findings_of):
+        findings = findings_of(
+            PoolSafetyRule,
+            {
+                "repro/runtime/dispatch.py": """
+                    from concurrent.futures import ProcessPoolExecutor
+
+                    def fan_out(executor, items, handler):
+                        def local(x):
+                            return x + 1
+                        with ProcessPoolExecutor() as pool:
+                            pool.submit(local, 1)
+                            pool.submit(lambda v: v * 2, 2)
+                            pool.submit(handler.process, 3)
+                            pool.map(local, items)
+                    """
+            },
+        )
+        assert pairs(findings) == [
+            ("QA003", 7),  # nested function via submit
+            ("QA003", 8),  # lambda via submit
+            ("QA003", 9),  # bound method via submit
+            ("QA003", 10),  # nested function via pool.map
+        ]
+
+    def test_module_level_function_passes(self, findings_of):
+        findings = findings_of(
+            PoolSafetyRule,
+            {
+                "repro/runtime/ok.py": """
+                    from concurrent.futures import ProcessPoolExecutor
+                    from functools import partial
+
+                    def worker(x, scale=1):
+                        return x * scale
+
+                    def fan_out(items):
+                        with ProcessPoolExecutor() as pool:
+                            pool.submit(worker, 1)
+                            pool.submit(partial(worker, scale=2), 3)
+                            pool.map(worker, items)
+                    """
+            },
+        )
+        assert findings == []
+
+    def test_lambda_assigned_to_name_is_flagged(self, findings_of):
+        findings = findings_of(
+            PoolSafetyRule,
+            {
+                "repro/runtime/sneaky.py": """
+                    double = lambda v: v * 2
+
+                    def fan_out(pool):
+                        pool.submit(double, 2)
+                    """
+            },
+        )
+        assert pairs(findings) == [("QA003", 4)]
+
+
+# ---------------------------------------------------------------------------
+# QA004 — unit discipline
+# ---------------------------------------------------------------------------
+
+
+class TestUnitDiscipline:
+    def test_flags_magic_rate_in_function_body(self, findings_of):
+        findings = findings_of(
+            UnitDisciplineRule,
+            {
+                "repro/signal/resample.py": """
+                    def upsample(x):
+                        target = 48_000.0
+                        return x, target, 44100
+                    """
+            },
+        )
+        assert pairs(findings) == [("QA004", 2), ("QA004", 3)]
+
+    def test_allows_config_defaults_and_named_constants(self, findings_of):
+        findings = findings_of(
+            UnitDisciplineRule,
+            {
+                "repro/signal/config.py": """
+                    from dataclasses import dataclass, field
+
+                    DEFAULT_RATE = 48_000.0
+
+                    @dataclass(frozen=True)
+                    class Design:
+                        sample_rate: float = 48_000.0
+                        upsampled: float = 384_000.0
+
+                    def use(design: Design):
+                        return design.sample_rate * 2
+                    """
+            },
+        )
+        assert findings == []
+
+    def test_out_of_scope_packages_are_ignored(self, findings_of):
+        findings = findings_of(
+            UnitDisciplineRule,
+            {
+                "repro/simulation/hw.py": """
+                    def device_rate():
+                        return 44100
+                    """
+            },
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# QA005 — public-API hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestPublicApi:
+    def test_flags_missing_docstring_annotations_and_ghost_export(self, findings_of):
+        findings = findings_of(
+            PublicApiRule,
+            {
+                "repro/learning/api.py": """
+                    __all__ = ["fit", "Model", "ghost"]
+
+                    def fit(features, labels) -> None:
+                        pass
+
+                    class Model:
+                        pass
+                    """
+            },
+        )
+        assert pairs(findings) == [
+            ("QA005", 1),  # ghost export
+            ("QA005", 3),  # fit: no docstring
+            ("QA005", 3),  # fit: unannotated params
+            ("QA005", 6),  # Model: no docstring
+        ]
+
+    def test_clean_module_passes(self, findings_of):
+        findings = findings_of(
+            PublicApiRule,
+            {
+                "repro/learning/ok.py": """
+                    __all__ = ["fit", "Model", "helper", "LIMIT"]
+
+                    from os.path import join as helper
+
+                    LIMIT = 3
+
+                    def fit(features: list, labels: list) -> None:
+                        '''Fit the thing.'''
+
+                    class Model:
+                        '''A model.'''
+                    """
+            },
+        )
+        assert findings == []
