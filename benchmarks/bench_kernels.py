@@ -117,3 +117,107 @@ class TestLearningKernels:
             feature_table.features, feature_table.states
         )
         benchmark(detector.predict_indices, feature_table.features)
+
+
+class TestBatchedVsSerial:
+    """Planned/batched kernels head-to-head with their serial oracles.
+
+    Same ``benchmark.group`` per pair, so ``pytest-benchmark``'s
+    comparison table shows the speedup directly; the JSON trajectory of
+    the same pairs lives in ``python -m repro.bench``'s BENCH_*.json.
+    """
+
+    def test_welch_batched(self, benchmark, waveform):
+        benchmark.group = "batched-welch"
+        benchmark(welch_psd, waveform, 48_000.0, segment_length=512)
+
+    def test_welch_serial(self, benchmark, waveform):
+        from repro.signal.spectral import welch_psd_reference
+
+        benchmark.group = "batched-welch"
+        benchmark(welch_psd_reference, waveform, 48_000.0, segment_length=512)
+
+    def test_mfcc_batched(self, benchmark):
+        benchmark.group = "batched-mfcc"
+        rng = np.random.default_rng(0)
+        segment = rng.standard_normal(4096)
+        benchmark(mfcc, segment, _BATCH_MFCC_CONFIG)
+
+    def test_mfcc_serial(self, benchmark):
+        from repro.signal.mfcc import mfcc_reference
+
+        benchmark.group = "batched-mfcc"
+        rng = np.random.default_rng(0)
+        segment = rng.standard_normal(4096)
+        benchmark(mfcc_reference, segment, _BATCH_MFCC_CONFIG)
+
+    def test_correlation_matrix_batched(self, benchmark):
+        from repro.signal.correlation import correlation_matrix
+
+        benchmark.group = "batched-correlation"
+        rng = np.random.default_rng(1)
+        curves = rng.standard_normal((48, 256))
+        benchmark(correlation_matrix, curves)
+
+    def test_correlation_matrix_serial(self, benchmark):
+        from repro.signal.correlation import correlation_matrix_reference
+
+        benchmark.group = "batched-correlation"
+        rng = np.random.default_rng(1)
+        curves = rng.standard_normal((48, 256))
+        benchmark(correlation_matrix_reference, curves)
+
+    def test_laplacian_batched(self, benchmark, feature_table):
+        benchmark.group = "batched-laplacian"
+        benchmark(laplacian_scores, feature_table.features)
+
+    def test_laplacian_serial(self, benchmark, feature_table):
+        from repro.features.laplacian import laplacian_scores_reference
+
+        benchmark.group = "batched-laplacian"
+        benchmark(laplacian_scores_reference, feature_table.features)
+
+    def test_synthesize_train_batched(self, benchmark, study_channel):
+        from repro.simulation.session import SessionConfig, _synthesize_train
+
+        benchmark.group = "batched-synthesis"
+        config = SessionConfig()
+        benchmark(
+            lambda: _synthesize_train(study_channel, config, np.random.default_rng(0))
+        )
+
+    def test_synthesize_train_serial(self, benchmark, study_channel):
+        from repro.simulation.session import SessionConfig, _synthesize_train_reference
+
+        benchmark.group = "batched-synthesis"
+        config = SessionConfig()
+        benchmark(
+            lambda: _synthesize_train_reference(
+                study_channel, config, np.random.default_rng(0)
+            )
+        )
+
+
+_BATCH_MFCC_CONFIG = MfccConfig(
+    sample_rate=384_000.0,
+    frame_length=256,
+    frame_hop=128,
+    nfft=1024,
+    low_hz=15_000.0,
+    high_hz=21_000.0,
+)
+
+
+@pytest.fixture(scope="module")
+def study_channel():
+    """One representative multipath channel for synthesis benchmarks."""
+    from repro.acoustics.ear import InsertionState, build_ear_channel
+    from repro.simulation.participant import sample_participant
+
+    rng = np.random.default_rng(0)
+    participant = sample_participant(rng, "BENCH")
+    insertion = InsertionState(depth_m=0.004, angle_deg=0.0, seal_quality=0.95)
+    load = participant.load_on(0.0, rng)
+    return build_ear_channel(
+        participant.geometry, participant.drum_model, load, insertion
+    )

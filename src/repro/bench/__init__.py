@@ -1,0 +1,114 @@
+"""Perf-trajectory harness for the planned/batched DSP kernels.
+
+``python -m repro.bench`` times every batched kernel against its serial
+``*_reference`` oracle and writes two JSON reports next to the working
+directory: ``BENCH_kernels.json`` (isolated kernel micro-benchmarks)
+and ``BENCH_pipeline.json`` (pipeline-shaped stages: chirp-train
+synthesis, device coloration, absorption curves, the Welch/MFCC feature
+path).  Each record carries the op name, a human-readable shape string,
+p50/p95 wall-clock milliseconds for the batched kernel and for its
+serial oracle, and the p50 speedup — so successive commits can be
+compared file-to-file.
+
+The harness lives outside the science subpackages on purpose: it is
+allowed to read wall clocks, while :mod:`repro.kernels` itself stays
+clock-free and deterministic under QA001.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchResult",
+    "time_op",
+    "compare_ops",
+    "write_report",
+]
+
+#: Bumped whenever the JSON layout changes shape incompatibly.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Timing record for one op, batched vs (optionally) serial oracle.
+
+    All times are wall-clock milliseconds over ``repeats`` calls after
+    one untimed warmup; ``speedup`` is ``serial_p50_ms / p50_ms``.
+    """
+
+    op: str
+    shape: str
+    repeats: int
+    p50_ms: float
+    p95_ms: float
+    serial_p50_ms: float | None = None
+    serial_p95_ms: float | None = None
+    speedup: float | None = None
+
+
+def time_op(fn: Callable[[], Any], repeats: int) -> tuple[float, float]:
+    """(p50_ms, p95_ms) of ``repeats`` timed calls after one warmup."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    fn()  # warmup: plan-cache population and allocator churn stay untimed
+    samples = np.empty(repeats)
+    for i in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples[i] = (time.perf_counter() - t0) * 1e3
+    return float(np.percentile(samples, 50)), float(np.percentile(samples, 95))
+
+
+def compare_ops(
+    op: str,
+    shape: str,
+    batched: Callable[[], Any],
+    serial: Callable[[], Any] | None = None,
+    *,
+    repeats: int = 7,
+) -> BenchResult:
+    """Time ``batched`` (and optionally ``serial``) and build the record."""
+    p50, p95 = time_op(batched, repeats)
+    if serial is None:
+        return BenchResult(op=op, shape=shape, repeats=repeats, p50_ms=p50, p95_ms=p95)
+    s50, s95 = time_op(serial, repeats)
+    speedup = s50 / p50 if p50 > 0.0 else float("inf")
+    return BenchResult(
+        op=op,
+        shape=shape,
+        repeats=repeats,
+        p50_ms=p50,
+        p95_ms=p95,
+        serial_p50_ms=s50,
+        serial_p95_ms=s95,
+        speedup=speedup,
+    )
+
+
+def write_report(
+    path: Path,
+    results: list[BenchResult],
+    *,
+    label: str,
+    quick: bool,
+    seed: int,
+) -> Path:
+    """Serialise ``results`` to ``path`` with schema/run metadata."""
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "label": label,
+        "quick": quick,
+        "seed": seed,
+        "results": [asdict(r) for r in results],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

@@ -1,0 +1,303 @@
+"""CLI entry point: ``python -m repro.bench [--quick] [--repeats N] ...``.
+
+Writes ``BENCH_kernels.json`` (kernel micro-benchmarks against their
+serial oracles) and ``BENCH_pipeline.json`` (pipeline-shaped stages on
+a real simulated recording) into ``--output-dir`` and prints a summary
+table.  ``--quick`` shrinks every problem size so the whole run fits in
+a CI smoke job; the default sizes match the pipeline's real workloads
+so the reported speedups are the ones users see.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+import numpy as np
+
+from . import BenchResult, compare_ops, write_report
+
+
+def _kernel_suite(rng: np.random.Generator, quick: bool, repeats: int) -> list[BenchResult]:
+    """Micro-benchmarks: each batched kernel vs its serial oracle."""
+    from ..features.laplacian import laplacian_scores, laplacian_scores_reference
+    from ..kernels.spectral import batched_amplitude_spectrum
+    from ..signal.chirp import (
+        ChirpDesign,
+        chirp_train,
+        chirp_train_reference,
+        matched_filter,
+        matched_filter_reference,
+    )
+    from ..signal.correlation import correlation_matrix, correlation_matrix_reference
+    from ..signal.mfcc import MfccConfig, mfcc, mfcc_reference
+    from ..signal.spectral import amplitude_spectrum, welch_psd, welch_psd_reference
+
+    results: list[BenchResult] = []
+    fs = ChirpDesign().sample_rate
+
+    n = 16_384 if quick else 96_000
+    x = rng.standard_normal(n)
+    results.append(
+        compare_ops(
+            "welch_psd",
+            f"n={n},segment=256,overlap=0.5",
+            lambda: welch_psd(x, fs, segment_length=256, overlap=0.5),
+            lambda: welch_psd_reference(x, fs, segment_length=256, overlap=0.5),
+            repeats=repeats,
+        )
+    )
+
+    rows, cols = (50, 1024) if quick else (200, 4096)
+    stack = rng.standard_normal((rows, cols))
+    results.append(
+        compare_ops(
+            "amplitude_spectrum_batch",
+            f"batch={rows},n={cols}",
+            lambda: batched_amplitude_spectrum(stack, fs),
+            lambda: [amplitude_spectrum(row, fs) for row in stack],
+            repeats=repeats,
+        )
+    )
+
+    mfcc_cfg = MfccConfig(
+        sample_rate=384_000.0,
+        frame_length=256,
+        frame_hop=128,
+        nfft=1024,
+        num_filters=20,
+        num_coefficients=17,
+        low_hz=15_000.0,
+        high_hz=21_000.0,
+    )
+    m = 4_096 if quick else 16_384
+    seg = rng.standard_normal(m)
+    results.append(
+        compare_ops(
+            "mfcc",
+            f"n={m},frame=256,hop=128,nfft=1024",
+            lambda: mfcc(seg, mfcc_cfg),
+            lambda: mfcc_reference(seg, mfcc_cfg),
+            repeats=repeats,
+        )
+    )
+
+    sessions, bins = (24, 128) if quick else (64, 512)
+    curves = rng.standard_normal((sessions, bins))
+    results.append(
+        compare_ops(
+            "correlation_matrix",
+            f"sessions={sessions},bins={bins}",
+            lambda: correlation_matrix(curves),
+            lambda: correlation_matrix_reference(curves),
+            repeats=repeats,
+        )
+    )
+
+    samples, feats = (60, 40) if quick else (240, 105)
+    table = rng.standard_normal((samples, feats))
+    results.append(
+        compare_ops(
+            "laplacian_scores",
+            f"samples={samples},features={feats}",
+            lambda: laplacian_scores(table),
+            lambda: laplacian_scores_reference(table),
+            repeats=repeats,
+        )
+    )
+
+    design = ChirpDesign()
+    chirps = 50 if quick else 200
+    results.append(
+        compare_ops(
+            "chirp_train",
+            f"chirps={chirps}",
+            lambda: chirp_train(design, chirps),
+            lambda: chirp_train_reference(design, chirps),
+            repeats=repeats,
+        )
+    )
+
+    k = 8_192 if quick else 48_000
+    capture = rng.standard_normal(k)
+    results.append(
+        compare_ops(
+            "matched_filter",
+            f"n={k}",
+            lambda: matched_filter(capture, design),
+            lambda: matched_filter_reference(capture, design),
+            repeats=repeats,
+        )
+    )
+    return results
+
+
+def _pipeline_suite(seed: int, quick: bool, repeats: int) -> list[BenchResult]:
+    """Pipeline-shaped stages on one real simulated recording."""
+    from ..acoustics.ear import InsertionState, build_ear_channel
+    from ..core.config import EarSonarConfig
+    from ..core.pipeline import EarSonarPipeline
+    from ..signal.mfcc import MfccConfig, mfcc, mfcc_reference
+    from ..signal.spectral import welch_psd, welch_psd_reference
+    from ..simulation.earphone import PROTOTYPE
+    from ..simulation.participant import sample_participant
+    from ..simulation.session import (
+        SessionConfig,
+        _apply_device,
+        _apply_device_reference,
+        _synthesize_train,
+        _synthesize_train_reference,
+        record_session,
+    )
+
+    results: list[BenchResult] = []
+    setup_rng = np.random.default_rng(seed)
+    participant = sample_participant(setup_rng, "BENCH")
+    session_cfg = SessionConfig(duration_s=0.2 if quick else 1.0)
+    insertion = InsertionState(
+        depth_m=session_cfg.insertion_depth_m, angle_deg=0.0, seal_quality=0.95
+    )
+    load = participant.load_on(0.0, setup_rng)
+    channel = build_ear_channel(
+        participant.geometry, participant.drum_model, load, insertion
+    )
+
+    def synth_batched() -> np.ndarray:
+        return _synthesize_train(channel, session_cfg, np.random.default_rng(seed))
+
+    def synth_serial() -> np.ndarray:
+        return _synthesize_train_reference(
+            channel, session_cfg, np.random.default_rng(seed)
+        )
+
+    results.append(
+        compare_ops(
+            "record_session_synthesis",
+            f"chirps={session_cfg.num_chirps}",
+            synth_batched,
+            synth_serial,
+            repeats=repeats,
+        )
+    )
+
+    waveform = synth_batched()
+    fs = session_cfg.chirp.sample_rate
+    results.append(
+        compare_ops(
+            "device_coloration",
+            f"n={waveform.size}",
+            lambda: _apply_device(waveform, PROTOTYPE, fs),
+            lambda: _apply_device_reference(waveform, PROTOTYPE, fs),
+            repeats=repeats,
+        )
+    )
+
+    pipeline = EarSonarPipeline(EarSonarConfig())
+    recording = record_session(
+        participant, 0.0, session_cfg, np.random.default_rng(seed + 1)
+    )
+    filtered = pipeline.preprocess(recording.waveform)
+    echoes = pipeline.extract_echoes(filtered)
+    if echoes:
+        results.append(
+            compare_ops(
+                "absorption_curves",
+                f"echoes={len(echoes)},nfft=8192",
+                lambda: pipeline.absorption_curves(echoes),
+                lambda: [pipeline.absorption_curve(e) for e in echoes],
+                repeats=repeats,
+            )
+        )
+        mean_segment = np.stack([e.segment for e in echoes]).mean(axis=0)
+        rate = echoes[0].sample_rate
+        mfcc_cfg = MfccConfig(
+            sample_rate=rate,
+            frame_length=256,
+            frame_hop=128,
+            nfft=1024,
+            num_filters=20,
+            num_coefficients=17,
+            low_hz=15_000.0,
+            high_hz=21_000.0,
+        )
+        # The spectral feature path as the experiments run it: Welch PSD
+        # of the band-passed capture (the Fig. 9 consistency input) plus
+        # MFCCs of the mean eardrum-echo segment (the Sec. IV-C input).
+        results.append(
+            compare_ops(
+                "welch_mfcc_feature_path",
+                f"capture={filtered.size},segment={mean_segment.size}",
+                lambda: (
+                    welch_psd(filtered, fs, segment_length=512),
+                    mfcc(mean_segment, mfcc_cfg),
+                ),
+                lambda: (
+                    welch_psd_reference(filtered, fs, segment_length=512),
+                    mfcc_reference(mean_segment, mfcc_cfg),
+                ),
+                repeats=repeats,
+            )
+        )
+    return results
+
+
+def _print_table(title: str, results: list[BenchResult]) -> None:
+    """Echo one report as an aligned terminal table."""
+    print(f"\n{title}")
+    header = f"{'op':<28}{'shape':<34}{'p50 ms':>10}{'serial p50':>12}{'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    for r in results:
+        serial = f"{r.serial_p50_ms:.3f}" if r.serial_p50_ms is not None else "-"
+        speed = f"{r.speedup:.1f}x" if r.speedup is not None else "-"
+        print(f"{r.op:<28}{r.shape:<34}{r.p50_ms:>10.3f}{serial:>12}{speed:>9}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run both suites and write the BENCH_*.json reports."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark batched DSP kernels against their serial oracles.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small problem sizes for CI smoke runs"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timed calls per op (default 7, quick 3)"
+    )
+    parser.add_argument(
+        "--output-dir", type=Path, default=Path("."), help="where BENCH_*.json land"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed for inputs")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats if args.repeats is not None else (3 if args.quick else 7)
+    rng = np.random.default_rng(args.seed)
+
+    kernel_results = _kernel_suite(rng, args.quick, repeats)
+    pipeline_results = _pipeline_suite(args.seed, args.quick, repeats)
+
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    kernels_path = write_report(
+        args.output_dir / "BENCH_kernels.json",
+        kernel_results,
+        label="kernels",
+        quick=args.quick,
+        seed=args.seed,
+    )
+    pipeline_path = write_report(
+        args.output_dir / "BENCH_pipeline.json",
+        pipeline_results,
+        label="pipeline",
+        quick=args.quick,
+        seed=args.seed,
+    )
+
+    _print_table("kernel micro-benchmarks (batched vs serial oracle)", kernel_results)
+    _print_table("pipeline stages (batched vs serial oracle)", pipeline_results)
+    print(f"\nwrote {kernels_path} and {pipeline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -104,11 +104,36 @@ class EarSonarPipeline:
         values = np.interp(self._grid, band.frequencies, band.values)
         return values / self._tx_reference
 
-    def mean_absorption_curve(self, echoes: list[EardrumEcho]) -> np.ndarray:
-        """Chirp-averaged, peak-normalised absorption curve."""
+    def absorption_curves(self, echoes: list[EardrumEcho]) -> np.ndarray:
+        """Absorption curves of many echoes as a ``(num_echoes, bins)`` stack.
+
+        Echoes of equal length share one batched multi-row FFT instead
+        of one transform per echo; the per-row band interpolation and
+        TX deconvolution are unchanged, so each row equals
+        :meth:`absorption_curve` of the same echo.  Mixed lengths are
+        grouped by length and batched per group.
+        """
         if not echoes:
             raise NoEchoFoundError("cannot average zero echoes")
-        curves = np.stack([self.absorption_curve(e) for e in echoes])
+        from ..kernels.spectral import batched_amplitude_spectrum
+
+        curves = np.empty((len(echoes), self._grid.size))
+        lengths = np.array([e.segment.size for e in echoes])
+        rates = np.array([e.sample_rate for e in echoes])
+        for key in {(int(n), float(r)) for n, r in zip(lengths, rates)}:
+            idx = np.flatnonzero((lengths == key[0]) & (rates == key[1]))
+            stack = np.stack([echoes[i].segment for i in idx])
+            freqs, values = batched_amplitude_spectrum(stack, key[1], nfft=self._nfft)
+            mask = (freqs >= self._grid[0]) & (freqs <= self._grid[-1] + 1.0)
+            band_freqs = freqs[mask]
+            for row, i in enumerate(idx):
+                interped = np.interp(self._grid, band_freqs, values[row][mask])
+                curves[i] = interped / self._tx_reference
+        return curves
+
+    def mean_absorption_curve(self, echoes: list[EardrumEcho]) -> np.ndarray:
+        """Chirp-averaged, peak-normalised absorption curve."""
+        curves = self.absorption_curves(echoes)
         mean_curve = curves.mean(axis=0)
         peak = mean_curve.max()
         if peak <= 0.0:

@@ -5,7 +5,7 @@ absorbed-spectrum bins + statistics + MFCCs) and the Laplacian-score
 selection that keeps the 25 most important features.
 """
 
-from .laplacian import LaplacianScoreSelector, laplacian_scores
+from .laplacian import LaplacianScoreSelector, laplacian_scores, laplacian_scores_reference
 from .statistics import (
     STATISTIC_NAMES,
     curve_statistics,
@@ -22,6 +22,7 @@ from .vector import FeatureVectorBuilder, FeatureVectorConfig, feature_names
 __all__ = [
     "LaplacianScoreSelector",
     "laplacian_scores",
+    "laplacian_scores_reference",
     "STATISTIC_NAMES",
     "curve_statistics",
     "kurtosis",

@@ -1,0 +1,74 @@
+"""Planned, batch-first DSP kernels.
+
+This package is the performance layer of the reproduction.  It splits
+every hot DSP operation into a **plan** — the shape- and
+config-dependent state (windows, mel filterbanks, frequency grids,
+chirp templates, device transfer curves) cached per
+``(frozen config, shape)`` key in :mod:`repro.kernels.plan` — and a
+**batched execute** step that runs one vectorized NumPy call over a
+``(num_chirps | num_frames | num_signals, samples)`` stack instead of
+a Python loop.
+
+The serial implementations in :mod:`repro.signal`,
+:mod:`repro.features`, and :mod:`repro.simulation` survive as
+``*_reference`` functions: they are the executable specification, and
+the golden suite in ``tests/kernels`` holds every kernel to a
+``<= 1e-10`` max-abs-diff bound against them (bit-identical in the
+common case).  ``python -m repro.bench`` times both sides and records
+the speedups in ``BENCH_kernels.json`` / ``BENCH_pipeline.json``.
+
+The plan cache is module-level state, so the runtime's process-pool
+workers build each plan once per worker process and reuse it across
+their whole batch.
+"""
+
+from .chirp import chirp_train_planned, matched_filter_batched, matched_filter_planned
+from .framing import frames_dropping_tail, frames_zero_padded
+from .mfcc import mfcc_batched, mfcc_planned
+from .plan import (
+    MfccPlan,
+    PlanCacheInfo,
+    WelchPlan,
+    chirp_pulse,
+    chirp_spectrum,
+    clear_plan_cache,
+    device_transfer,
+    hamming_window,
+    hann_window,
+    matched_filter_spectrum,
+    mfcc_plan,
+    plan_cache_info,
+    rfft_freqs,
+    welch_plan,
+)
+from .session import apply_device_planned, synthesize_train
+from .spectral import batched_amplitude_spectrum, batched_power_rows, welch_periodograms
+
+__all__ = [
+    "chirp_train_planned",
+    "matched_filter_batched",
+    "matched_filter_planned",
+    "frames_dropping_tail",
+    "frames_zero_padded",
+    "mfcc_batched",
+    "mfcc_planned",
+    "MfccPlan",
+    "PlanCacheInfo",
+    "WelchPlan",
+    "chirp_pulse",
+    "chirp_spectrum",
+    "clear_plan_cache",
+    "device_transfer",
+    "hamming_window",
+    "hann_window",
+    "matched_filter_spectrum",
+    "mfcc_plan",
+    "plan_cache_info",
+    "rfft_freqs",
+    "welch_plan",
+    "apply_device_planned",
+    "synthesize_train",
+    "batched_amplitude_spectrum",
+    "batched_power_rows",
+    "welch_periodograms",
+]

@@ -1,0 +1,294 @@
+"""Plan layer: shape-keyed caches of everything the kernels precompute.
+
+A *plan* is the immutable, precomputable half of a DSP operation: the
+Hann/Hamming window for a frame length, the mel filterbank for an MFCC
+configuration, the ``rfftfreq`` grid for an FFT size, the chirp pulse
+and its spectrum for a :class:`~repro.signal.chirp.ChirpDesign`, the
+device transfer curve for an earphone.  Building these per call is what
+made the serial implementations slow; building them once per
+``(config, shape)`` key and executing batched kernels against them is
+the whole point of :mod:`repro.kernels`.
+
+Keys are the frozen config dataclasses themselves plus the relevant
+shape parameters.  Frozen-dataclass equality is field-by-field, i.e.
+the in-process analogue of ``EarSonarConfig.fingerprint()``: two equal
+configs share a plan, two configs differing anywhere do not.  The cache
+is a module-level dict, so process-pool workers (which import this
+module fresh) build each plan once per worker process and reuse it
+across the worker's whole batch — the same pattern as the runtime's
+``_WORKER_PIPELINES`` registry, and module-level by design so the QA003
+pool-safety rule keeps holding.
+
+All cached arrays are marked read-only before they are handed out;
+kernels must copy before mutating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Hashable
+
+import numpy as np
+
+if TYPE_CHECKING:  # imported for annotations only; avoids import cycles
+    from ..signal.chirp import ChirpDesign
+    from ..signal.mfcc import MfccConfig
+    from ..simulation.earphone import EarphoneModel
+
+__all__ = [
+    "PlanCacheInfo",
+    "plan_cache_info",
+    "clear_plan_cache",
+    "cached_plan",
+    "rfft_freqs",
+    "hann_window",
+    "hamming_window",
+    "chirp_pulse",
+    "chirp_spectrum",
+    "matched_filter_spectrum",
+    "WelchPlan",
+    "welch_plan",
+    "MfccPlan",
+    "mfcc_plan",
+    "device_transfer",
+]
+
+#: Soft capacity of the plan cache.  Plans are small (windows, filter
+#: matrices, one-pulse spectra), but a pathological sweep over thousands
+#: of configs should not grow memory without bound; insertion order
+#: doubles as an eviction order.
+_MAX_ENTRIES = 512
+
+_CACHE: dict[tuple[Hashable, ...], Any] = {}
+_HITS = 0
+_MISSES = 0
+
+
+@dataclass(frozen=True)
+class PlanCacheInfo:
+    """Snapshot of plan-cache effectiveness counters."""
+
+    hits: int
+    misses: int
+    size: int
+
+
+def plan_cache_info() -> PlanCacheInfo:
+    """Current hit/miss/size counters of the module-level plan cache."""
+    return PlanCacheInfo(hits=_HITS, misses=_MISSES, size=len(_CACHE))
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and reset the counters (test isolation)."""
+    global _HITS, _MISSES
+    _CACHE.clear()
+    _HITS = 0
+    _MISSES = 0
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    """Mark an array read-only so cached plans cannot be corrupted."""
+    array.flags.writeable = False
+    return array
+
+
+def cached_plan(key: tuple[Hashable, ...], build: Callable[[], Any]) -> Any:
+    """Return the plan under ``key``, building and caching it on a miss.
+
+    The builder runs at most once per key per process (modulo benign
+    races under free-threading); arrays inside the built plan should
+    already be read-only.
+    """
+    global _HITS, _MISSES
+    plan = _CACHE.get(key)
+    if plan is not None:
+        _HITS += 1
+        return plan
+    _MISSES += 1
+    plan = build()
+    if len(_CACHE) >= _MAX_ENTRIES:
+        _CACHE.pop(next(iter(_CACHE)))
+    _CACHE[key] = plan
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Elementary shared plans
+# ---------------------------------------------------------------------------
+
+
+def rfft_freqs(nfft: int, sample_rate: float) -> np.ndarray:
+    """Cached one-sided FFT frequency grid ``rfftfreq(nfft, 1/rate)``."""
+
+    def build() -> np.ndarray:
+        return _freeze(np.fft.rfftfreq(nfft, d=1.0 / sample_rate))
+
+    return cached_plan(("rfftfreq", int(nfft), float(sample_rate)), build)
+
+
+def hann_window(length: int, *, periodic: bool = False) -> np.ndarray:
+    """Cached Hann window (see :func:`repro.signal.windows.hann`)."""
+
+    def build() -> np.ndarray:
+        from ..signal.windows import hann
+
+        return _freeze(hann(length, periodic=periodic))
+
+    return cached_plan(("hann", int(length), bool(periodic)), build)
+
+
+def hamming_window(length: int, *, periodic: bool = False) -> np.ndarray:
+    """Cached Hamming window (see :func:`repro.signal.windows.hamming`)."""
+
+    def build() -> np.ndarray:
+        from ..signal.windows import hamming
+
+        return _freeze(hamming(length, periodic=periodic))
+
+    return cached_plan(("hamming", int(length), bool(periodic)), build)
+
+
+# ---------------------------------------------------------------------------
+# Chirp plans
+# ---------------------------------------------------------------------------
+
+
+def chirp_pulse(design: "ChirpDesign") -> np.ndarray:
+    """Cached synthesised pulse for ``design`` (one per design, not per call)."""
+
+    def build() -> np.ndarray:
+        from ..signal.chirp import linear_chirp
+
+        return _freeze(linear_chirp(design))
+
+    return cached_plan(("chirp_pulse", design), build)
+
+
+def chirp_spectrum(design: "ChirpDesign", nfft: int) -> np.ndarray:
+    """Cached ``rfft`` of the design's pulse at FFT size ``nfft``."""
+
+    def build() -> np.ndarray:
+        return _freeze(np.fft.rfft(chirp_pulse(design), nfft))
+
+    return cached_plan(("chirp_spectrum", design, int(nfft)), build)
+
+
+def matched_filter_spectrum(design: "ChirpDesign", nfft: int) -> np.ndarray:
+    """Cached conjugate pulse spectrum used by the matched filter."""
+
+    def build() -> np.ndarray:
+        return _freeze(np.conj(np.fft.rfft(chirp_pulse(design), nfft)))
+
+    return cached_plan(("matched_filter_spectrum", design, int(nfft)), build)
+
+
+# ---------------------------------------------------------------------------
+# Welch / spectral plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WelchPlan:
+    """Precomputed state of a Welch PSD at one ``(segment, rate)`` shape.
+
+    Attributes
+    ----------
+    window:
+        Periodic Hann window of the segment length.
+    scale:
+        Density normalisation ``1 / (rate * sum(window**2))``.
+    frequencies:
+        One-sided frequency grid of the segment FFT.
+    """
+
+    window: np.ndarray
+    scale: float
+    frequencies: np.ndarray
+
+
+def welch_plan(segment_length: int, sample_rate: float) -> WelchPlan:
+    """Cached :class:`WelchPlan` for the given segment length and rate."""
+
+    def build() -> WelchPlan:
+        window = hann_window(segment_length, periodic=True)
+        scale = 1.0 / (sample_rate * np.sum(window**2))
+        return WelchPlan(
+            window=window,
+            scale=float(scale),
+            frequencies=rfft_freqs(segment_length, sample_rate),
+        )
+
+    return cached_plan(("welch", int(segment_length), float(sample_rate)), build)
+
+
+# ---------------------------------------------------------------------------
+# MFCC plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MfccPlan:
+    """Precomputed state of MFCC extraction for one :class:`MfccConfig`.
+
+    Attributes
+    ----------
+    window:
+        Hamming analysis window of the frame length.
+    filterbank:
+        Mel filterbank ``(num_filters, nfft//2 + 1)``; applied as one
+        matmul ``power @ filterbank.T`` (kept untransposed so the BLAS
+        call is byte-identical to the serial reference's).
+    dct_basis:
+        Truncated DCT-II basis ``(num_coefficients, num_filters)``.
+    dct_scale:
+        Orthonormalisation scale of the DCT rows.
+    """
+
+    window: np.ndarray
+    filterbank: np.ndarray
+    dct_basis: np.ndarray
+    dct_scale: np.ndarray
+
+
+def mfcc_plan(config: "MfccConfig") -> MfccPlan:
+    """Cached :class:`MfccPlan` for ``config``.
+
+    This hoists the mel filterbank construction (satellite of the plan
+    layer: keyed by the frozen ``MfccConfig``, which carries
+    ``nfft``/``sample_rate``) and the DCT basis out of every call.
+    """
+
+    def build() -> MfccPlan:
+        from ..signal.mfcc import dct_basis, mel_filterbank
+
+        bank = mel_filterbank(
+            config.num_filters,
+            config.nfft,
+            config.sample_rate,
+            config.low_hz,
+            config.high_hz,
+        )
+        basis, scale = dct_basis(config.num_coefficients, config.num_filters)
+        return MfccPlan(
+            window=hamming_window(config.frame_length),
+            filterbank=_freeze(bank),
+            dct_basis=_freeze(basis),
+            dct_scale=_freeze(scale),
+        )
+
+    return cached_plan(("mfcc", config), build)
+
+
+# ---------------------------------------------------------------------------
+# Device plans
+# ---------------------------------------------------------------------------
+
+
+def device_transfer(earphone: "EarphoneModel", nfft: int, sample_rate: float) -> np.ndarray:
+    """Cached earphone transfer curve on the ``nfft`` frequency grid."""
+
+    def build() -> np.ndarray:
+        freqs = rfft_freqs(nfft, sample_rate)
+        return _freeze(earphone.transfer(freqs))
+
+    return cached_plan(("device", earphone, int(nfft), float(sample_rate)), build)

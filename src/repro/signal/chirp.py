@@ -25,7 +25,15 @@ import numpy as np
 from ..errors import ConfigurationError
 from .windows import hann
 
-__all__ = ["ChirpDesign", "linear_chirp", "chirp_train", "matched_filter", "cross_correlate"]
+__all__ = [
+    "ChirpDesign",
+    "linear_chirp",
+    "chirp_train",
+    "chirp_train_reference",
+    "matched_filter",
+    "matched_filter_reference",
+    "cross_correlate",
+]
 
 #: Speed of sound in air at body-adjacent temperature (m/s).  Used to
 #: convert echo delays to distances throughout the library.
@@ -153,7 +161,9 @@ def linear_chirp(design: ChirpDesign) -> np.ndarray:
     return pulse
 
 
-def chirp_train(design: ChirpDesign, num_chirps: int, *, total_samples: int | None = None) -> np.ndarray:
+def chirp_train(
+    design: ChirpDesign, num_chirps: int, *, total_samples: int | None = None
+) -> np.ndarray:
     """Synthesise a train of ``num_chirps`` chirps separated by the interval.
 
     Parameters
@@ -165,6 +175,19 @@ def chirp_train(design: ChirpDesign, num_chirps: int, *, total_samples: int | No
     total_samples:
         Optional explicit output length.  Defaults to exactly enough
         samples to contain every pulse plus one trailing listen window.
+    """
+    from ..kernels.chirp import chirp_train_planned
+
+    return chirp_train_planned(design, num_chirps, total_samples=total_samples)
+
+
+def chirp_train_reference(
+    design: ChirpDesign, num_chirps: int, *, total_samples: int | None = None
+) -> np.ndarray:
+    """Serial per-chirp train synthesis: the correctness oracle.
+
+    The pre-kernel placement loop, kept as the executable
+    specification; prefer :func:`chirp_train` in hot paths.
     """
     if num_chirps <= 0:
         raise ConfigurationError(f"num_chirps must be positive, got {num_chirps}")
@@ -209,6 +232,23 @@ def matched_filter(signal: np.ndarray, design: ChirpDesign) -> np.ndarray:
     Returns the correlation magnitude, same length as ``signal``, with
     peaks at pulse arrival times.  Used by the simulator's sanity checks
     and by the Chan-et-al. baseline to locate echo onsets.
+
+    Executes on the planned kernel: the pulse and its conjugate
+    spectrum come from the plan cache instead of being re-synthesised
+    and re-transformed per call; bit-identical to
+    :func:`matched_filter_reference`.
+    """
+    from ..kernels.chirp import matched_filter_planned
+
+    return matched_filter_planned(signal, design)
+
+
+def matched_filter_reference(signal: np.ndarray, design: ChirpDesign) -> np.ndarray:
+    """Plan-free matched filter: the correctness oracle.
+
+    Re-synthesises the pulse and runs the generic
+    :func:`cross_correlate` exactly as the pre-kernel implementation
+    did; prefer :func:`matched_filter` in hot paths.
     """
     pulse = linear_chirp(design)
     corr = cross_correlate(np.asarray(signal, dtype=float), pulse)

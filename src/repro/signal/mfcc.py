@@ -18,7 +18,16 @@ import numpy as np
 from ..errors import ConfigurationError
 from .windows import hamming
 
-__all__ = ["hz_to_mel", "mel_to_hz", "mel_filterbank", "dct_ii", "MfccConfig", "mfcc"]
+__all__ = [
+    "hz_to_mel",
+    "mel_to_hz",
+    "mel_filterbank",
+    "dct_basis",
+    "dct_ii",
+    "MfccConfig",
+    "mfcc",
+    "mfcc_reference",
+]
 
 
 def hz_to_mel(frequency_hz: np.ndarray | float) -> np.ndarray | float:
@@ -62,10 +71,15 @@ def mel_filterbank(
     return bank
 
 
-def dct_ii(values: np.ndarray, num_coefficients: int) -> np.ndarray:
-    """Orthonormal DCT-II of the last axis, truncated to ``num_coefficients``."""
-    values = np.asarray(values, dtype=float)
-    n = values.shape[-1]
+def dct_basis(num_coefficients: int, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Truncated orthonormal DCT-II basis and row scales.
+
+    Returns ``(basis, scale)`` with ``basis`` of shape
+    ``(num_coefficients, n)`` and ``scale`` of shape
+    ``(num_coefficients,)`` such that the transform of ``values`` is
+    ``(values @ basis.T) * scale``.  Split out so the kernels' plan
+    layer can cache it per ``(num_coefficients, n)``.
+    """
     if num_coefficients < 1 or num_coefficients > n:
         raise ConfigurationError(
             f"num_coefficients must be in [1, {n}], got {num_coefficients}"
@@ -75,6 +89,13 @@ def dct_ii(values: np.ndarray, num_coefficients: int) -> np.ndarray:
     basis = np.cos(np.pi * k * (2.0 * m + 1.0) / (2.0 * n))
     scale = np.full(num_coefficients, np.sqrt(2.0 / n))
     scale[0] = np.sqrt(1.0 / n)
+    return basis, scale
+
+
+def dct_ii(values: np.ndarray, num_coefficients: int) -> np.ndarray:
+    """Orthonormal DCT-II of the last axis, truncated to ``num_coefficients``."""
+    values = np.asarray(values, dtype=float)
+    basis, scale = dct_basis(num_coefficients, values.shape[-1])
     return (values @ basis.T) * scale
 
 
@@ -144,6 +165,24 @@ def mfcc(signal: np.ndarray, config: MfccConfig | None = None) -> np.ndarray:
     Pipeline: frame -> Hamming window -> power spectrum -> mel filterbank
     -> log -> DCT-II.  A small floor keeps the log finite on silent
     frames.
+
+    Executes on the planned kernel: the mel filterbank, analysis
+    window, and DCT basis are cached per frozen ``MfccConfig`` instead
+    of being rebuilt every call.  Output matches
+    :func:`mfcc_reference` bit-for-bit.
+    """
+    config = config or MfccConfig()
+    from ..kernels.mfcc import mfcc_planned
+
+    return mfcc_planned(signal, config)
+
+
+def mfcc_reference(signal: np.ndarray, config: MfccConfig | None = None) -> np.ndarray:
+    """Plan-free serial MFCC extraction: the correctness oracle.
+
+    Rebuilds the window, filterbank, and DCT basis inline on every
+    call, exactly as the pre-kernel implementation did; the golden
+    suite holds :func:`mfcc` to this output.
     """
     config = config or MfccConfig()
     signal = np.asarray(signal, dtype=float)

@@ -108,13 +108,34 @@ class Recording:
 def _synthesize_train(
     channel, config: SessionConfig, rng: np.random.Generator
 ) -> np.ndarray:
-    """Render the chirp train through the channel, chirp by chirp.
+    """Render the chirp train through the channel in one batched pass.
 
     Each chirp experiences the participant's channel with its echo
     delays rigidly shifted by that chirp's micro-movement jitter (the
     direct transducer path does not move relative to the mic, so it is
-    left unjittered).  Chirps are synthesised independently and overlaid
-    at their nominal start positions.
+    left unjittered).  Executes on
+    :func:`repro.kernels.session.synthesize_train`, which folds the
+    per-chirp perturbations into one ``(num_chirps, num_freqs)``
+    transfer matrix and a single 2-D inverse FFT; the retired per-chirp
+    loop survives as :func:`_synthesize_train_reference` and the golden
+    suite holds the two equal (bit-identical in the common case).
+    """
+    from ..kernels.session import synthesize_train
+
+    return synthesize_train(
+        channel, config.chirp, config.num_chirps, config.path_jitter_s, rng
+    )
+
+
+def _synthesize_train_reference(
+    channel, config: SessionConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """Serial chirp-by-chirp synthesis: the correctness oracle.
+
+    Renders every chirp with its own jittered channel rebuild and FFT
+    round trip, exactly as the pre-kernel simulator did.  Consumes the
+    ``rng`` stream in the same order as the batched kernel, so the two
+    are interchangeable under a fixed seed.
     """
     from ..acoustics.propagation import MultipathChannel, PropagationPath
     from ..signal.chirp import linear_chirp
@@ -160,7 +181,21 @@ def _synthesize_train(
 
 
 def _apply_device(waveform: np.ndarray, earphone: EarphoneModel, sample_rate: float) -> np.ndarray:
-    """Colour ``waveform`` with the device's transfer function."""
+    """Colour ``waveform`` with the device's transfer function.
+
+    The transfer curve on the session's FFT grid comes from the kernel
+    plan cache, so repeated sessions of one device pay for it once per
+    process; the FFT round trip itself is unchanged.
+    """
+    from ..kernels.session import apply_device_planned
+
+    return apply_device_planned(waveform, earphone, sample_rate)
+
+
+def _apply_device_reference(
+    waveform: np.ndarray, earphone: EarphoneModel, sample_rate: float
+) -> np.ndarray:
+    """Plan-free device coloration: the correctness oracle."""
     nfft = 1 << (max(waveform.size, 2) - 1).bit_length()
     freqs = np.fft.rfftfreq(nfft, d=1.0 / sample_rate)
     spectrum = np.fft.rfft(waveform, nfft)

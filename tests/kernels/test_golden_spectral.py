@@ -1,0 +1,100 @@
+"""Golden equivalence: batched spectral/MFCC kernels vs serial oracles.
+
+Every batched kernel must match its ``*_reference`` serial
+implementation to <= 1e-10 max absolute difference over randomized
+shapes and configurations (threaded ``np.random.Generator`` seeds keep
+the sweep reproducible).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.mfcc import mfcc_batched, mfcc_planned
+from repro.kernels.spectral import batched_amplitude_spectrum
+from repro.signal.mfcc import MfccConfig, mfcc, mfcc_reference
+from repro.signal.spectral import amplitude_spectrum, welch_psd, welch_psd_reference
+
+TOL = 1e-10
+
+
+@pytest.mark.parametrize("seed,n", [(0, 257), (1, 1024), (2, 9731), (3, 48_000)])
+@pytest.mark.parametrize("segment_length,overlap", [(128, 0.0), (256, 0.5), (333, 0.75)])
+def test_welch_matches_reference(seed, n, segment_length, overlap):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    fast = welch_psd(x, 48_000.0, segment_length=segment_length, overlap=overlap)
+    slow = welch_psd_reference(x, 48_000.0, segment_length=segment_length, overlap=overlap)
+    np.testing.assert_array_equal(fast.frequencies, slow.frequencies)
+    assert np.max(np.abs(fast.values - slow.values)) <= TOL
+
+
+def test_welch_clamps_long_segments_like_reference():
+    rng = np.random.default_rng(4)
+    x = rng.standard_normal(100)
+    fast = welch_psd(x, 48_000.0, segment_length=256)
+    slow = welch_psd_reference(x, 48_000.0, segment_length=256)
+    assert np.max(np.abs(fast.values - slow.values)) <= TOL
+
+
+def test_welch_rejects_what_reference_rejects():
+    with pytest.raises(ValueError):
+        welch_psd(np.array([]), 48_000.0)
+    with pytest.raises(ValueError):
+        welch_psd(np.zeros(100), 48_000.0, overlap=1.0)
+
+
+@pytest.mark.parametrize("seed,rows,cols", [(5, 1, 64), (6, 7, 1000), (7, 40, 4096)])
+@pytest.mark.parametrize("nfft", [None, 8192])
+def test_batched_amplitude_matches_per_row(seed, rows, cols, nfft):
+    rng = np.random.default_rng(seed)
+    stack = rng.standard_normal((rows, cols))
+    freqs, values = batched_amplitude_spectrum(stack, 48_000.0, nfft=nfft)
+    for i in range(rows):
+        spec = amplitude_spectrum(stack[i], 48_000.0, nfft=nfft)
+        np.testing.assert_array_equal(freqs, spec.frequencies)
+        assert np.max(np.abs(values[i] - spec.values)) <= TOL
+
+
+_CONFIGS = [
+    MfccConfig(),
+    MfccConfig(
+        sample_rate=384_000.0,
+        frame_length=256,
+        frame_hop=128,
+        nfft=1024,
+        num_filters=20,
+        num_coefficients=17,
+        low_hz=15_000.0,
+        high_hz=21_000.0,
+    ),
+    MfccConfig(frame_length=200, frame_hop=80, nfft=512, num_filters=18, num_coefficients=9),
+]
+
+
+@pytest.mark.parametrize("config", _CONFIGS)
+@pytest.mark.parametrize("seed,n", [(8, 64), (9, 512), (10, 5000)])
+def test_mfcc_matches_reference(config, seed, n):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    fast = mfcc(x, config)
+    slow = mfcc_reference(x, config)
+    assert fast.shape == slow.shape
+    assert np.max(np.abs(fast - slow)) <= TOL
+
+
+def test_mfcc_shorter_than_frame_matches_reference():
+    rng = np.random.default_rng(11)
+    config = MfccConfig()
+    x = rng.standard_normal(config.frame_length // 3)
+    assert np.max(np.abs(mfcc(x, config) - mfcc_reference(x, config))) <= TOL
+
+
+@pytest.mark.parametrize("seed,batch,n", [(12, 1, 700), (13, 9, 2048), (14, 4, 100)])
+def test_mfcc_batched_matches_per_segment(seed, batch, n):
+    rng = np.random.default_rng(seed)
+    config = _CONFIGS[1]
+    segments = rng.standard_normal((batch, n))
+    stacked = mfcc_batched(segments, config)
+    for i in range(batch):
+        single = mfcc_planned(segments[i], config)
+        assert np.max(np.abs(stacked[i] - single)) <= TOL

@@ -1,0 +1,88 @@
+"""Behavioural tests of the module-level plan cache."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import plan as plan_module
+from repro.kernels.plan import (
+    cached_plan,
+    chirp_pulse,
+    chirp_spectrum,
+    clear_plan_cache,
+    hann_window,
+    mfcc_plan,
+    plan_cache_info,
+    rfft_freqs,
+    welch_plan,
+)
+from repro.signal.chirp import ChirpDesign, linear_chirp
+from repro.signal.mfcc import MfccConfig
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+def test_miss_then_hit_counters():
+    rfft_freqs(1024, 48_000.0)
+    info = plan_cache_info()
+    assert info.misses == 1 and info.hits == 0 and info.size == 1
+    rfft_freqs(1024, 48_000.0)
+    info = plan_cache_info()
+    assert info.misses == 1 and info.hits == 1 and info.size == 1
+
+
+def test_distinct_keys_distinct_plans():
+    a = rfft_freqs(1024, 48_000.0)
+    b = rfft_freqs(2048, 48_000.0)
+    c = rfft_freqs(1024, 44_100.0)
+    assert a.size != b.size
+    assert not np.array_equal(a, c)
+    assert plan_cache_info().size == 3
+
+
+def test_equal_configs_share_a_plan():
+    cfg_a = MfccConfig()
+    cfg_b = MfccConfig()  # equal by value, distinct object
+    assert mfcc_plan(cfg_a) is mfcc_plan(cfg_b)
+
+
+def test_cached_arrays_are_read_only():
+    window = hann_window(64)
+    assert not window.flags.writeable
+    with pytest.raises(ValueError):
+        window[0] = 1.0
+    plan = welch_plan(256, 48_000.0)
+    assert not plan.window.flags.writeable
+    assert not plan.frequencies.flags.writeable
+
+
+def test_chirp_plans_match_direct_synthesis():
+    design = ChirpDesign()
+    pulse = chirp_pulse(design)
+    np.testing.assert_array_equal(pulse, linear_chirp(design))
+    spec = chirp_spectrum(design, 4096)
+    np.testing.assert_array_equal(spec, np.fft.rfft(linear_chirp(design), 4096))
+
+
+def test_eviction_at_capacity():
+    for i in range(plan_module._MAX_ENTRIES):
+        cached_plan(("synthetic", i), lambda: i)
+    assert plan_cache_info().size == plan_module._MAX_ENTRIES
+    cached_plan(("synthetic", plan_module._MAX_ENTRIES), lambda: -1)
+    assert plan_cache_info().size == plan_module._MAX_ENTRIES
+    # The oldest key was evicted, so re-requesting it is a miss.
+    before = plan_cache_info().misses
+    cached_plan(("synthetic", 0), lambda: 0)
+    assert plan_cache_info().misses == before + 1
+
+
+def test_clear_resets_everything():
+    rfft_freqs(512, 48_000.0)
+    rfft_freqs(512, 48_000.0)
+    clear_plan_cache()
+    info = plan_cache_info()
+    assert info.hits == 0 and info.misses == 0 and info.size == 0
