@@ -135,6 +135,44 @@ class DetectorConfig:
 
 
 @dataclass(frozen=True)
+class RobustnessConfig:
+    """Graceful-degradation policy of the signal pipeline.
+
+    Attributes
+    ----------
+    sanitize_nonfinite:
+        When true, NaN/Inf samples are zero-filled (becoming ordinary
+        dropouts) and processing continues with a reduced confidence
+        tag, provided their fraction stays below
+        ``max_nonfinite_fraction``.  When false (the default), any
+        non-finite sample raises
+        :class:`~repro.errors.InvalidWaveformError` — a loud, typed
+        failure instead of NaN-poisoned features.
+    max_nonfinite_fraction:
+        Ceiling on the salvageable NaN/Inf fraction; beyond it the
+        recording is rejected even under ``sanitize_nonfinite``.
+    drop_corrupted_chirps:
+        When true (the default), chirps whose echo segment or
+        absorption curve is non-finite or identically zero are dropped
+        from the train and the survivors are averaged; the result
+        carries ``confidence < 1`` and ``num_chirps_dropped``.  On a
+        clean recording nothing is dropped and the output is
+        bit-identical to the strict path.
+    """
+
+    sanitize_nonfinite: bool = False
+    max_nonfinite_fraction: float = 0.1
+    drop_corrupted_chirps: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.max_nonfinite_fraction <= 1.0:
+            raise ConfigurationError(
+                "max_nonfinite_fraction must be in [0, 1], "
+                f"got {self.max_nonfinite_fraction}"
+            )
+
+
+@dataclass(frozen=True)
 class EarSonarConfig:
     """Complete EarSonar system configuration with the paper's defaults."""
 
@@ -144,6 +182,7 @@ class EarSonarConfig:
     segmenter: EchoSegmenterConfig = field(default_factory=EchoSegmenterConfig)
     features: FeatureVectorConfig = field(default_factory=FeatureVectorConfig)
     detector: DetectorConfig = field(default_factory=DetectorConfig)
+    robustness: RobustnessConfig = field(default_factory=RobustnessConfig)
     #: Minimum echoes that must be extracted for a recording to count.
     min_echoes: int = 3
 

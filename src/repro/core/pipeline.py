@@ -21,7 +21,7 @@ import time
 
 import numpy as np
 
-from ..errors import NoEchoFoundError, SignalProcessingError
+from ..errors import InvalidWaveformError, NoEchoFoundError, SignalProcessingError
 from ..features.vector import FeatureVectorBuilder
 from ..signal.chirp import linear_chirp
 from ..signal.events import Event, detect_events
@@ -74,8 +74,27 @@ class EarSonarPipeline:
         return np.maximum(values, floor)
 
     def preprocess(self, waveform: np.ndarray) -> np.ndarray:
-        """Band-pass the raw microphone signal (noise removal stage)."""
-        return self._bandpass.apply(np.asarray(waveform, dtype=float))
+        """Band-pass the raw microphone signal (noise removal stage).
+
+        Raises :class:`~repro.errors.InvalidWaveformError` on an empty
+        buffer, and on NaN/Inf samples unless the robustness config
+        permits sanitizing them (non-finite samples become zeros, i.e.
+        ordinary dropouts, provided their fraction stays below
+        ``robustness.max_nonfinite_fraction``).
+        """
+        waveform = np.asarray(waveform, dtype=float)
+        if waveform.size == 0:
+            raise InvalidWaveformError("waveform is empty")
+        finite = np.isfinite(waveform)
+        if not finite.all():
+            rb = self.config.robustness
+            fraction = 1.0 - float(finite.mean())
+            if not rb.sanitize_nonfinite or fraction > rb.max_nonfinite_fraction:
+                raise InvalidWaveformError(
+                    f"waveform contains {fraction:.2%} non-finite samples"
+                )
+            waveform = np.where(finite, waveform, 0.0)
+        return self._bandpass.apply(waveform)
 
     def detect_chirp_events(self, filtered: np.ndarray) -> list[Event]:
         """Locate chirp/echo events in the band-passed stream."""
@@ -153,22 +172,69 @@ class EarSonarPipeline:
         ``perf_counter`` calls are free next to the DSP), so the timed
         and untimed entry points can never drift apart.
         """
+        rb = self.config.robustness
         t0 = time.perf_counter()
-        filtered = self.preprocess(recording.waveform)
+        raw = np.asarray(recording.waveform, dtype=float)
+        nonfinite_fraction = (
+            1.0 - float(np.isfinite(raw).mean()) if raw.size else 1.0
+        )
+        filtered = self.preprocess(raw)
         t1 = time.perf_counter()
         events = self.detect_chirp_events(filtered)
         echoes = self.extract_echoes(filtered, events)
+        num_extracted = len(echoes)
+        dropped = 0
+        reasons: list[str] = []
+        if rb.drop_corrupted_chirps:
+            survivors = [
+                e for e in echoes
+                if np.isfinite(e.segment).all() and np.any(e.segment)
+            ]
+            dropped = len(echoes) - len(survivors)
+            if dropped:
+                reasons.append("corrupt_chirps")
+                echoes = survivors
         if len(echoes) < self.config.min_echoes:
             raise NoEchoFoundError(
-                f"only {len(echoes)} of {len(events)} events produced echoes "
-                f"(need >= {self.config.min_echoes})"
+                f"only {len(echoes)} of {len(events)} events produced usable "
+                f"echoes (need >= {self.config.min_echoes})"
             )
-        curve = self.mean_absorption_curve(echoes)
+        curves = self.absorption_curves(echoes)
+        row_ok = np.isfinite(curves).all(axis=1)
+        if not row_ok.all():
+            if not rb.drop_corrupted_chirps:
+                raise SignalProcessingError(
+                    "absorption curves contain non-finite values"
+                )
+            idx = np.flatnonzero(row_ok)
+            if idx.size < self.config.min_echoes:
+                raise NoEchoFoundError(
+                    f"only {idx.size} finite absorption curves "
+                    f"(need >= {self.config.min_echoes})"
+                )
+            dropped += int(curves.shape[0] - idx.size)
+            if "corrupt_chirps" not in reasons:
+                reasons.append("corrupt_chirps")
+            curves = curves[idx]
+            echoes = [echoes[i] for i in idx]
+        mean_curve = curves.mean(axis=0)
+        peak = mean_curve.max()
+        if peak <= 0.0:
+            raise SignalProcessingError("absorption curve is identically zero")
+        curve = mean_curve / peak
         segments = np.stack([e.segment for e in echoes])
         mean_segment = segments.mean(axis=0)
         rate = echoes[0].sample_rate
         features = self._builder.build(curve, mean_segment, rate)
         t2 = time.perf_counter()
+        if nonfinite_fraction > 0.0:
+            reasons.append("non_finite")
+        # survivors/extracted is 1.0 on the clean path, so the clean
+        # output (confidence included) is bit-identical to the strict
+        # pipeline; any quarantine or sanitization pulls it below 1.
+        confidence = (
+            len(echoes) / num_extracted if num_extracted else 0.0
+        ) * (1.0 - nonfinite_fraction)
         processed = ProcessedRecording(
             features=features,
             curve=curve,
@@ -179,6 +245,9 @@ class EarSonarPipeline:
             participant_id=recording.participant_id,
             day=recording.day,
             true_state=recording.state,
+            confidence=confidence,
+            num_chirps_dropped=dropped,
+            quality_reasons=tuple(reasons),
         )
         latencies = StageLatencies(
             bandpass_ms=(t1 - t0) * 1e3,

@@ -47,6 +47,14 @@ class ProcessedRecording:
     participant_id / day / true_state:
         Provenance copied from the recording (``true_state`` is None
         for field recordings without ground truth).
+    confidence:
+        Pipeline trust in this result, in (0, 1].  Exactly 1.0 for a
+        clean recording; reduced when chirps were quarantined from the
+        train or non-finite samples were sanitized away.
+    num_chirps_dropped:
+        Corrupted chirps removed from the train before averaging.
+    quality_reasons:
+        Reason codes explaining any degradation (empty when clean).
     """
 
     features: np.ndarray
@@ -58,6 +66,9 @@ class ProcessedRecording:
     participant_id: str = ""
     day: float = 0.0
     true_state: MeeState | None = None
+    confidence: float = 1.0
+    num_chirps_dropped: int = 0
+    quality_reasons: tuple[str, ...] = ()
 
     @property
     def echo_yield(self) -> float:

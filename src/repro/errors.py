@@ -37,6 +37,26 @@ class NoEchoFoundError(SignalProcessingError):
     """
 
 
+class InvalidWaveformError(SignalProcessingError):
+    """A waveform contains samples no DSP stage can process.
+
+    Raised when NaN/Inf samples (a glitching ADC, a corrupted file) or
+    an empty buffer reach the pipeline, *before* they can poison the
+    filters and propagate garbage features to clustering.  Expected in
+    deployment — the batch runtime quarantines it like any other
+    acquisition failure.
+    """
+
+
+class QualityRejectedError(SignalProcessingError):
+    """The signal-quality gate refused a recording before the DSP ran.
+
+    The message carries the :mod:`repro.quality` reason codes (e.g.
+    ``clipping; dropout``), so a quarantine entry records *why* the
+    capture must be re-measured, not just that it failed.
+    """
+
+
 class ModelError(EarSonarError):
     """A learning component was used incorrectly.
 
@@ -51,3 +71,45 @@ class NotFittedError(ModelError):
 
 class SimulationError(EarSonarError):
     """The virtual clinic could not generate a requested scenario."""
+
+
+class CacheCorruptionError(EarSonarError):
+    """A persisted cache entry failed validation on load.
+
+    Covers truncated/garbled ``.npz`` payloads, checksum mismatches,
+    and entries written under a different schema or config
+    fingerprint.  The cache itself treats this as a miss (evicting the
+    bad file); the class exists so the disk tier can signal the
+    condition internally with a typed error instead of leaking
+    ``BadZipFile``/``KeyError`` to callers.
+    """
+
+
+class ExecutionError(EarSonarError):
+    """Base class for batch-runtime execution failures.
+
+    These are *infrastructure* faults (a worker died, a deadline
+    passed, the circuit breaker opened) as opposed to the per-signal
+    :class:`SignalProcessingError` family; the executor converts them
+    into structured quarantine entries rather than crashing a batch.
+    """
+
+
+class TaskTimeoutError(ExecutionError):
+    """A dispatched chunk missed its per-task deadline."""
+
+
+class WorkerCrashError(ExecutionError):
+    """A pool worker died mid-chunk (segfault, OOM-kill, ``os._exit``)."""
+
+
+class CircuitOpenError(ExecutionError):
+    """Work was rejected because the executor's circuit breaker is open.
+
+    Raised/recorded for recordings that were *not attempted* after
+    ``failure_threshold`` consecutive worker failures halted fan-out.
+    """
+
+
+class InjectedFaultError(ExecutionError):
+    """A deliberate failure raised by the chaos fault-injection hook."""

@@ -18,6 +18,7 @@ from . import (
     fig13_overall,
     fig14_noise_motion,
     fig15_devices_training,
+    robustness_curves,
     table1_angle,
     table2_3_system,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "fig13_overall",
     "fig14_noise_motion",
     "fig15_devices_training",
+    "robustness_curves",
     "table1_angle",
     "table2_3_system",
     "ExperimentScale",

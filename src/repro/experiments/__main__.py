@@ -28,6 +28,7 @@ from . import (
     fig13_overall,
     fig14_noise_motion,
     fig15_devices_training,
+    robustness_curves,
     table1_angle,
     table2_3_system,
 )
@@ -51,6 +52,7 @@ _EXPERIMENTS = {
     "baseline": (baseline_comparison, True),
     "ablations": (ablations, True),
     "labelnoise": (label_noise, True),
+    "robustness": (robustness_curves, True),
 }
 
 
@@ -68,6 +70,7 @@ def _run_one(name: str) -> None:
             "baseline": baseline_comparison.BaselineConfig,
             "ablations": ablations.AblationConfig,
             "labelnoise": label_noise.LabelNoiseConfig,
+            "robustness": robustness_curves.RobustnessCurvesConfig,
         }
         result = module.run(config_types[name](scale=scale))
     else:

@@ -12,12 +12,14 @@ from . import (  # noqa: F401  (imports register the rules)
     qa003_pool_safety,
     qa004_units,
     qa005_api,
+    qa006_exceptions,
 )
 from .qa001_determinism import DeterminismRule
 from .qa002_fingerprint import FingerprintCompletenessRule
 from .qa003_pool_safety import PoolSafetyRule
 from .qa004_units import UnitDisciplineRule
 from .qa005_api import PublicApiRule
+from .qa006_exceptions import ExceptionBoundaryRule
 
 __all__ = [
     "DeterminismRule",
@@ -25,4 +27,5 @@ __all__ = [
     "PoolSafetyRule",
     "UnitDisciplineRule",
     "PublicApiRule",
+    "ExceptionBoundaryRule",
 ]

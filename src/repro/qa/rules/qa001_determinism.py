@@ -31,7 +31,16 @@ from ._helpers import ImportMap, attribute_chain, canonical_name, module_subpack
 __all__ = ["DeterminismRule"]
 
 #: Subpackages whose code must be deterministic under a threaded seed.
-SCIENCE_SUBPACKAGES = ("signal", "features", "acoustics", "simulation", "core", "kernels")
+SCIENCE_SUBPACKAGES = (
+    "signal",
+    "features",
+    "acoustics",
+    "simulation",
+    "core",
+    "kernels",
+    "faultlab",
+    "quality",
+)
 
 #: ``numpy.random`` attributes that are part of the modern, explicitly
 #: seeded Generator API and therefore allowed.

@@ -49,7 +49,7 @@ SAMPLE_RATE_LITERALS = frozenset(
 )
 
 #: Packages whose function bodies must take rates from the config.
-_DSP_SUBPACKAGES = ("signal", "features", "acoustics", "core", "kernels")
+_DSP_SUBPACKAGES = ("signal", "features", "acoustics", "core", "kernels", "faultlab", "quality")
 
 
 @register

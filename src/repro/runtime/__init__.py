@@ -22,7 +22,9 @@ or ``python -m repro.runtime --participants 4 --days 8 --workers 4``
 for an end-to-end demonstration with a metrics report.
 """
 
+from .breaker import BreakerState, CircuitBreaker
 from .cache import FeatureCache, recording_key
+from .chaos import FaultInjector
 from .executor import BatchExecutor, BatchResult
 from .faults import DEFAULT_RETRY_POLICY, FailedRecording, RetryPolicy
 from .metrics import Histogram, RuntimeMetrics
@@ -30,6 +32,9 @@ from .metrics import Histogram, RuntimeMetrics
 __all__ = [
     "BatchExecutor",
     "BatchResult",
+    "BreakerState",
+    "CircuitBreaker",
+    "FaultInjector",
     "FeatureCache",
     "recording_key",
     "FailedRecording",

@@ -1,0 +1,87 @@
+"""Circuit breaker for the executor's parallel fan-out.
+
+When worker infrastructure is unhealthy — processes dying, tasks
+hitting their deadline, a poisoned config crashing every chunk — each
+additional dispatch costs a full timeout or pool respawn and returns
+nothing.  The breaker watches *consecutive* chunk failures and, past a
+threshold, opens: remaining work is quarantined immediately with
+:class:`~repro.errors.CircuitOpenError` instead of being dispatched.
+
+Recovery is deliberately batch-based, not clock-based: the runtime's
+determinism discipline forbids wall-clock behaviour changes, so an open
+breaker goes *half-open* at the start of the next batch, lets exactly
+one probe chunk through, and either closes (probe succeeded) or snaps
+back open (probe failed).  The same input sequence therefore always
+produces the same breaker trajectory.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..errors import ConfigurationError
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(Enum):
+    """Health states of the fan-out path."""
+
+    #: Normal operation; failures are counted.
+    CLOSED = "closed"
+    #: Tripped: dispatching is halted and work is quarantined.
+    OPEN = "open"
+    #: Probation at the start of a new batch: one probe chunk runs.
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over pool chunk outcomes.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive chunk failures that open the breaker.  Successes
+        reset the count, so sporadic per-chunk faults never trip it —
+        only a systematically failing fan-out does.
+    """
+
+    def __init__(self, failure_threshold: int = 3) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+
+    @property
+    def is_open(self) -> bool:
+        """True when dispatching must halt."""
+        return self.state is BreakerState.OPEN
+
+    def on_new_batch(self) -> None:
+        """Begin a batch: an open breaker moves to half-open probation."""
+        if self.state is BreakerState.OPEN:
+            self.state = BreakerState.HALF_OPEN
+
+    def record_success(self) -> None:
+        """A chunk completed: close the breaker and reset the count."""
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> bool:
+        """A chunk failed; returns True when this failure opens the breaker.
+
+        In half-open state a single failure re-opens immediately — the
+        probe chunk just proved the fan-out is still unhealthy.
+        """
+        self.consecutive_failures += 1
+        should_open = (
+            self.state is BreakerState.HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        )
+        if should_open and self.state is not BreakerState.OPEN:
+            self.state = BreakerState.OPEN
+            return True
+        return False

@@ -18,22 +18,49 @@ simulations) therefore share the DSP but keep their own labels.
 Two tiers: an in-memory LRU (bounded by entry count) and an optional
 on-disk ``.npz`` store that survives processes, making warm re-runs of
 whole studies skip signal processing entirely.
+
+The disk tier is *validated* on load: every entry carries a format
+version and a SHA-256 payload checksum, and anything that fails to
+open, parse, or verify — a truncated npz, a stray file, a half-written
+entry from a killed process, bit rot — is evicted and reported as a
+miss (counted under ``cache.corrupt``), never raised to the caller.
+The science result is recomputed; a corrupted cache can cost time but
+not correctness.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import zipfile
 from collections import OrderedDict
 from pathlib import Path
 
 import numpy as np
 
 from ..core.results import ProcessedRecording
+from ..errors import CacheCorruptionError
 from ..simulation.effusion import MeeState
 from ..simulation.session import Recording
+from .metrics import RuntimeMetrics
 
 __all__ = ["recording_key", "FeatureCache"]
+
+#: Bumped whenever the on-disk entry schema changes; entries written by
+#: other versions are treated as corrupt (evicted, recomputed).
+CACHE_FORMAT_VERSION = 2
+
+#: Exceptions that mean "this disk entry is unreadable", not "the
+#: program is broken": bad zip containers, missing/odd fields, short
+#: reads, filesystem errors.  Kept explicit so genuine programming
+#: errors still propagate out of the cache.
+_CORRUPTION_ERRORS = (
+    zipfile.BadZipFile,
+    KeyError,
+    ValueError,
+    EOFError,
+    OSError,
+)
 
 
 def recording_key(recording: Recording, config_fingerprint: str) -> str:
@@ -58,12 +85,18 @@ class FeatureCache:
         Optional directory for ``.npz`` persistence.  Entries evicted
         from memory remain on disk and are transparently reloaded
         (and re-promoted to memory) on the next hit.
+    metrics:
+        Optional :class:`RuntimeMetrics` registry; when present the
+        cache counts corrupt-entry evictions under ``cache.corrupt``.
+        :class:`~repro.runtime.executor.BatchExecutor` wires its own
+        registry in when the cache has none.
     """
 
     def __init__(
         self,
         capacity: int | None = 4096,
         directory: str | Path | None = None,
+        metrics: RuntimeMetrics | None = None,
     ) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
@@ -71,6 +104,10 @@ class FeatureCache:
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+        self.metrics = metrics
+        #: Corrupt disk entries evicted so far (also mirrored to
+        #: ``metrics`` when a registry is attached).
+        self.corrupt_evictions = 0
         self._entries: OrderedDict[str, ProcessedRecording] = OrderedDict()
 
     def __len__(self) -> int:
@@ -90,7 +127,11 @@ class FeatureCache:
         path = self._disk_path_if_exists(key)
         if path is None:
             return None
-        entry = self._load(path)
+        try:
+            entry = self._load(path)
+        except CacheCorruptionError:
+            self._evict_corrupt(path)
+            return None
         self._store_memory(key, entry)
         return entry
 
@@ -133,12 +174,33 @@ class FeatureCache:
         path = self.directory / f"{key}.npz"
         return path if path.exists() else None
 
+    def _evict_corrupt(self, path: Path) -> None:
+        """Remove an unreadable disk entry and account for it as a miss."""
+        path.unlink(missing_ok=True)
+        self.corrupt_evictions += 1
+        if self.metrics is not None:
+            self.metrics.increment("cache.corrupt")
+
     @staticmethod
-    def _save(path: Path, processed: ProcessedRecording) -> None:
+    def _payload_checksum(
+        features: np.ndarray, curve: np.ndarray, mean_segment: np.ndarray
+    ) -> str:
+        digest = hashlib.sha256()
+        for array in (features, curve, mean_segment):
+            digest.update(np.ascontiguousarray(array, dtype=np.float64).tobytes())
+        return digest.hexdigest()
+
+    @classmethod
+    def _save(cls, path: Path, processed: ProcessedRecording) -> None:
         state = processed.true_state.value if processed.true_state else ""
+        checksum = cls._payload_checksum(
+            processed.features, processed.curve, processed.mean_segment
+        )
         tmp = path.with_suffix(".tmp.npz")
         np.savez(
             tmp,
+            cache_version=np.int64(CACHE_FORMAT_VERSION),
+            checksum=np.str_(checksum),
             features=processed.features,
             curve=processed.curve,
             mean_segment=processed.mean_segment,
@@ -148,21 +210,56 @@ class FeatureCache:
             participant_id=np.str_(processed.participant_id),
             day=np.float64(processed.day),
             true_state=np.str_(state),
+            confidence=np.float64(processed.confidence),
+            num_chirps_dropped=np.int64(processed.num_chirps_dropped),
+            quality_reasons=np.array(list(processed.quality_reasons), dtype=np.str_),
         )
         tmp.replace(path)
 
-    @staticmethod
-    def _load(path: Path) -> ProcessedRecording:
-        with np.load(path) as data:
-            state_str = str(data["true_state"])
-            return ProcessedRecording(
-                features=np.array(data["features"]),
-                curve=np.array(data["curve"]),
-                mean_segment=np.array(data["mean_segment"]),
-                segment_rate=float(data["segment_rate"]),
-                num_events=int(data["num_events"]),
-                num_echoes=int(data["num_echoes"]),
-                participant_id=str(data["participant_id"]),
-                day=float(data["day"]),
-                true_state=MeeState(state_str) if state_str else None,
-            )
+    @classmethod
+    def _load(cls, path: Path) -> ProcessedRecording:
+        """Read and *validate* one disk entry.
+
+        Raises :class:`CacheCorruptionError` for anything unreadable or
+        failing verification; the caller evicts and treats it as a miss.
+        """
+        try:
+            with np.load(path) as data:
+                if int(data["cache_version"]) != CACHE_FORMAT_VERSION:
+                    raise CacheCorruptionError(
+                        f"cache entry {path.name} has version "
+                        f"{int(data['cache_version'])}, "
+                        f"expected {CACHE_FORMAT_VERSION}"
+                    )
+                features = np.array(data["features"])
+                curve = np.array(data["curve"])
+                mean_segment = np.array(data["mean_segment"])
+                checksum = cls._payload_checksum(features, curve, mean_segment)
+                if checksum != str(data["checksum"]):
+                    raise CacheCorruptionError(
+                        f"cache entry {path.name} failed checksum verification"
+                    )
+                state_str = str(data["true_state"])
+                return ProcessedRecording(
+                    features=features,
+                    curve=curve,
+                    mean_segment=mean_segment,
+                    segment_rate=float(data["segment_rate"]),
+                    num_events=int(data["num_events"]),
+                    num_echoes=int(data["num_echoes"]),
+                    participant_id=str(data["participant_id"]),
+                    day=float(data["day"]),
+                    true_state=MeeState(state_str) if state_str else None,
+                    confidence=float(data["confidence"]),
+                    num_chirps_dropped=int(data["num_chirps_dropped"]),
+                    quality_reasons=tuple(
+                        str(r) for r in np.atleast_1d(data["quality_reasons"])
+                    ),
+                )
+        except CacheCorruptionError:
+            raise
+        except _CORRUPTION_ERRORS as exc:
+            raise CacheCorruptionError(
+                f"cache entry {path.name} is unreadable: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc

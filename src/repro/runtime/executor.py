@@ -25,18 +25,32 @@ shipping waveforms to a worker; workers rebuild the pipeline once per
 
 from __future__ import annotations
 
+import dataclasses
+import functools
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Sequence, Union
 
 from ..core.config import EarSonarConfig
 from ..core.pipeline import EarSonarPipeline
 from ..core.results import ProcessedRecording
-from ..errors import ConfigurationError
+from ..errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    ExecutionError,
+    QualityRejectedError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from ..quality import QualityConfig, assess_recording
 from ..simulation.session import Recording
+from .breaker import CircuitBreaker
 from .cache import FeatureCache, recording_key
+from .chaos import FaultInjector
 from .faults import DEFAULT_RETRY_POLICY, FailedRecording, RetryPolicy, run_with_policy
 from .metrics import RuntimeMetrics
 
@@ -92,21 +106,61 @@ def _worker_pipeline(config: EarSonarConfig) -> EarSonarPipeline:
     return pipeline
 
 
+def _gated_timed_process(
+    pipeline: EarSonarPipeline,
+    recording: Recording,
+    quality: QualityConfig | None = None,
+):
+    """``timed_process`` behind the optional quality gate.
+
+    REJECT verdicts raise :class:`QualityRejectedError` — a
+    :class:`~repro.errors.SignalProcessingError`, so the standard
+    quarantine path catches it and the recording never pays for the
+    DSP.  DEGRADE verdicts process normally but merge the gate's
+    reason codes into the result's ``quality_reasons``.
+    """
+    if quality is None:
+        return pipeline.timed_process(recording)
+    report = assess_recording(recording, pipeline.config.chirp, quality)
+    if report.rejected:
+        raise QualityRejectedError(
+            f"quality gate rejected capture: {report.reason_string}"
+        )
+    processed, latencies = pipeline.timed_process(recording)
+    if not report.accepted:
+        merged = tuple(
+            dict.fromkeys(
+                processed.quality_reasons
+                + tuple(code.value for code in report.reasons)
+            )
+        )
+        processed = dataclasses.replace(processed, quality_reasons=merged)
+    return processed, latencies
+
+
 def _process_chunk(
     config: EarSonarConfig,
     policy: RetryPolicy,
     chunk: list[tuple[int, Recording]],
+    quality: QualityConfig | None = None,
+    injector: FaultInjector | None = None,
 ) -> list[tuple[int, Outcome, object, int]]:
     """Process one chunk in a worker; never raises for expected faults.
 
     Returns ``(index, outcome, stage_latencies_or_None, attempts)``
     tuples; quarantining happens here so the parent's merge step is the
-    same for serial and parallel runs.
+    same for serial and parallel runs.  An armed :class:`FaultInjector`
+    fires *before* its recording is processed — crashing the worker,
+    sleeping past the deadline, or raising — so the parent's recovery
+    machinery sees the failure exactly where a real one would occur.
     """
     pipeline = _worker_pipeline(config)
+    process = functools.partial(_gated_timed_process, pipeline, quality=quality)
     out = []
     for index, recording in chunk:
-        result, attempts = run_with_policy(pipeline.timed_process, recording, policy)
+        if injector is not None and injector.should_trip(index):
+            injector.trip(index)
+        result, attempts = run_with_policy(process, recording, policy)
         if isinstance(result, FailedRecording):
             out.append((index, result, None, attempts))
         else:
@@ -144,6 +198,28 @@ class BatchExecutor:
         executor when omitted.
     retry_policy:
         Bounded retry for transient failures (default: no retries).
+    quality_gate:
+        Optional :class:`~repro.quality.QualityConfig`.  When set,
+        every recording is assessed before the DSP: REJECT verdicts
+        are quarantined without processing, DEGRADE verdicts process
+        but carry the gate's reason codes.  Applies to the serial and
+        pool paths alike (the gate is deterministic).
+    task_timeout_s:
+        Per-pool-task deadline in seconds.  A chunk whose result does
+        not arrive in time is quarantined as
+        :class:`~repro.errors.TaskTimeoutError` instead of blocking
+        the batch forever behind a hung worker.  ``None`` (default)
+        waits indefinitely.  Pool path only.
+    breaker:
+        Optional :class:`CircuitBreaker`.  After its threshold of
+        *consecutive* chunk failures (crashes, deadline misses,
+        injected faults) the remaining chunks are quarantined as
+        :class:`~repro.errors.CircuitOpenError` without being waited
+        on.  Pool path only.
+    fault_injector:
+        Optional :class:`~repro.runtime.chaos.FaultInjector` armed in
+        the workers for chaos tests.  Pool path only — a deliberate
+        crash or hang in the serial path would take down the caller.
     """
 
     def __init__(
@@ -155,6 +231,10 @@ class BatchExecutor:
         cache: FeatureCache | None = None,
         metrics: RuntimeMetrics | None = None,
         retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+        quality_gate: QualityConfig | None = None,
+        task_timeout_s: float | None = None,
+        breaker: CircuitBreaker | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -162,12 +242,23 @@ class BatchExecutor:
             raise ConfigurationError(
                 f"chunk_size must be >= 1 or None, got {chunk_size}"
             )
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ConfigurationError(
+                f"task_timeout_s must be positive or None, got {task_timeout_s}"
+            )
         self.pipeline = pipeline or EarSonarPipeline(EarSonarConfig())
         self.workers = workers
         self.chunk_size = chunk_size
         self.cache = cache
         self.metrics = metrics or RuntimeMetrics()
         self.retry_policy = retry_policy
+        self.quality_gate = quality_gate
+        self.task_timeout_s = task_timeout_s
+        self.breaker = breaker
+        self.fault_injector = fault_injector
+        if cache is not None and cache.metrics is None:
+            # Corruption evictions surface in this executor's report.
+            cache.metrics = self.metrics
         self._fingerprint = self.pipeline.config.fingerprint()
 
     # -- public API ----------------------------------------------------
@@ -246,7 +337,13 @@ class BatchExecutor:
         self.metrics.increment("pipeline.calls", attempts)
         if attempts > 1:
             self.metrics.increment("recordings.retried", attempts - 1)
+        if isinstance(outcome, FailedRecording):
+            if outcome.error_type == "QualityRejectedError":
+                self.metrics.increment("quality.rejected")
+            return
         if isinstance(outcome, ProcessedRecording):
+            if outcome.quality_reasons:
+                self.metrics.increment("quality.degraded")
             self._cache_store(recording, outcome)
             if latencies is not None:
                 self.metrics.observe("stage.bandpass_ms", latencies.bandpass_ms)
@@ -258,10 +355,11 @@ class BatchExecutor:
     def _run_serial(
         self, misses: list[tuple[int, Recording]], outcomes: list[Outcome | None]
     ) -> None:
+        process = functools.partial(
+            _gated_timed_process, self.pipeline, quality=self.quality_gate
+        )
         for index, recording in misses:
-            result, attempts = run_with_policy(
-                self.pipeline.timed_process, recording, self.retry_policy
-            )
+            result, attempts = run_with_policy(process, recording, self.retry_policy)
             if isinstance(result, FailedRecording):
                 self._record_outcome(index, recording, result, None, attempts, outcomes)
             else:
@@ -269,6 +367,33 @@ class BatchExecutor:
                 self._record_outcome(
                     index, recording, processed, latencies, attempts, outcomes
                 )
+
+    def _quarantine_chunk(
+        self,
+        chunk: list[tuple[int, Recording]],
+        outcomes: list[Outcome | None],
+        exc: BaseException,
+    ) -> None:
+        """Turn a whole failed pool task into per-recording quarantine."""
+        for index, recording in chunk:
+            outcomes[index] = FailedRecording(
+                participant_id=recording.participant_id,
+                day=recording.day,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                attempts=1,
+                true_state=getattr(recording, "state", None),
+            )
+
+    def _chunk_failed(
+        self,
+        chunk: list[tuple[int, Recording]],
+        outcomes: list[Outcome | None],
+        exc: BaseException,
+    ) -> None:
+        self._quarantine_chunk(chunk, outcomes, exc)
+        if self.breaker is not None and self.breaker.record_failure():
+            self.metrics.increment("breaker.opened")
 
     def _run_pool(
         self, misses: list[tuple[int, Recording]], outcomes: list[Outcome | None]
@@ -278,16 +403,78 @@ class BatchExecutor:
         self.metrics.increment("chunks.dispatched", len(chunks))
         by_index = {index: recording for index, recording in misses}
         config = self.pipeline.config
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        breaker = self.breaker
+        if breaker is not None:
+            breaker.on_new_batch()
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
             futures = [
-                pool.submit(_process_chunk, config, self.retry_policy, chunk)
+                pool.submit(
+                    _process_chunk,
+                    config,
+                    self.retry_policy,
+                    chunk,
+                    self.quality_gate,
+                    self.fault_injector,
+                )
                 for chunk in chunks
             ]
-            for future in futures:
-                for index, outcome, latencies, attempts in future.result():
-                    self._record_outcome(
-                        index, by_index[index], outcome, latencies, attempts, outcomes
+            for chunk, future in zip(chunks, futures):
+                if breaker is not None and breaker.is_open:
+                    future.cancel()
+                    self.metrics.increment("executor.chunks_skipped")
+                    self._quarantine_chunk(
+                        chunk,
+                        outcomes,
+                        CircuitOpenError(
+                            "circuit breaker open after "
+                            f"{breaker.consecutive_failures} consecutive "
+                            "chunk failures"
+                        ),
                     )
+                    continue
+                try:
+                    rows = future.result(timeout=self.task_timeout_s)
+                except FuturesTimeoutError:
+                    self.metrics.increment("executor.timeouts")
+                    self._chunk_failed(
+                        chunk,
+                        outcomes,
+                        TaskTimeoutError(
+                            "pool task missed its "
+                            f"{self.task_timeout_s:g}s deadline"
+                        ),
+                    )
+                except BrokenProcessPool as exc:
+                    self.metrics.increment("executor.worker_failures")
+                    self._chunk_failed(
+                        chunk,
+                        outcomes,
+                        WorkerCrashError(f"worker process died mid-chunk: {exc}"),
+                    )
+                except ExecutionError as exc:
+                    # Injected faults and classified infrastructure
+                    # errors raised inside the worker; anything else
+                    # (a genuine programming error) still propagates.
+                    self.metrics.increment("executor.worker_failures")
+                    self._chunk_failed(chunk, outcomes, exc)
+                else:
+                    if breaker is not None:
+                        breaker.record_success()
+                    for index, outcome, latencies, attempts in rows:
+                        self._record_outcome(
+                            index,
+                            by_index[index],
+                            outcome,
+                            latencies,
+                            attempts,
+                            outcomes,
+                        )
+        finally:
+            # wait=False: after a timeout or crash there may be a hung
+            # or dead worker; blocking on it here would forfeit the
+            # deadline we just enforced.
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def _chunk(
         self, misses: list[tuple[int, Recording]], workers: int

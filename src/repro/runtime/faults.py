@@ -54,6 +54,16 @@ class FailedRecording:
     attempts: int = 1
     true_state: MeeState | None = None
 
+    @property
+    def reason(self) -> str:
+        """Single-string diagnosis, e.g. ``"NoEchoFoundError: only 1 ..."``.
+
+        The stable round-trip target for the error taxonomy: every
+        quarantined exception lands here as ``type-name: message``, so
+        logs and artifacts stay greppable by exception class.
+        """
+        return f"{self.error_type}: {self.message}"
+
 
 @dataclass(frozen=True)
 class RetryPolicy:

@@ -90,7 +90,13 @@ class RuntimeMetrics:
     - ``recordings.retried`` — extra attempts granted by the retry policy
     - ``pipeline.calls`` — actual DSP invocations (cache misses only)
     - ``cache.hits`` / ``cache.misses``
+    - ``cache.corrupt`` — unreadable disk entries evicted (each also a miss)
     - ``executor.serial_fallback`` — parallel run degraded to serial
+    - ``executor.timeouts`` — pool tasks that missed their deadline
+    - ``executor.worker_failures`` — chunks lost to crashes/injected faults
+    - ``executor.chunks_skipped`` — chunks quarantined by an open breaker
+    - ``breaker.opened`` — circuit-breaker open transitions
+    - ``quality.degraded`` / ``quality.rejected`` — quality-gate verdicts
     - histograms ``recording_ms``, ``stage.bandpass_ms``,
       ``stage.features_ms``, ``batch_ms``
     """

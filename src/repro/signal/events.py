@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import SignalProcessingError
+from ..errors import InvalidWaveformError, SignalProcessingError
 
 __all__ = ["Event", "EventDetectorConfig", "detect_events", "sliding_power"]
 
@@ -154,6 +154,10 @@ def detect_events(
     signal = np.asarray(signal, dtype=float)
     if signal.size == 0:
         raise SignalProcessingError("detect_events requires a non-empty signal")
+    if not np.isfinite(signal).all():
+        # NaN comparisons are silently False, so a poisoned stream would
+        # otherwise yield "no events" instead of a diagnosable failure.
+        raise InvalidWaveformError("detect_events requires a finite signal")
     power = signal**2
     mu, sigma = sliding_power(signal, config.window)
     global_mean = float(np.mean(power))

@@ -1,0 +1,73 @@
+"""Robustness acceptance criterion.
+
+For every fault model in the catalog at default severity (1.0), a
+seeded 200-recording batch run through the robust pipeline must
+complete — cleanly or degraded — for at least 90% of recordings, with
+zero uncaught exceptions: every input position ends as either a
+``ProcessedRecording`` or a structured quarantine entry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EarSonarConfig, EarSonarPipeline
+from repro.core.config import RobustnessConfig
+from repro.core.results import ProcessedRecording
+from repro.faultlab import apply_to_recording, fault_catalog
+from repro.runtime import BatchExecutor
+from repro.runtime.faults import FailedRecording
+
+pytestmark = pytest.mark.chaos
+
+COMPLETION_FLOOR = 0.9
+
+
+@pytest.fixture(scope="module")
+def robust_executor():
+    pipeline = EarSonarPipeline(
+        EarSonarConfig(robustness=RobustnessConfig(sanitize_nonfinite=True))
+    )
+    return BatchExecutor(pipeline)
+
+
+@pytest.mark.parametrize("fault_name", sorted(fault_catalog()))
+def test_default_severity_fault_completes_90_percent(
+    fault_name, acceptance_batch, robust_executor
+):
+    model = fault_catalog(1.0)[fault_name]
+    fault_rng = np.random.default_rng(31337)
+    damaged = [
+        apply_to_recording(recording, model, fault_rng)
+        for recording in acceptance_batch
+    ]
+
+    result = robust_executor.run(damaged)  # must not raise
+
+    assert len(result) == len(acceptance_batch) == 200
+    # Zero uncaught exceptions: every slot is a structured outcome.
+    assert all(
+        isinstance(o, (ProcessedRecording, FailedRecording))
+        for o in result.outcomes
+    )
+    completion = result.ok_count / len(result)
+    assert completion >= COMPLETION_FLOOR, (
+        f"{fault_name}: only {completion:.1%} of the batch completed; "
+        f"quarantine reasons: "
+        f"{sorted({o.reason for o in result.quarantine})[:5]}"
+    )
+
+
+def test_clean_batch_is_bit_identical_with_faults_disabled(
+    acceptance_batch, robust_executor
+):
+    """Fault machinery off -> seeded outputs identical to the strict path."""
+    strict = EarSonarPipeline(EarSonarConfig())
+    subset = acceptance_batch[:5]
+    for recording in subset:
+        robust = robust_executor.pipeline.process(recording)
+        baseline = strict.process(recording)
+        np.testing.assert_array_equal(robust.features, baseline.features)
+        np.testing.assert_array_equal(robust.curve, baseline.curve)
+        assert robust.confidence == 1.0

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.qa.rules import (
     DeterminismRule,
+    ExceptionBoundaryRule,
     FingerprintCompletenessRule,
     PoolSafetyRule,
     PublicApiRule,
@@ -353,3 +354,107 @@ class TestPublicApi:
             },
         )
         assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# QA006 — exception boundaries
+# ---------------------------------------------------------------------------
+
+
+class TestExceptionBoundary:
+    def test_flags_bare_and_broad_handlers(self, findings_of):
+        findings = findings_of(
+            ExceptionBoundaryRule,
+            {
+                "repro/signal/bad.py": """
+                    def process(x):
+                        try:
+                            return x + 1
+                        except Exception:
+                            return None
+
+                    def swallow(x):
+                        try:
+                            return x * 2
+                        except:
+                            return None
+                    """
+            },
+        )
+        assert pairs(findings) == [
+            ("QA006", 4),  # except Exception
+            ("QA006", 10),  # bare except
+        ]
+
+    def test_flags_broad_names_inside_tuples_and_attributes(self, findings_of):
+        findings = findings_of(
+            ExceptionBoundaryRule,
+            {
+                "repro/core/bad.py": """
+                    import builtins
+
+                    def f(x):
+                        try:
+                            return x
+                        except (ValueError, Exception):
+                            return None
+
+                    def g(x):
+                        try:
+                            return x
+                        except builtins.BaseException:
+                            return None
+                    """
+            },
+        )
+        assert pairs(findings) == [
+            ("QA006", 6),  # Exception hidden in a tuple
+            ("QA006", 12),  # builtins.BaseException
+        ]
+
+    def test_narrow_handlers_stay_silent(self, findings_of):
+        findings = findings_of(
+            ExceptionBoundaryRule,
+            {
+                "repro/features/ok.py": """
+                    def f(x):
+                        try:
+                            return float(x)
+                        except (TypeError, ValueError) as exc:
+                            raise RuntimeError("bad input") from exc
+                    """
+            },
+        )
+        assert findings == []
+
+    def test_quarantine_boundary_modules_are_exempt(self, findings_of):
+        boundary_source = """
+            def merge(results):
+                try:
+                    return list(results)
+                except Exception:
+                    return []
+            """
+        findings = findings_of(
+            ExceptionBoundaryRule,
+            {
+                "repro/runtime/executor.py": boundary_source,
+                "repro/runtime/faults.py": boundary_source,
+            },
+        )
+        assert findings == []
+
+    def test_non_boundary_runtime_module_is_not_exempt(self, findings_of):
+        findings = findings_of(
+            ExceptionBoundaryRule,
+            {
+                "repro/runtime/cache.py": """
+                    def load(path):
+                        try:
+                            return open(path).read()
+                        except Exception:
+                            return None
+                    """
+            },
+        )
+        assert pairs(findings) == [("QA006", 4)]

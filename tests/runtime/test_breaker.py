@@ -1,0 +1,79 @@
+"""State-machine tests for the executor's circuit breaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import BreakerState, CircuitBreaker
+
+
+class TestCircuitBreaker:
+    def test_starts_closed(self):
+        breaker = CircuitBreaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert not breaker.is_open
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True  # the opening transition
+        assert breaker.is_open
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.record_failure() is False
+        assert not breaker.is_open
+
+    def test_new_batch_moves_open_to_half_open(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure()
+        assert breaker.is_open
+        breaker.on_new_batch()
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.is_open  # one probe chunk may dispatch
+
+    def test_half_open_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure()
+        breaker.on_new_batch()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_half_open_probe_failure_reopens_immediately(self):
+        breaker = CircuitBreaker(failure_threshold=5)
+        for _ in range(5):
+            breaker.record_failure()
+        breaker.on_new_batch()
+        # Far below the threshold, but the probe proves it is still sick.
+        assert breaker.record_failure() is True
+        assert breaker.is_open
+
+    def test_on_new_batch_is_a_noop_when_closed(self):
+        breaker = CircuitBreaker()
+        breaker.on_new_batch()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_trajectory_is_deterministic(self):
+        def trajectory():
+            breaker = CircuitBreaker(failure_threshold=2)
+            states = []
+            for event in ("f", "s", "f", "f", "batch", "f", "batch", "s"):
+                if event == "f":
+                    breaker.record_failure()
+                elif event == "s":
+                    breaker.record_success()
+                else:
+                    breaker.on_new_batch()
+                states.append(breaker.state)
+            return states
+
+        assert trajectory() == trajectory()

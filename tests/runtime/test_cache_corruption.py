@@ -1,0 +1,149 @@
+"""Disk-tier validation: corrupt cache entries become misses, not errors.
+
+Every failure mode a real filesystem can produce — garbage bytes, a
+truncated write from a killed process, silent payload bit-rot, entries
+from an older schema — must be detected, evicted, and recomputed; none
+may leak an exception to the caller or, worse, return wrong features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.cache import CACHE_FORMAT_VERSION, FeatureCache
+from repro.runtime.metrics import RuntimeMetrics
+from repro.simulation import MeeState
+
+
+def _processed(seed: int = 0, **overrides):
+    from repro.core.results import ProcessedRecording
+
+    rng = np.random.default_rng(seed)
+    fields = dict(
+        features=rng.standard_normal(105),
+        curve=rng.standard_normal(64),
+        mean_segment=rng.standard_normal(512),
+        segment_rate=384_000.0,
+        num_events=40,
+        num_echoes=37,
+        participant_id="P001",
+        day=2.5,
+        true_state=MeeState.MUCOID,
+    )
+    fields.update(overrides)
+    return ProcessedRecording(**fields)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return FeatureCache(directory=tmp_path, metrics=RuntimeMetrics())
+
+
+def entry_path(cache, key):
+    return cache.directory / f"{key}.npz"
+
+
+class TestCorruptEntries:
+    def test_garbage_bytes_become_a_miss(self, cache):
+        cache.put("k", _processed())
+        cache.clear_memory()
+        entry_path(cache, "k").write_bytes(b"this is not an npz archive")
+
+        assert cache.get("k") is None
+        assert not entry_path(cache, "k").exists()  # evicted
+        assert cache.corrupt_evictions == 1
+        assert cache.metrics.counter("cache.corrupt") == 1
+
+    def test_truncated_npz_becomes_a_miss(self, cache):
+        cache.put("k", _processed())
+        cache.clear_memory()
+        path = entry_path(cache, "k")
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+
+        assert cache.get("k") is None
+        assert cache.corrupt_evictions == 1
+
+    def test_checksum_mismatch_becomes_a_miss(self, cache):
+        cache.put("k", _processed())
+        cache.clear_memory()
+        path = entry_path(cache, "k")
+        with np.load(path) as data:
+            fields = {name: data[name] for name in data.files}
+        fields["features"] = np.asarray(fields["features"]) + 1.0  # bit rot
+        np.savez(path, **fields)
+
+        assert cache.get("k") is None
+        assert cache.corrupt_evictions == 1
+
+    def test_old_format_version_becomes_a_miss(self, cache):
+        cache.put("k", _processed())
+        cache.clear_memory()
+        path = entry_path(cache, "k")
+        with np.load(path) as data:
+            fields = {name: data[name] for name in data.files}
+        fields["cache_version"] = np.int64(CACHE_FORMAT_VERSION - 1)
+        np.savez(path, **fields)
+
+        assert cache.get("k") is None
+        assert cache.corrupt_evictions == 1
+
+    def test_missing_fields_become_a_miss(self, cache):
+        """A v2-versioned entry lacking payload keys is still corrupt."""
+        cache.put("k", _processed())
+        cache.clear_memory()
+        path = entry_path(cache, "k")
+        np.savez(path, cache_version=np.int64(CACHE_FORMAT_VERSION))
+
+        assert cache.get("k") is None
+        assert cache.corrupt_evictions == 1
+
+    def test_recompute_after_eviction_repopulates(self, cache):
+        cache.put("k", _processed())
+        cache.clear_memory()
+        entry_path(cache, "k").write_bytes(b"junk")
+        assert cache.get("k") is None
+
+        cache.put("k", _processed())
+        cache.clear_memory()
+        hit = cache.get("k")
+        assert hit is not None
+        np.testing.assert_array_equal(hit.features, _processed().features)
+
+    def test_eviction_counts_without_metrics_registry(self, tmp_path):
+        cache = FeatureCache(directory=tmp_path)  # no registry attached
+        cache.put("k", _processed())
+        cache.clear_memory()
+        entry_path(cache, "k").write_bytes(b"junk")
+        assert cache.get("k") is None
+        assert cache.corrupt_evictions == 1
+
+
+class TestValidRoundTrip:
+    def test_degradation_fields_survive_disk(self, cache):
+        stored = _processed(
+            confidence=0.875,
+            num_chirps_dropped=3,
+            quality_reasons=("non_finite", "corrupt_chirps"),
+        )
+        cache.put("k", stored)
+        cache.clear_memory()
+        loaded = cache.get("k")
+        assert loaded.confidence == 0.875
+        assert loaded.num_chirps_dropped == 3
+        assert loaded.quality_reasons == ("non_finite", "corrupt_chirps")
+
+    def test_empty_quality_reasons_survive_disk(self, cache):
+        cache.put("k", _processed())
+        cache.clear_memory()
+        loaded = cache.get("k")
+        assert loaded.confidence == 1.0
+        assert loaded.quality_reasons == ()
+
+    def test_intact_entry_is_not_evicted(self, cache):
+        cache.put("k", _processed())
+        cache.clear_memory()
+        assert cache.get("k") is not None
+        assert cache.corrupt_evictions == 0
+        assert cache.metrics.counter("cache.corrupt") == 0
