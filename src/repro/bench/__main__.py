@@ -241,6 +241,74 @@ def _pipeline_suite(seed: int, quick: bool, repeats: int) -> list[BenchResult]:
     return results
 
 
+def _obs_suite(
+    seed: int, quick: bool, repeats: int, trace_dir: Path | None = None
+) -> list[BenchResult]:
+    """Tracing overhead: one batch run traced vs the NullTracer path.
+
+    The ``serial`` side is the default (tracing disabled) run, so
+    ``speedup`` reads as ``untraced_p50 / traced_p50`` — 1.0 means free
+    tracing, and the overhead percentage is ``(1/speedup - 1) * 100``.
+    When ``trace_dir`` is given, the artifacts of one traced run
+    (run record, Chrome trace, events, Prometheus text) are written
+    there so CI can upload them next to the BENCH reports.
+    """
+    from ..core.config import EarSonarConfig
+    from ..core.pipeline import EarSonarPipeline
+    from ..obs import EventLog, Tracer, capture_manifest, use_event_log, use_tracer
+    from ..obs.export import write_run_record
+    from ..runtime.executor import BatchExecutor
+    from ..runtime.metrics import RuntimeMetrics
+    from ..simulation.cohort import StudyDesign, build_cohort, simulate_study
+    from ..simulation.session import SessionConfig
+
+    rng = np.random.default_rng(seed)
+    participants = 2 if quick else 4
+    cohort = build_cohort(participants, rng, total_days=8)
+    design = StudyDesign(
+        total_days=2 if quick else 4,
+        sessions_per_day=1,
+        session_config=SessionConfig(duration_s=0.1 if quick else 0.25),
+    )
+    recordings = simulate_study(cohort, design, rng).recordings
+    config = EarSonarConfig()
+    untraced_exec = BatchExecutor(EarSonarPipeline(config))
+    traced_metrics = RuntimeMetrics()
+    traced_exec = BatchExecutor(EarSonarPipeline(config), metrics=traced_metrics)
+    last: dict = {}
+
+    def run_traced():
+        tracer, log = Tracer(), EventLog()
+        with use_tracer(tracer), use_event_log(log):
+            result = traced_exec.run(recordings)
+        last["tracer"], last["log"] = tracer, log
+        return result
+
+    comparison = compare_ops(
+        "batch_screening_traced",
+        f"recordings={len(recordings)}",
+        run_traced,
+        lambda: untraced_exec.run(recordings),
+        repeats=repeats,
+    )
+    if trace_dir is not None:
+        write_run_record(
+            trace_dir,
+            spans=last["tracer"].traces,
+            metrics=traced_metrics,
+            manifest=capture_manifest(config=config, seed=seed),
+            events=last["log"],
+        )
+    return [comparison]
+
+
+def overhead_pct(result: BenchResult) -> float | None:
+    """Tracing overhead percent from an obs-suite comparison record."""
+    if result.serial_p50_ms is None or result.serial_p50_ms <= 0.0:
+        return None
+    return (result.p50_ms / result.serial_p50_ms - 1.0) * 100.0
+
+
 def _print_table(title: str, results: list[BenchResult]) -> None:
     """Echo one report as an aligned terminal table."""
     print(f"\n{title}")
@@ -269,6 +337,19 @@ def main(argv: list[str] | None = None) -> int:
         "--output-dir", type=Path, default=Path("."), help="where BENCH_*.json land"
     )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed for inputs")
+    parser.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help="write one traced run's record/Chrome-trace artifacts here",
+    )
+    parser.add_argument(
+        "--fail-overhead-pct",
+        type=float,
+        default=None,
+        help="exit 1 if tracing-enabled batch p50 exceeds the disabled "
+        "path by more than this percent",
+    )
     args = parser.parse_args(argv)
 
     repeats = args.repeats if args.repeats is not None else (3 if args.quick else 7)
@@ -276,6 +357,7 @@ def main(argv: list[str] | None = None) -> int:
 
     kernel_results = _kernel_suite(rng, args.quick, repeats)
     pipeline_results = _pipeline_suite(args.seed, args.quick, repeats)
+    obs_results = _obs_suite(args.seed, args.quick, repeats, args.trace_dir)
 
     args.output_dir.mkdir(parents=True, exist_ok=True)
     kernels_path = write_report(
@@ -292,10 +374,31 @@ def main(argv: list[str] | None = None) -> int:
         quick=args.quick,
         seed=args.seed,
     )
+    obs_path = write_report(
+        args.output_dir / "BENCH_obs.json",
+        obs_results,
+        label="obs",
+        quick=args.quick,
+        seed=args.seed,
+    )
 
     _print_table("kernel micro-benchmarks (batched vs serial oracle)", kernel_results)
     _print_table("pipeline stages (batched vs serial oracle)", pipeline_results)
-    print(f"\nwrote {kernels_path} and {pipeline_path}")
+    _print_table("observability overhead (traced vs disabled)", obs_results)
+    overhead = overhead_pct(obs_results[0])
+    if overhead is not None:
+        print(f"\ntracing overhead: {overhead:+.2f}% on batch p50")
+    print(f"wrote {kernels_path}, {pipeline_path} and {obs_path}")
+    if (
+        args.fail_overhead_pct is not None
+        and overhead is not None
+        and overhead > args.fail_overhead_pct
+    ):
+        print(
+            f"FAIL: tracing overhead {overhead:+.2f}% exceeds "
+            f"{args.fail_overhead_pct:g}% budget"
+        )
+        return 1
     return 0
 
 

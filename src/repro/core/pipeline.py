@@ -23,6 +23,8 @@ import numpy as np
 
 from ..errors import InvalidWaveformError, NoEchoFoundError, SignalProcessingError
 from ..features.vector import FeatureVectorBuilder
+from ..obs import names as obs_names
+from ..obs.tracer import current_tracer
 from ..signal.chirp import linear_chirp
 from ..signal.events import Event, detect_events
 from ..signal.filters import butterworth_bandpass
@@ -173,15 +175,21 @@ class EarSonarPipeline:
         and untimed entry points can never drift apart.
         """
         rb = self.config.robustness
+        tracer = current_tracer()
         t0 = time.perf_counter()
         raw = np.asarray(recording.waveform, dtype=float)
         nonfinite_fraction = (
             1.0 - float(np.isfinite(raw).mean()) if raw.size else 1.0
         )
-        filtered = self.preprocess(raw)
+        with tracer.span(obs_names.SPAN_STAGE_BANDPASS):
+            filtered = self.preprocess(raw)
         t1 = time.perf_counter()
-        events = self.detect_chirp_events(filtered)
-        echoes = self.extract_echoes(filtered, events)
+        with tracer.span(obs_names.SPAN_STAGE_EVENTS) as span:
+            events = self.detect_chirp_events(filtered)
+            span.set("events", len(events))
+        with tracer.span(obs_names.SPAN_STAGE_PARITY) as span:
+            echoes = self.extract_echoes(filtered, events)
+            span.set("echoes", len(echoes))
         num_extracted = len(echoes)
         dropped = 0
         reasons: list[str] = []
@@ -199,33 +207,35 @@ class EarSonarPipeline:
                 f"only {len(echoes)} of {len(events)} events produced usable "
                 f"echoes (need >= {self.config.min_echoes})"
             )
-        curves = self.absorption_curves(echoes)
-        row_ok = np.isfinite(curves).all(axis=1)
-        if not row_ok.all():
-            if not rb.drop_corrupted_chirps:
-                raise SignalProcessingError(
-                    "absorption curves contain non-finite values"
-                )
-            idx = np.flatnonzero(row_ok)
-            if idx.size < self.config.min_echoes:
-                raise NoEchoFoundError(
-                    f"only {idx.size} finite absorption curves "
-                    f"(need >= {self.config.min_echoes})"
-                )
-            dropped += int(curves.shape[0] - idx.size)
-            if "corrupt_chirps" not in reasons:
-                reasons.append("corrupt_chirps")
-            curves = curves[idx]
-            echoes = [echoes[i] for i in idx]
-        mean_curve = curves.mean(axis=0)
-        peak = mean_curve.max()
-        if peak <= 0.0:
-            raise SignalProcessingError("absorption curve is identically zero")
-        curve = mean_curve / peak
+        with tracer.span(obs_names.SPAN_STAGE_SPECTRUM):
+            curves = self.absorption_curves(echoes)
+            row_ok = np.isfinite(curves).all(axis=1)
+            if not row_ok.all():
+                if not rb.drop_corrupted_chirps:
+                    raise SignalProcessingError(
+                        "absorption curves contain non-finite values"
+                    )
+                idx = np.flatnonzero(row_ok)
+                if idx.size < self.config.min_echoes:
+                    raise NoEchoFoundError(
+                        f"only {idx.size} finite absorption curves "
+                        f"(need >= {self.config.min_echoes})"
+                    )
+                dropped += int(curves.shape[0] - idx.size)
+                if "corrupt_chirps" not in reasons:
+                    reasons.append("corrupt_chirps")
+                curves = curves[idx]
+                echoes = [echoes[i] for i in idx]
+            mean_curve = curves.mean(axis=0)
+            peak = mean_curve.max()
+            if peak <= 0.0:
+                raise SignalProcessingError("absorption curve is identically zero")
+            curve = mean_curve / peak
         segments = np.stack([e.segment for e in echoes])
         mean_segment = segments.mean(axis=0)
         rate = echoes[0].sample_rate
-        features = self._builder.build(curve, mean_segment, rate)
+        with tracer.span(obs_names.SPAN_STAGE_FEATURES):
+            features = self._builder.build(curve, mean_segment, rate)
         t2 = time.perf_counter()
         if nonfinite_fraction > 0.0:
             reasons.append("non_finite")

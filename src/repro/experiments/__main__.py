@@ -8,14 +8,31 @@ Run any paper experiment by name::
 
 Scale accepts the ``EARSONAR_SCALE`` presets (``small`` / ``default`` /
 ``paper``) or a participant count.
+
+``--trace-dir DIR`` runs the experiments under the observability layer
+and writes the run record (spans, JSONL events, manifest, Chrome trace)
+there for ``python -m repro.obs`` to inspect.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 import time
+from pathlib import Path
+
+from ..obs import (
+    EventLog,
+    Tracer,
+    capture_manifest,
+    current_event_log,
+    names as obs_names,
+    use_event_log,
+    use_tracer,
+)
+from ..obs.export import write_run_record
 
 from . import (
     ablations,
@@ -58,6 +75,7 @@ _EXPERIMENTS = {
 
 def _run_one(name: str) -> None:
     module, needs_scale = _EXPERIMENTS[name]
+    current_event_log().emit(obs_names.EVENT_EXPERIMENT_STARTED, experiment=name)
     start = time.time()
     if needs_scale:
         scale = scale_from_env()
@@ -76,7 +94,13 @@ def _run_one(name: str) -> None:
     else:
         result = module.run()
     print(result.render())
-    print(f"[{name}: {time.time() - start:.0f}s]\n")
+    elapsed = time.time() - start
+    current_event_log().emit(
+        obs_names.EVENT_EXPERIMENT_FINISHED,
+        experiment=name,
+        seconds=round(elapsed, 3),
+    )
+    print(f"[{name}: {elapsed:.0f}s]\n")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -94,18 +118,44 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="workload scale: small / default / paper, or a participant count",
     )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="enable tracing and write the run record to this directory",
+    )
     args = parser.parse_args(argv)
     if args.scale is not None:
         os.environ["EARSONAR_SCALE"] = args.scale
     names = sorted(set(_EXPERIMENTS)) if args.experiment == "all" else [args.experiment]
-    # fig07/fig08 and fig10/fig11 and table2/table3 share modules; dedupe.
-    seen_modules = set()
-    for name in names:
-        module, _ = _EXPERIMENTS[name]
-        if module in seen_modules:
-            continue
-        seen_modules.add(module)
-        _run_one(name)
+
+    tracer: Tracer | None = None
+    events: EventLog | None = None
+    scopes = contextlib.ExitStack()
+    if args.trace_dir is not None:
+        tracer = Tracer()
+        events = EventLog(path=Path(args.trace_dir) / "events.jsonl")
+        scopes.enter_context(use_tracer(tracer))
+        scopes.enter_context(use_event_log(events))
+
+    with scopes:
+        # fig07/fig08 and fig10/fig11 and table2/table3 share modules; dedupe.
+        seen_modules = set()
+        for name in names:
+            module, _ = _EXPERIMENTS[name]
+            if module in seen_modules:
+                continue
+            seen_modules.add(module)
+            _run_one(name)
+
+    if tracer is not None and events is not None:
+        events.close()
+        paths = write_run_record(
+            args.trace_dir,
+            spans=tracer.traces,
+            manifest=capture_manifest(argv=argv),
+            events=events,
+        )
+        print(f"trace written: {paths['record']}", file=sys.stderr)
     return 0
 
 

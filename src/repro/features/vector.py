@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs import names as obs_names
+from ..obs.tracer import current_tracer
 from ..signal.mfcc import MfccConfig, mfcc
 from .statistics import curve_statistics
 
@@ -126,7 +128,9 @@ class FeatureVectorBuilder:
                 low_hz=mfcc_cfg.low_hz,
                 high_hz=mfcc_cfg.high_hz,
             )
-        coefficients = mfcc(np.asarray(mean_segment, dtype=float), mfcc_cfg)
+        with current_tracer().span(obs_names.SPAN_STAGE_MFCC) as span:
+            coefficients = mfcc(np.asarray(mean_segment, dtype=float), mfcc_cfg)
+            span.set("frames", int(coefficients.shape[0]))
         mfcc_mean = coefficients.mean(axis=0)
         mfcc_std = coefficients.std(axis=0)
         vector = np.concatenate([curve, stats, mfcc_mean, mfcc_std])

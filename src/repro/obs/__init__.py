@@ -1,0 +1,93 @@
+"""``repro.obs`` — tracing, structured telemetry, and run provenance.
+
+The observability layer of the reproduction, threaded through every
+other layer but owned here:
+
+- :mod:`~repro.obs.tracer` — hierarchical spans; one trace per
+  recording with child spans per pipeline stage, plus runtime spans
+  (cache lookups, chunk waits, quality gates, retry attempts).  The
+  ambient default is a :class:`NullTracer`, making instrumentation
+  zero-cost and bit-identical when disabled.
+- :mod:`~repro.obs.events` — append-only JSONL structured event log
+  with severity levels.
+- :mod:`~repro.obs.manifest` — :class:`RunManifest` provenance
+  (config fingerprint, seed, versions, git SHA, hostname, argv).
+- :mod:`~repro.obs.names` — the canonical span/event/metric name
+  registry (enforced by lint rule QA007).
+- :mod:`~repro.obs.export` — run records, Chrome trace-event files
+  (Perfetto flamegraphs), Prometheus text exposition.
+- :mod:`~repro.obs.summary` — per-stage percentiles, critical paths,
+  and run-to-run diffs.
+
+Quick use::
+
+    from repro.obs import Tracer, EventLog, use_tracer, use_event_log
+
+    tracer, log = Tracer(), EventLog()
+    with use_tracer(tracer), use_event_log(log):
+        result = executor.run(recordings)   # spans + events collected
+
+    from repro.obs.export import write_run_record
+    write_run_record("runs/today", spans=tracer.traces,
+                     metrics=executor.metrics, events=log)
+
+then ``python -m repro.obs summarize runs/today/trace.json``.
+"""
+
+from . import names
+from .events import (
+    NULL_EVENT_LOG,
+    EventLevel,
+    EventLog,
+    LogEvent,
+    NullEventLog,
+    current_event_log,
+    use_event_log,
+)
+from .export import RunRecord, chrome_trace, load_run_record, prometheus_text, write_run_record
+from .manifest import RunManifest, capture_manifest, git_revision
+from .summary import StageStats, critical_path, diff_stages, slowest_recordings, stage_stats
+from .tracer import (
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+    activate_from_context,
+    current_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "names",
+    "Span",
+    "NullSpan",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceContext",
+    "current_tracer",
+    "use_tracer",
+    "activate_from_context",
+    "EventLevel",
+    "LogEvent",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENT_LOG",
+    "current_event_log",
+    "use_event_log",
+    "RunManifest",
+    "capture_manifest",
+    "git_revision",
+    "RunRecord",
+    "chrome_trace",
+    "prometheus_text",
+    "write_run_record",
+    "load_run_record",
+    "StageStats",
+    "stage_stats",
+    "slowest_recordings",
+    "critical_path",
+    "diff_stages",
+]

@@ -1,0 +1,147 @@
+"""Trace-inspection CLI: ``python -m repro.obs <command> <trace.json>``.
+
+Commands operate on the run-record JSON written by the runtime,
+experiments, and bench CLIs (``--trace-dir``)::
+
+    python -m repro.obs summarize runs/trace.json            # p50/p95/p99
+    python -m repro.obs summarize runs/trace.json --top 5    # slowest recs
+    python -m repro.obs tree runs/trace.json                 # span trees
+    python -m repro.obs tree runs/trace.json --recording 3
+    python -m repro.obs diff base/trace.json new/trace.json  # regressions
+    python -m repro.obs diff a.json b.json --fail-above 5    # CI gate
+
+``tree`` marks the critical path (the longest-child chain) with ``*``;
+``diff`` exits 1 when any stage's p50 regressed beyond
+``--fail-above`` percent, so it can gate CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .export import load_run_record
+from .summary import (
+    diff_stages,
+    render_diff,
+    render_stage_table,
+    render_tree,
+    slowest_recordings,
+    stage_stats,
+)
+
+__all__ = ["main"]
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    record = load_run_record(args.trace)
+    if record.manifest is not None:
+        m = record.manifest
+        print(
+            f"run: {m.created_at}  config={m.config_fingerprint[:12] or '-'}  "
+            f"seed={m.seed}  git={(m.git_sha or 'unknown')[:12]}  host={m.hostname}"
+        )
+    print(f"spans: {sum(1 for root in record.spans for _ in root.walk())} "
+          f"in {len(record.spans)} traces "
+          f"({len(record.recording_roots())} recordings)\n")
+    print(render_stage_table(stage_stats(record.spans)))
+    slowest = slowest_recordings(record.spans, top=args.top)
+    if slowest:
+        print(f"\nslowest {len(slowest)} recordings:")
+        header = (
+            f"{'idx':>5} {'participant':<14}{'day':>6}{'ms':>10}"
+            f"  {'outcome':<12}{'quality':<8}"
+        )
+        print(header)
+        print("-" * len(header))
+        for row in slowest:
+            print(
+                f"{str(row['index']):>5} {row['participant']:<14}"
+                f"{str(row['day']):>6}{row['duration_ms']:>10.3f}"
+                f"  {row['outcome']:<12}{row['quality_verdict']:<8}"
+            )
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    record = load_run_record(args.trace)
+    roots = record.recording_roots() if args.recording is not None else record.spans
+    if args.recording is not None:
+        roots = [r for r in roots if r.attrs.get("index") == args.recording]
+        if not roots:
+            print(f"no recording trace with index {args.recording}", file=sys.stderr)
+            return 2
+    shown = 0
+    for root in roots:
+        if args.limit is not None and shown >= args.limit:
+            remaining = len(roots) - shown
+            print(f"... {remaining} more trace(s); raise --limit to see them")
+            break
+        print(render_tree(root))
+        print()
+        shown += 1
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    before = stage_stats(load_run_record(args.before).spans)
+    after = stage_stats(load_run_record(args.after).spans)
+    rows = diff_stages(before, after)
+    print(render_diff(rows))
+    if args.fail_above is not None:
+        worst = [
+            row
+            for row in rows
+            if row["delta_pct"] is not None and row["delta_pct"] > args.fail_above
+        ]
+        if worst:
+            print(
+                f"\nFAIL: {len(worst)} stage(s) regressed beyond "
+                f"{args.fail_above:g}% (worst: {worst[0]['stage']} "
+                f"{worst[0]['delta_pct']:+.1f}%)"
+            )
+            return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to a subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect run-record trace files (summaries, trees, diffs).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="per-stage percentiles and slowest recordings")
+    p_sum.add_argument("trace", type=Path, help="run-record trace.json")
+    p_sum.add_argument("--top", type=int, default=10, help="slowest recordings to list")
+    p_sum.set_defaults(func=_cmd_summarize)
+
+    p_tree = sub.add_parser("tree", help="render span trees with the critical path marked")
+    p_tree.add_argument("trace", type=Path, help="run-record trace.json")
+    p_tree.add_argument(
+        "--recording", type=int, default=None, help="only the trace of this batch index"
+    )
+    p_tree.add_argument(
+        "--limit", type=int, default=8, help="max trees to print (default 8)"
+    )
+    p_tree.set_defaults(func=_cmd_tree)
+
+    p_diff = sub.add_parser("diff", help="per-stage p50 regressions between two runs")
+    p_diff.add_argument("before", type=Path, help="baseline trace.json")
+    p_diff.add_argument("after", type=Path, help="candidate trace.json")
+    p_diff.add_argument(
+        "--fail-above",
+        type=float,
+        default=None,
+        help="exit 1 if any stage p50 regresses beyond this percent",
+    )
+    p_diff.set_defaults(func=_cmd_diff)
+
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""Run provenance: who computed what, with which code, config, and seed.
+
+A screening result that cannot name the configuration, seed, and code
+revision that produced it is not auditable — and clinical-screening
+reproductions are judged on exactly that audit trail.  The
+:class:`RunManifest` freezes the full provenance of one run:
+
+- the ``EarSonarConfig`` fingerprint (the same content hash that keys
+  the feature cache, so manifest and cache namespace can never drift),
+- the RNG seed,
+- interpreter / numpy / package versions, platform and hostname,
+- the git revision of the working tree (when available), and
+- the exact CLI ``argv``.
+
+Manifests serialize to JSON and ride inside every trace file the
+exporters write, so a flamegraph, a metrics dump, and a result table
+all answer "which run is this?" the same way.
+
+This module lives outside the QA001 determinism boundary on purpose:
+provenance *should* read wall clocks and ambient machine identity —
+that is its job — while the science packages stay clock-free.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import socket
+import subprocess
+import sys
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Protocol
+
+__all__ = ["RunManifest", "capture_manifest", "git_revision"]
+
+
+class _Fingerprintable(Protocol):
+    """Anything exposing a ``fingerprint() -> str`` content hash."""
+
+    def fingerprint(self) -> str: ...
+
+
+def git_revision(start: Path | None = None) -> str | None:
+    """Best-effort ``git rev-parse HEAD`` of the tree containing ``start``.
+
+    Returns ``None`` outside a git checkout, when git is missing, or on
+    any other failure — provenance capture must never break a run.
+    """
+    cwd = start if start is not None else Path(__file__).resolve().parent
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def _package_version() -> str:
+    from importlib.metadata import PackageNotFoundError, version
+
+    try:
+        return version("repro")
+    except PackageNotFoundError:  # pragma: no cover - not installed as a dist
+        return "unknown"
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Immutable provenance record of one run.
+
+    Attributes
+    ----------
+    created_at:
+        ISO-8601 UTC wall-clock timestamp of manifest capture.
+    config_fingerprint:
+        ``EarSonarConfig.fingerprint()`` of the run's configuration
+        (empty string when no config was supplied).
+    seed:
+        The run's RNG seed, if one governed it.
+    argv:
+        The CLI invocation, ``sys.argv`` verbatim.
+    python_version / numpy_version / package_version:
+        Toolchain identity.
+    platform:
+        ``platform.platform()`` string.
+    hostname:
+        Machine identity (``socket.gethostname()``).
+    git_sha:
+        Revision of the source tree, or ``None`` outside a checkout.
+    extra:
+        Free-form caller-supplied context (workload knobs, labels).
+    """
+
+    created_at: str
+    config_fingerprint: str
+    seed: int | None
+    argv: tuple[str, ...]
+    python_version: str
+    numpy_version: str
+    package_version: str
+    platform: str
+    hostname: str
+    git_sha: str | None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (``argv`` becomes a list for JSON)."""
+        data = asdict(self)
+        data["argv"] = list(self.argv)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunManifest":
+        """Rebuild a manifest serialized by :meth:`to_dict`."""
+        known = {
+            "created_at": str(data["created_at"]),
+            "config_fingerprint": str(data.get("config_fingerprint", "")),
+            "seed": data.get("seed"),
+            "argv": tuple(data.get("argv", ())),
+            "python_version": str(data.get("python_version", "")),
+            "numpy_version": str(data.get("numpy_version", "")),
+            "package_version": str(data.get("package_version", "")),
+            "platform": str(data.get("platform", "")),
+            "hostname": str(data.get("hostname", "")),
+            "git_sha": data.get("git_sha"),
+            "extra": dict(data.get("extra", {})),
+        }
+        return cls(**known)
+
+    def to_json(self) -> str:
+        """Pretty JSON form."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the manifest to ``path`` as JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunManifest":
+        """Read a manifest written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def capture_manifest(
+    config: _Fingerprintable | None = None,
+    seed: int | None = None,
+    argv: list[str] | None = None,
+    extra: dict[str, Any] | None = None,
+) -> RunManifest:
+    """Snapshot the provenance of the current process.
+
+    ``config`` is anything with a ``fingerprint()`` method (normally an
+    ``EarSonarConfig``); ``argv`` defaults to ``sys.argv``.
+    """
+    import numpy as np
+
+    return RunManifest(
+        created_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        config_fingerprint=config.fingerprint() if config is not None else "",
+        seed=seed,
+        argv=tuple(sys.argv if argv is None else argv),
+        python_version=platform.python_version(),
+        numpy_version=str(np.__version__),
+        package_version=_package_version(),
+        platform=platform.platform(),
+        hostname=socket.gethostname(),
+        git_sha=git_revision(),
+        extra=dict(extra or {}),
+    )

@@ -1,0 +1,228 @@
+"""Canonical telemetry names: the single registry of spans, events, and metrics.
+
+Every span the tracer opens, every structured event the log emits, and
+every counter/histogram the runtime records is named by a constant
+defined here.  Centralizing the vocabulary buys three things:
+
+- dashboards and trace tooling can rely on stable names (renaming a
+  stage is a reviewed change to this module, not a drive-by string
+  edit);
+- the QA007 lint rule can enforce that library code never invents span
+  or event names inline — a literal string passed to ``.span()`` or
+  ``.emit()`` outside a ``__main__`` module is a finding;
+- the canonical-emission test can assert that every documented metric
+  name is actually produced by an end-to-end batch run, so the
+  :class:`~repro.runtime.metrics.RuntimeMetrics` docstring cannot
+  drift from reality.
+
+Names are dotted, lowercase, and grouped by subsystem prefix
+(``stage.``, ``cache.``, ``executor.``, ``quality.``, ``breaker.``,
+``recordings.``); histogram names carry their unit as a suffix
+(``_ms``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SPAN_RECORDING",
+    "SPAN_RETRY_ATTEMPT",
+    "SPAN_QUALITY_GATE",
+    "SPAN_CACHE_LOOKUP",
+    "SPAN_CHUNK",
+    "SPAN_STAGE_BANDPASS",
+    "SPAN_STAGE_EVENTS",
+    "SPAN_STAGE_PARITY",
+    "SPAN_STAGE_SPECTRUM",
+    "SPAN_STAGE_FEATURES",
+    "SPAN_STAGE_MFCC",
+    "SPAN_NAMES",
+    "STAGE_SPAN_NAMES",
+    "EVENT_BATCH_STARTED",
+    "EVENT_BATCH_FINISHED",
+    "EVENT_BREAKER_OPENED",
+    "EVENT_CACHE_CORRUPT_EVICTED",
+    "EVENT_RECORDING_QUARANTINED",
+    "EVENT_SERIAL_FALLBACK",
+    "EVENT_EXPERIMENT_STARTED",
+    "EVENT_EXPERIMENT_FINISHED",
+    "EVENT_NAMES",
+    "METRIC_RECORDINGS_SUBMITTED",
+    "METRIC_RECORDINGS_OK",
+    "METRIC_RECORDINGS_FAILED",
+    "METRIC_RECORDINGS_RETRIED",
+    "METRIC_PIPELINE_CALLS",
+    "METRIC_CACHE_HITS",
+    "METRIC_CACHE_MISSES",
+    "METRIC_CACHE_CORRUPT",
+    "METRIC_CHUNKS_DISPATCHED",
+    "METRIC_SERIAL_FALLBACK",
+    "METRIC_TIMEOUTS",
+    "METRIC_WORKER_FAILURES",
+    "METRIC_CHUNKS_SKIPPED",
+    "METRIC_BREAKER_OPENED",
+    "METRIC_QUALITY_DEGRADED",
+    "METRIC_QUALITY_REJECTED",
+    "HIST_RECORDING_MS",
+    "HIST_STAGE_BANDPASS_MS",
+    "HIST_STAGE_FEATURES_MS",
+    "HIST_BATCH_MS",
+    "CANONICAL_COUNTERS",
+    "CANONICAL_HISTOGRAMS",
+]
+
+# -- span names ---------------------------------------------------------
+
+#: Root span of one recording's trace (attrs: index, participant, day).
+SPAN_RECORDING = "recording"
+#: One processing attempt under the retry policy (attr: attempt).
+SPAN_RETRY_ATTEMPT = "retry.attempt"
+#: Pre-DSP quality-gate assessment (attrs: verdict, reasons).
+SPAN_QUALITY_GATE = "quality.gate"
+#: Parent-side feature-cache lookup for one recording (attrs: index, hit).
+SPAN_CACHE_LOOKUP = "cache.lookup"
+#: Parent-side wait for one pool chunk (attrs: chunk, size).
+SPAN_CHUNK = "executor.chunk"
+#: Butterworth band-pass over the raw capture.
+SPAN_STAGE_BANDPASS = "stage.bandpass"
+#: Adaptive-energy chirp/echo event detection (attr: events).
+SPAN_STAGE_EVENTS = "stage.events"
+#: Parity-decomposition eardrum-echo segmentation (attr: echoes).
+SPAN_STAGE_PARITY = "stage.parity"
+#: Per-echo spectra, TX deconvolution, and curve averaging.
+SPAN_STAGE_SPECTRUM = "stage.spectrum"
+#: Feature-vector assembly (curve bins + statistics + MFCCs).
+SPAN_STAGE_FEATURES = "stage.features"
+#: MFCC extraction of the mean echo segment (child of stage.features).
+SPAN_STAGE_MFCC = "stage.mfcc"
+
+#: The in-recording pipeline stages, in execution order.
+STAGE_SPAN_NAMES = (
+    SPAN_STAGE_BANDPASS,
+    SPAN_STAGE_EVENTS,
+    SPAN_STAGE_PARITY,
+    SPAN_STAGE_SPECTRUM,
+    SPAN_STAGE_FEATURES,
+    SPAN_STAGE_MFCC,
+)
+
+#: Every registered span name.
+SPAN_NAMES = frozenset(
+    {
+        SPAN_RECORDING,
+        SPAN_RETRY_ATTEMPT,
+        SPAN_QUALITY_GATE,
+        SPAN_CACHE_LOOKUP,
+        SPAN_CHUNK,
+        *STAGE_SPAN_NAMES,
+    }
+)
+
+# -- structured-event names --------------------------------------------
+
+#: A batch run began (fields: recordings, workers).
+EVENT_BATCH_STARTED = "batch.started"
+#: A batch run completed (fields: ok, failed, seconds).
+EVENT_BATCH_FINISHED = "batch.finished"
+#: The circuit breaker opened (field: consecutive_failures).
+EVENT_BREAKER_OPENED = "breaker.opened"
+#: An unreadable disk cache entry was evicted (field: entry).
+EVENT_CACHE_CORRUPT_EVICTED = "cache.corrupt_evicted"
+#: One recording was quarantined (fields: participant, error_type).
+EVENT_RECORDING_QUARANTINED = "recording.quarantined"
+#: A parallel run degraded to serial execution (field: reason).
+EVENT_SERIAL_FALLBACK = "executor.serial_fallback"
+#: An experiments-CLI run started (field: experiment).
+EVENT_EXPERIMENT_STARTED = "experiment.started"
+#: An experiments-CLI run finished (fields: experiment, seconds).
+EVENT_EXPERIMENT_FINISHED = "experiment.finished"
+
+#: Every registered structured-event name.
+EVENT_NAMES = frozenset(
+    {
+        EVENT_BATCH_STARTED,
+        EVENT_BATCH_FINISHED,
+        EVENT_BREAKER_OPENED,
+        EVENT_CACHE_CORRUPT_EVICTED,
+        EVENT_RECORDING_QUARANTINED,
+        EVENT_SERIAL_FALLBACK,
+        EVENT_EXPERIMENT_STARTED,
+        EVENT_EXPERIMENT_FINISHED,
+    }
+)
+
+# -- metric names -------------------------------------------------------
+
+#: Recordings handed to :meth:`BatchExecutor.run`.
+METRIC_RECORDINGS_SUBMITTED = "recordings.submitted"
+#: Recordings that produced a :class:`ProcessedRecording`.
+METRIC_RECORDINGS_OK = "recordings.ok"
+#: Recordings quarantined as :class:`FailedRecording`.
+METRIC_RECORDINGS_FAILED = "recordings.failed"
+#: Extra attempts granted by the retry policy.
+METRIC_RECORDINGS_RETRIED = "recordings.retried"
+#: Actual DSP invocations (cache misses only).
+METRIC_PIPELINE_CALLS = "pipeline.calls"
+#: Cache lookups served from the cache.
+METRIC_CACHE_HITS = "cache.hits"
+#: Cache lookups that had to run the pipeline.
+METRIC_CACHE_MISSES = "cache.misses"
+#: Unreadable disk cache entries evicted (each also a miss).
+METRIC_CACHE_CORRUPT = "cache.corrupt"
+#: Pool tasks submitted by the parallel path.
+METRIC_CHUNKS_DISPATCHED = "chunks.dispatched"
+#: Parallel runs degraded to serial execution.
+METRIC_SERIAL_FALLBACK = "executor.serial_fallback"
+#: Pool tasks that missed their deadline.
+METRIC_TIMEOUTS = "executor.timeouts"
+#: Chunks lost to worker crashes or injected faults.
+METRIC_WORKER_FAILURES = "executor.worker_failures"
+#: Chunks quarantined by an open circuit breaker.
+METRIC_CHUNKS_SKIPPED = "executor.chunks_skipped"
+#: Circuit-breaker open transitions.
+METRIC_BREAKER_OPENED = "breaker.opened"
+#: Quality-gate DEGRADE verdicts (and pipeline-degraded results).
+METRIC_QUALITY_DEGRADED = "quality.degraded"
+#: Quality-gate REJECT verdicts.
+METRIC_QUALITY_REJECTED = "quality.rejected"
+
+#: Per-recording DSP wall time (band-pass + feature extraction).
+HIST_RECORDING_MS = "recording_ms"
+#: Band-pass stage wall time per recording.
+HIST_STAGE_BANDPASS_MS = "stage.bandpass_ms"
+#: Feature-extraction stage wall time per recording.
+HIST_STAGE_FEATURES_MS = "stage.features_ms"
+#: Whole-batch wall time per :meth:`BatchExecutor.run` call.
+HIST_BATCH_MS = "batch_ms"
+
+#: Every counter the runtime documents; the canonical-emission test
+#: asserts each one is produced by an end-to-end batch scenario.
+CANONICAL_COUNTERS = frozenset(
+    {
+        METRIC_RECORDINGS_SUBMITTED,
+        METRIC_RECORDINGS_OK,
+        METRIC_RECORDINGS_FAILED,
+        METRIC_RECORDINGS_RETRIED,
+        METRIC_PIPELINE_CALLS,
+        METRIC_CACHE_HITS,
+        METRIC_CACHE_MISSES,
+        METRIC_CACHE_CORRUPT,
+        METRIC_CHUNKS_DISPATCHED,
+        METRIC_SERIAL_FALLBACK,
+        METRIC_TIMEOUTS,
+        METRIC_WORKER_FAILURES,
+        METRIC_CHUNKS_SKIPPED,
+        METRIC_BREAKER_OPENED,
+        METRIC_QUALITY_DEGRADED,
+        METRIC_QUALITY_REJECTED,
+    }
+)
+
+#: Every histogram the runtime documents.
+CANONICAL_HISTOGRAMS = frozenset(
+    {
+        HIST_RECORDING_MS,
+        HIST_STAGE_BANDPASS_MS,
+        HIST_STAGE_FEATURES_MS,
+        HIST_BATCH_MS,
+    }
+)

@@ -13,6 +13,7 @@ from . import (  # noqa: F401  (imports register the rules)
     qa004_units,
     qa005_api,
     qa006_exceptions,
+    qa007_telemetry,
 )
 from .qa001_determinism import DeterminismRule
 from .qa002_fingerprint import FingerprintCompletenessRule
@@ -20,6 +21,7 @@ from .qa003_pool_safety import PoolSafetyRule
 from .qa004_units import UnitDisciplineRule
 from .qa005_api import PublicApiRule
 from .qa006_exceptions import ExceptionBoundaryRule
+from .qa007_telemetry import TelemetryDisciplineRule
 
 __all__ = [
     "DeterminismRule",
@@ -28,4 +30,5 @@ __all__ = [
     "UnitDisciplineRule",
     "PublicApiRule",
     "ExceptionBoundaryRule",
+    "TelemetryDisciplineRule",
 ]

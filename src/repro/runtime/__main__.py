@@ -8,6 +8,12 @@ the runtime metrics report::
     python -m repro.runtime --participants 4 --days 8 --workers 4
     python -m repro.runtime --participants 2 --days 2 --json
     python -m repro.runtime --cache-dir /tmp/earsonar-cache  # persistent
+    python -m repro.runtime --trace-dir runs/demo            # full telemetry
+
+``--trace-dir`` enables the observability layer: spans for every
+pipeline stage and runtime step, a structured JSONL event log, a
+:class:`~repro.obs.manifest.RunManifest`, and the Chrome-trace /
+Prometheus exports — inspect them with ``python -m repro.obs``.
 
 This is the smoke-test surface for CI and the reference example for
 wiring the runtime into new workloads.
@@ -16,14 +22,18 @@ wiring the runtime into new workloads.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
 from ..core.config import EarSonarConfig
 from ..core.pipeline import EarSonarPipeline
+from ..obs import EventLog, Tracer, capture_manifest, use_event_log, use_tracer
+from ..obs.export import write_run_record
 from ..simulation.cohort import StudyDesign, build_cohort, simulate_study
 from ..simulation.session import SessionConfig
 from .cache import FeatureCache
@@ -60,6 +70,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON on stdout"
     )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="enable tracing and write the run record (spans, events, "
+        "manifest, Chrome trace, Prometheus text) to this directory",
+    )
     args = parser.parse_args(argv)
 
     rng = np.random.default_rng(args.seed)
@@ -73,27 +89,50 @@ def main(argv: list[str] | None = None) -> int:
     )
     study = simulate_study(cohort, design, rng)
 
+    config = EarSonarConfig()
     metrics = RuntimeMetrics()
     executor = BatchExecutor(
-        EarSonarPipeline(EarSonarConfig()),
+        EarSonarPipeline(config),
         workers=args.workers,
         chunk_size=args.chunk_size,
         cache=FeatureCache(directory=args.cache_dir),
         metrics=metrics,
     )
 
+    tracer: Tracer | None = None
+    events: EventLog | None = None
+    scopes = contextlib.ExitStack()
+    if args.trace_dir is not None:
+        tracer = Tracer()
+        events = EventLog(path=Path(args.trace_dir) / "events.jsonl")
+        scopes.enter_context(use_tracer(tracer))
+        scopes.enter_context(use_event_log(events))
+
     passes = {}
-    for name in ["cold"] if args.no_warm_pass else ["cold", "warm"]:
-        t0 = time.perf_counter()
-        result = executor.run(study.recordings)
-        elapsed = time.perf_counter() - t0
-        passes[name] = {
-            "recordings": len(result),
-            "ok": result.ok_count,
-            "failed": result.failed_count,
-            "seconds": round(elapsed, 3),
-            "recordings_per_sec": round(len(result) / elapsed, 2) if elapsed else 0.0,
-        }
+    with scopes:
+        for name in ["cold"] if args.no_warm_pass else ["cold", "warm"]:
+            t0 = time.perf_counter()
+            result = executor.run(study.recordings)
+            elapsed = time.perf_counter() - t0
+            passes[name] = {
+                "recordings": len(result),
+                "ok": result.ok_count,
+                "failed": result.failed_count,
+                "seconds": round(elapsed, 3),
+                "recordings_per_sec": round(len(result) / elapsed, 2) if elapsed else 0.0,
+            }
+
+    if tracer is not None and events is not None:
+        manifest = capture_manifest(config=config, seed=args.seed, argv=argv)
+        events.close()
+        paths = write_run_record(
+            args.trace_dir,
+            spans=tracer.traces,
+            metrics=metrics,
+            manifest=manifest,
+            events=events,
+        )
+        print(f"trace written: {paths['record']}", file=sys.stderr)
 
     if args.json:
         print(json.dumps({"passes": passes, "metrics": metrics.report()}, indent=2))

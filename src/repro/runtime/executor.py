@@ -46,6 +46,9 @@ from ..errors import (
     TaskTimeoutError,
     WorkerCrashError,
 )
+from ..obs import names as obs_names
+from ..obs.events import EventLevel, current_event_log
+from ..obs.tracer import Span, TraceContext, activate_from_context, current_tracer
 from ..quality import QualityConfig, assess_recording
 from ..simulation.session import Recording
 from .breaker import CircuitBreaker
@@ -121,7 +124,13 @@ def _gated_timed_process(
     """
     if quality is None:
         return pipeline.timed_process(recording)
-    report = assess_recording(recording, pipeline.config.chirp, quality)
+    # The gate span closes before a REJECT raises so the span tree of a
+    # rejected recording is the same whether or not retries follow.
+    with current_tracer().span(obs_names.SPAN_QUALITY_GATE) as span:
+        report = assess_recording(recording, pipeline.config.chirp, quality)
+        span.set("verdict", report.verdict.value)
+        if report.reasons:
+            span.set("reasons", report.reason_string)
     if report.rejected:
         raise QualityRejectedError(
             f"quality gate rejected capture: {report.reason_string}"
@@ -138,34 +147,70 @@ def _gated_timed_process(
     return processed, latencies
 
 
+def _traced_run_one(process, index: int, recording: Recording, policy: RetryPolicy):
+    """Run one recording under the ambient tracer's ``recording`` root.
+
+    The single per-recording instrumentation point shared by the serial
+    path and the pool workers — both build the root span here, so a
+    parallel run's adopted trees are structurally identical to a serial
+    run's.  Root attributes are pure functions of the input and the
+    outcome (never of timing or scheduling).
+    """
+    tracer = current_tracer()
+    with tracer.span(
+        obs_names.SPAN_RECORDING,
+        index=index,
+        participant=recording.participant_id,
+        day=recording.day,
+    ) as span:
+        result, attempts = run_with_policy(process, recording, policy)
+        span.set("attempts", attempts)
+        if isinstance(result, FailedRecording):
+            span.set("outcome", "failed")
+            span.set("error_type", result.error_type)
+        else:
+            span.set("outcome", "ok")
+    return result, attempts
+
+
 def _process_chunk(
     config: EarSonarConfig,
     policy: RetryPolicy,
     chunk: list[tuple[int, Recording]],
     quality: QualityConfig | None = None,
     injector: FaultInjector | None = None,
-) -> list[tuple[int, Outcome, object, int]]:
+    trace_ctx: TraceContext | None = None,
+) -> list[tuple[int, Outcome, object, int, dict | None]]:
     """Process one chunk in a worker; never raises for expected faults.
 
-    Returns ``(index, outcome, stage_latencies_or_None, attempts)``
-    tuples; quarantining happens here so the parent's merge step is the
-    same for serial and parallel runs.  An armed :class:`FaultInjector`
-    fires *before* its recording is processed — crashing the worker,
-    sleeping past the deadline, or raising — so the parent's recovery
-    machinery sees the failure exactly where a real one would occur.
+    Returns ``(index, outcome, stage_latencies_or_None, attempts,
+    span_tree_or_None)`` tuples; quarantining happens here so the
+    parent's merge step is the same for serial and parallel runs.  When
+    ``trace_ctx`` asks for tracing, each recording's span tree is
+    serialized into its row for the parent to adopt.  An armed
+    :class:`FaultInjector` fires *before* its recording is processed —
+    crashing the worker, sleeping past the deadline, or raising — so
+    the parent's recovery machinery sees the failure exactly where a
+    real one would occur.
     """
     pipeline = _worker_pipeline(config)
     process = functools.partial(_gated_timed_process, pipeline, quality=quality)
     out = []
-    for index, recording in chunk:
-        if injector is not None and injector.should_trip(index):
-            injector.trip(index)
-        result, attempts = run_with_policy(process, recording, policy)
-        if isinstance(result, FailedRecording):
-            out.append((index, result, None, attempts))
-        else:
-            processed, latencies = result
-            out.append((index, processed, latencies, attempts))
+    with activate_from_context(trace_ctx) as tracer:
+        for index, recording in chunk:
+            if injector is not None and injector.should_trip(index):
+                injector.trip(index)
+            result, attempts = _traced_run_one(process, index, recording, policy)
+            span_dict = (
+                tracer.traces[-1].to_dict()
+                if tracer is not None and tracer.traces
+                else None
+            )
+            if isinstance(result, FailedRecording):
+                out.append((index, result, None, attempts, span_dict))
+            else:
+                processed, latencies = result
+                out.append((index, processed, latencies, attempts, span_dict))
     return out
 
 
@@ -272,12 +317,18 @@ class BatchExecutor:
         """
         recordings = list(recordings)
         t0 = time.perf_counter()
+        events = current_event_log()
+        events.emit(
+            obs_names.EVENT_BATCH_STARTED,
+            recordings=len(recordings),
+            workers=self.workers,
+        )
         self.metrics.increment("recordings.submitted", len(recordings))
         outcomes: list[Outcome | None] = [None] * len(recordings)
 
         misses: list[tuple[int, Recording]] = []
         for index, recording in enumerate(recordings):
-            hit = self._cache_lookup(recording)
+            hit = self._cache_lookup(index, recording)
             if hit is not None:
                 outcomes[index] = hit
             else:
@@ -289,24 +340,25 @@ class BatchExecutor:
             else:
                 self._run_serial(misses, outcomes)
 
-        self.metrics.increment(
-            "recordings.ok",
-            sum(1 for o in outcomes if isinstance(o, ProcessedRecording)),
-        )
-        self.metrics.increment(
-            "recordings.failed",
-            sum(1 for o in outcomes if isinstance(o, FailedRecording)),
-        )
+        ok = sum(1 for o in outcomes if isinstance(o, ProcessedRecording))
+        failed = sum(1 for o in outcomes if isinstance(o, FailedRecording))
+        self.metrics.increment("recordings.ok", ok)
+        self.metrics.increment("recordings.failed", failed)
         self.metrics.observe("batch_ms", (time.perf_counter() - t0) * 1e3)
+        events.emit(obs_names.EVENT_BATCH_FINISHED, ok=ok, failed=failed)
         assert all(o is not None for o in outcomes)
         return BatchResult(outcomes=list(outcomes))
 
     # -- internals -----------------------------------------------------
 
-    def _cache_lookup(self, recording: Recording) -> ProcessedRecording | None:
+    def _cache_lookup(self, index: int, recording: Recording) -> ProcessedRecording | None:
         if self.cache is None:
             return None
-        hit = self.cache.get_for(recording, self._fingerprint)
+        # Lookups always happen in the parent (cache-before-dispatch),
+        # so these spans are identical for serial and pool runs.
+        with current_tracer().span(obs_names.SPAN_CACHE_LOOKUP, index=index) as span:
+            hit = self.cache.get_for(recording, self._fingerprint)
+            span.set("hit", hit is not None)
         self.metrics.increment("cache.hits" if hit is not None else "cache.misses")
         return hit
 
@@ -321,6 +373,11 @@ class BatchExecutor:
             # Daemonized processes (e.g. inside another pool) cannot
             # fork children; degrade gracefully instead of crashing.
             self.metrics.increment("executor.serial_fallback")
+            current_event_log().emit(
+                obs_names.EVENT_SERIAL_FALLBACK,
+                level=EventLevel.WARNING,
+                reason="daemonized process cannot fork workers",
+            )
             return 1
         return min(self.workers, num_misses)
 
@@ -340,6 +397,13 @@ class BatchExecutor:
         if isinstance(outcome, FailedRecording):
             if outcome.error_type == "QualityRejectedError":
                 self.metrics.increment("quality.rejected")
+            current_event_log().emit(
+                obs_names.EVENT_RECORDING_QUARANTINED,
+                level=EventLevel.WARNING,
+                index=index,
+                participant=outcome.participant_id,
+                error_type=outcome.error_type,
+            )
             return
         if isinstance(outcome, ProcessedRecording):
             if outcome.quality_reasons:
@@ -359,7 +423,9 @@ class BatchExecutor:
             _gated_timed_process, self.pipeline, quality=self.quality_gate
         )
         for index, recording in misses:
-            result, attempts = run_with_policy(process, recording, self.retry_policy)
+            result, attempts = _traced_run_one(
+                process, index, recording, self.retry_policy
+            )
             if isinstance(result, FailedRecording):
                 self._record_outcome(index, recording, result, None, attempts, outcomes)
             else:
@@ -375,6 +441,8 @@ class BatchExecutor:
         exc: BaseException,
     ) -> None:
         """Turn a whole failed pool task into per-recording quarantine."""
+        tracer = current_tracer()
+        events = current_event_log()
         for index, recording in chunk:
             outcomes[index] = FailedRecording(
                 participant_id=recording.participant_id,
@@ -383,6 +451,24 @@ class BatchExecutor:
                 message=str(exc),
                 attempts=1,
                 true_state=getattr(recording, "state", None),
+            )
+            # The worker died (or never ran), so no span tree came
+            # back; synthesize the root parent-side so the trace still
+            # accounts for every submitted recording.
+            with tracer.span(
+                obs_names.SPAN_RECORDING,
+                index=index,
+                participant=recording.participant_id,
+                day=recording.day,
+            ) as span:
+                span.set("outcome", "quarantined")
+                span.set("error_type", type(exc).__name__)
+            events.emit(
+                obs_names.EVENT_RECORDING_QUARANTINED,
+                level=EventLevel.WARNING,
+                index=index,
+                participant=recording.participant_id,
+                error_type=type(exc).__name__,
             )
 
     def _chunk_failed(
@@ -394,6 +480,11 @@ class BatchExecutor:
         self._quarantine_chunk(chunk, outcomes, exc)
         if self.breaker is not None and self.breaker.record_failure():
             self.metrics.increment("breaker.opened")
+            current_event_log().emit(
+                obs_names.EVENT_BREAKER_OPENED,
+                level=EventLevel.ERROR,
+                consecutive_failures=self.breaker.consecutive_failures,
+            )
 
     def _run_pool(
         self, misses: list[tuple[int, Recording]], outcomes: list[Outcome | None]
@@ -403,6 +494,8 @@ class BatchExecutor:
         self.metrics.increment("chunks.dispatched", len(chunks))
         by_index = {index: recording for index, recording in misses}
         config = self.pipeline.config
+        tracer = current_tracer()
+        trace_ctx = TraceContext.capture()
         breaker = self.breaker
         if breaker is not None:
             breaker.on_new_batch()
@@ -416,10 +509,11 @@ class BatchExecutor:
                     chunk,
                     self.quality_gate,
                     self.fault_injector,
+                    trace_ctx,
                 )
                 for chunk in chunks
             ]
-            for chunk, future in zip(chunks, futures):
+            for chunk_no, (chunk, future) in enumerate(zip(chunks, futures)):
                 if breaker is not None and breaker.is_open:
                     future.cancel()
                     self.metrics.increment("executor.chunks_skipped")
@@ -434,7 +528,10 @@ class BatchExecutor:
                     )
                     continue
                 try:
-                    rows = future.result(timeout=self.task_timeout_s)
+                    with tracer.span(
+                        obs_names.SPAN_CHUNK, chunk=chunk_no, size=len(chunk)
+                    ):
+                        rows = future.result(timeout=self.task_timeout_s)
                 except FuturesTimeoutError:
                     self.metrics.increment("executor.timeouts")
                     self._chunk_failed(
@@ -461,7 +558,9 @@ class BatchExecutor:
                 else:
                     if breaker is not None:
                         breaker.record_success()
-                    for index, outcome, latencies, attempts in rows:
+                    for index, outcome, latencies, attempts, span_dict in rows:
+                        if span_dict is not None:
+                            tracer.adopt(Span.from_dict(span_dict))
                         self._record_outcome(
                             index,
                             by_index[index],

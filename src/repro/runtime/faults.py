@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import SignalProcessingError
+from ..obs import names as obs_names
+from ..obs.tracer import current_tracer
 from ..simulation.effusion import MeeState
 
 __all__ = ["FailedRecording", "RetryPolicy", "DEFAULT_RETRY_POLICY"]
@@ -104,20 +106,26 @@ def run_with_policy(func, recording, policy: RetryPolicy):
     failure returns ``(FailedRecording, attempts)``; other exceptions
     propagate unchanged.
     """
+    tracer = current_tracer()
     attempt = 0
     while True:
         attempt += 1
-        try:
-            return func(recording), attempt
-        except SignalProcessingError as exc:
-            if policy.should_retry(exc, attempt):
-                continue
-            failed = FailedRecording(
-                participant_id=recording.participant_id,
-                day=recording.day,
-                error_type=type(exc).__name__,
-                message=str(exc),
-                attempts=attempt,
-                true_state=getattr(recording, "state", None),
-            )
-            return failed, attempt
+        # The try sits *inside* the attempt span so a quarantined
+        # failure closes the span cleanly (no ``error`` attr stamped by
+        # __exit__) and the tree stays identical across serial/pool.
+        with tracer.span(obs_names.SPAN_RETRY_ATTEMPT, attempt=attempt) as span:
+            try:
+                return func(recording), attempt
+            except SignalProcessingError as exc:
+                span.set("quarantined_error", type(exc).__name__)
+                if policy.should_retry(exc, attempt):
+                    continue
+                failed = FailedRecording(
+                    participant_id=recording.participant_id,
+                    day=recording.day,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    attempts=attempt,
+                    true_state=getattr(recording, "state", None),
+                )
+                return failed, attempt

@@ -1,0 +1,130 @@
+"""Every documented metric name is emitted by an end-to-end batch run.
+
+``repro.obs.names`` declares the canonical counter and histogram
+vocabulary; the :class:`~repro.runtime.metrics.RuntimeMetrics`
+docstring documents the same names.  This suite drives one shared
+registry through the scenarios that produce each family — cold/warm
+cache, corruption, quality gating, retries, pool faults, breaker
+trips, timeouts, and the daemon fallback — then asserts the registry
+contains *every* canonical name, so the documentation cannot drift
+from what the runtime actually emits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NoEchoFoundError
+from repro.obs import names
+from repro.quality import QualityConfig
+from repro.runtime.breaker import CircuitBreaker
+from repro.runtime.cache import FeatureCache
+from repro.runtime.chaos import FaultInjector
+from repro.runtime.executor import BatchExecutor
+from repro.runtime.faults import RetryPolicy
+from repro.runtime.metrics import RuntimeMetrics
+
+
+@pytest.fixture(scope="module")
+def exercised(obs_pipeline, obs_recordings, tmp_path_factory):
+    """One registry after every canonical-emission scenario has run."""
+    metrics = RuntimeMetrics()
+    clean = [r for i, r in enumerate(obs_recordings[:6]) if i != 1]
+    silent = obs_recordings[1]
+
+    # Cold pass / corrupt-entry pass / warm pass over a disk cache,
+    # with a quality gate tuned so every clean capture DEGRADEs (the
+    # degrade SNR bar is unreachable) and the silent one REJECTs.
+    cache_dir = tmp_path_factory.mktemp("cache")
+    gated = BatchExecutor(
+        obs_pipeline,
+        cache=FeatureCache(directory=cache_dir),
+        metrics=metrics,
+        quality_gate=QualityConfig(degrade_snr_db=1e6),
+    )
+    batch = clean[:3] + [silent]
+    gated.run(batch)  # cold: misses, pipeline calls, degrade + reject
+    gated.cache.clear_memory()
+    for entry in cache_dir.glob("*.npz"):
+        entry.write_bytes(b"not an npz archive")
+    gated.run(batch)  # corrupt: evictions, recompute
+    gated.run(batch)  # warm: hits
+
+    # Transient-retry scenario: the silent recording fails with
+    # NoEchoFoundError, declared retryable, so extra attempts accrue.
+    BatchExecutor(
+        obs_pipeline,
+        metrics=metrics,
+        retry_policy=RetryPolicy(max_retries=1, transient=(NoEchoFoundError,)),
+    ).run([silent])
+
+    # Pool faults + breaker: every chunk trips an injected error, the
+    # one-strike breaker opens on the first, the rest are skipped.
+    BatchExecutor(
+        obs_pipeline,
+        workers=2,
+        chunk_size=1,
+        metrics=metrics,
+        breaker=CircuitBreaker(failure_threshold=1),
+        fault_injector=FaultInjector(mode="error", indices=(0, 1, 2, 3)),
+    ).run(clean[:4])
+
+    # Deadline overrun: the first recording hangs past its timeout.
+    BatchExecutor(
+        obs_pipeline,
+        workers=2,
+        chunk_size=1,
+        task_timeout_s=0.2,
+        metrics=metrics,
+        fault_injector=FaultInjector(mode="hang", indices=(0,), hang_s=1.5),
+    ).run(clean[:2])
+
+    # Daemon fallback: a daemonized parent cannot fork pool workers.
+    import repro.runtime.executor as executor_mod
+
+    class _DaemonProcess:
+        daemon = True
+
+    original = executor_mod.multiprocessing.current_process
+    executor_mod.multiprocessing.current_process = lambda: _DaemonProcess()
+    try:
+        BatchExecutor(obs_pipeline, workers=2, metrics=metrics).run(clean[:1])
+    finally:
+        executor_mod.multiprocessing.current_process = original
+
+    return metrics
+
+
+class TestCanonicalEmission:
+    def test_every_documented_counter_is_emitted(self, exercised):
+        report = exercised.report()
+        missing = {
+            name
+            for name in names.CANONICAL_COUNTERS
+            if report["counters"].get(name, 0) <= 0
+        }
+        assert not missing, f"counters never emitted: {sorted(missing)}"
+
+    def test_every_documented_histogram_is_emitted(self, exercised):
+        report = exercised.report()
+        missing = {
+            name
+            for name in names.CANONICAL_HISTOGRAMS
+            if report["histograms"].get(name, {}).get("count", 0) <= 0
+        }
+        assert not missing, f"histograms never observed: {sorted(missing)}"
+
+    def test_no_undocumented_counters_leak(self, exercised):
+        report = exercised.report()
+        unknown = set(report["counters"]) - names.CANONICAL_COUNTERS
+        assert not unknown, f"undocumented counters: {sorted(unknown)}"
+
+    def test_no_undocumented_histograms_leak(self, exercised):
+        report = exercised.report()
+        unknown = set(report["histograms"]) - names.CANONICAL_HISTOGRAMS
+        assert not unknown, f"undocumented histograms: {sorted(unknown)}"
+
+    def test_documented_names_agree_with_metrics_docstring(self):
+        doc = RuntimeMetrics.__doc__ or ""
+        for name in sorted(names.CANONICAL_COUNTERS | names.CANONICAL_HISTOGRAMS):
+            assert name in doc, f"{name} missing from RuntimeMetrics docstring"

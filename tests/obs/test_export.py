@@ -1,0 +1,200 @@
+"""Exporter tests: Chrome trace golden file, Prometheus format, run records.
+
+The Chrome-trace golden run is a seeded 3-recording batch (one of them
+silent, so the golden covers the quarantine path too).  Span *timing*
+varies run to run, so ``ts``/``dur`` are stripped before comparison —
+everything else (names, categories, track layout, attributes) is a pure
+function of the seeded input and must match the checked-in file
+exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    EventLog,
+    RunRecord,
+    Tracer,
+    capture_manifest,
+    chrome_trace,
+    load_run_record,
+    prometheus_text,
+    use_tracer,
+    write_run_record,
+)
+from repro.runtime.executor import BatchExecutor
+from repro.runtime.metrics import RuntimeMetrics
+
+GOLDEN_CHROME = Path(__file__).parent / "golden_chrome_trace.json"
+
+
+def _normalized_chrome(doc: dict) -> dict:
+    """The deterministic projection of a Chrome-trace document."""
+    events = []
+    for event in doc["traceEvents"]:
+        event = {k: v for k, v in event.items() if k not in ("ts", "dur")}
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": doc["displayTimeUnit"]}
+
+
+@pytest.fixture(scope="module")
+def golden_run(obs_pipeline, obs_recordings):
+    """Traced seeded 3-recording serial run (recording 1 is silent)."""
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = BatchExecutor(obs_pipeline, metrics=RuntimeMetrics()).run(
+            obs_recordings[:3]
+        )
+    return tracer, result
+
+
+class TestChromeTrace:
+    def test_matches_golden_file(self, golden_run):
+        tracer, _ = golden_run
+        produced = _normalized_chrome(chrome_trace(tracer.traces))
+        golden = json.loads(GOLDEN_CHROME.read_text(encoding="utf-8"))
+        assert produced == golden
+
+    def test_every_span_has_timing_fields(self, golden_run):
+        tracer, _ = golden_run
+        doc = chrome_trace(tracer.traces)
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert complete
+        for event in complete:
+            assert event["dur"] >= 0.0
+            assert event["ts"] >= 0.0
+
+    def test_one_thread_track_per_recording(self, golden_run):
+        tracer, _ = golden_run
+        doc = chrome_trace(tracer.traces)
+        thread_names = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        # tid 0 is the runtime track; recordings 0..2 get tids 1..3.
+        assert thread_names[0] == "runtime"
+        assert set(thread_names) == {0, 1, 2, 3}
+        for tid in (1, 2, 3):
+            assert thread_names[tid].startswith(f"recording {tid - 1} (")
+
+
+#: One metric sample:  name{optional labels} value
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$"
+)
+_TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary)$")
+
+
+def _validate_prometheus(text: str) -> None:
+    """Minimal line-format validator for the text exposition format."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    declared: set[str] = set()
+    for line in text.splitlines():
+        type_match = _TYPE_RE.match(line)
+        if type_match:
+            family = type_match.group(1)
+            assert family not in declared, f"duplicate TYPE for {family}"
+            declared.add(family)
+            continue
+        assert _SAMPLE_RE.match(line), f"malformed sample line: {line!r}"
+        metric = re.split(r"[{\s]", line, maxsplit=1)[0]
+        base = re.sub(r"_(sum|count)$", "", metric)
+        assert metric in declared or base in declared, (
+            f"sample {metric!r} has no preceding TYPE declaration"
+        )
+
+
+class TestPrometheus:
+    def _metrics(self) -> RuntimeMetrics:
+        m = RuntimeMetrics()
+        m.increment("cache.hits", 3)
+        m.increment("cache.misses", 1)
+        m.increment("recordings.ok", 4)
+        for v in (1.0, 2.0, 3.0):
+            m.observe("recording_ms", v)
+        return m
+
+    def test_exposition_passes_line_validator(self):
+        _validate_prometheus(prometheus_text(self._metrics()))
+
+    def test_counters_histograms_and_gauge_are_exported(self):
+        text = prometheus_text(self._metrics())
+        assert "# TYPE earsonar_cache_hits counter\nearsonar_cache_hits 3" in text
+        assert "# TYPE earsonar_recording_ms summary" in text
+        assert 'earsonar_recording_ms{quantile="0.5"} 2' in text
+        assert "earsonar_recording_ms_count 3" in text
+        assert "earsonar_recording_ms_sum 6" in text
+        assert "# TYPE earsonar_cache_hit_rate gauge\nearsonar_cache_hit_rate 0.75" in text
+
+    def test_accepts_a_prebuilt_report_dict(self):
+        text = prometheus_text(self._metrics().report())
+        _validate_prometheus(text)
+        assert "earsonar_recordings_ok 4" in text
+
+    def test_end_to_end_metrics_validate(self, golden_run):
+        # The real executor's metric names must all survive sanitization.
+        m = RuntimeMetrics()
+        _validate_prometheus(prometheus_text(m))  # empty is valid too
+
+
+class TestRunRecord:
+    def test_write_and_load_round_trip(self, tmp_path, golden_run):
+        tracer, _ = golden_run
+        metrics = RuntimeMetrics()
+        metrics.increment("recordings.ok", 2)
+        manifest = capture_manifest(seed=7, argv=["test"])
+        events = EventLog()
+        events.emit("batch.started", recordings=3)
+
+        paths = write_run_record(
+            tmp_path,
+            spans=tracer.traces,
+            metrics=metrics,
+            manifest=manifest,
+            events=events,
+        )
+        assert set(paths) == {"record", "chrome", "manifest", "prometheus", "events"}
+        for path in paths.values():
+            assert path.exists()
+
+        record = load_run_record(paths["record"])
+        assert [s.structure() for s in record.spans] == [
+            s.structure() for s in tracer.traces
+        ]
+        assert record.metrics["counters"]["recordings.ok"] == 2
+        assert record.manifest == manifest
+        assert len(EventLog.read_jsonl(paths["events"])) == 1
+        # The chrome export equals a direct chrome_trace of the spans.
+        chrome = json.loads(paths["chrome"].read_text())
+        assert _normalized_chrome(chrome) == _normalized_chrome(
+            chrome_trace(tracer.traces)
+        )
+
+    def test_streaming_events_file_is_not_rewritten(self, tmp_path):
+        # When the event log already streams into the target directory,
+        # write_run_record must not duplicate its lines.
+        events = EventLog(path=tmp_path / "events.jsonl")
+        events.emit("batch.started", recordings=1)
+        events.emit("batch.finished", ok=1, failed=0)
+        events.close()
+        paths = write_run_record(tmp_path, spans=[], events=events)
+        assert len(EventLog.read_jsonl(paths["events"])) == 2
+
+    def test_minimal_record_without_optional_inputs(self, tmp_path):
+        paths = write_run_record(tmp_path, spans=[])
+        assert set(paths) == {"record", "chrome"}
+        record = load_run_record(paths["record"])
+        assert record.spans == []
+        assert record.manifest is None
+
+    def test_recording_roots_sorted_by_index(self, golden_run):
+        tracer, _ = golden_run
+        record = RunRecord(spans=list(reversed(tracer.traces)))
+        assert [r.attrs["index"] for r in record.recording_roots()] == [0, 1, 2]

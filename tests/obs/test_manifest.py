@@ -1,0 +1,72 @@
+"""Unit tests for run-provenance capture."""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.core import EarSonarConfig
+from repro.obs import RunManifest, capture_manifest, git_revision
+
+
+class TestCapture:
+    def test_config_fingerprint_matches_earsonar_config(self):
+        config = EarSonarConfig()
+        manifest = capture_manifest(config=config, seed=2023)
+        # The acceptance criterion: manifest and feature-cache keyspace
+        # share one content hash.
+        assert manifest.config_fingerprint == config.fingerprint()
+        assert manifest.seed == 2023
+
+    def test_defaults_without_config_or_seed(self):
+        manifest = capture_manifest()
+        assert manifest.config_fingerprint == ""
+        assert manifest.seed is None
+        assert manifest.argv  # sys.argv is never empty
+
+    def test_toolchain_identity_is_populated(self):
+        manifest = capture_manifest(argv=["prog", "--flag"])
+        assert re.fullmatch(r"3\.\d+\.\d+.*", manifest.python_version)
+        assert manifest.numpy_version
+        assert manifest.platform
+        assert manifest.hostname
+        assert manifest.argv == ("prog", "--flag")
+        # ISO-8601 UTC timestamp.
+        assert re.match(r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}", manifest.created_at)
+
+    def test_extra_context_rides_along(self):
+        manifest = capture_manifest(extra={"workload": "bench", "scale": 4})
+        assert manifest.extra == {"workload": "bench", "scale": 4}
+
+
+class TestGitRevision:
+    def test_inside_this_checkout_returns_a_sha(self):
+        sha = git_revision()
+        assert sha is not None
+        assert re.fullmatch(r"[0-9a-f]{40}", sha)
+
+    def test_outside_a_checkout_returns_none(self, tmp_path):
+        assert git_revision(start=tmp_path) is None
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        manifest = capture_manifest(
+            config=EarSonarConfig(), seed=7, argv=["x"], extra={"k": "v"}
+        )
+        path = manifest.save(tmp_path / "sub" / "manifest.json")
+        assert RunManifest.load(path) == manifest
+
+    def test_saved_json_is_plain_and_sorted(self, tmp_path):
+        manifest = capture_manifest(argv=["x"])
+        path = manifest.save(tmp_path / "manifest.json")
+        data = json.loads(path.read_text())
+        assert data["argv"] == ["x"]
+        assert list(data) == sorted(data)
+
+    def test_from_dict_tolerates_missing_optionals(self):
+        manifest = RunManifest.from_dict({"created_at": "2026-01-01T00:00:00+00:00"})
+        assert manifest.seed is None
+        assert manifest.git_sha is None
+        assert manifest.argv == ()
+        assert manifest.extra == {}

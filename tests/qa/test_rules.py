@@ -14,6 +14,7 @@ from repro.qa.rules import (
     FingerprintCompletenessRule,
     PoolSafetyRule,
     PublicApiRule,
+    TelemetryDisciplineRule,
     UnitDisciplineRule,
 )
 
@@ -458,3 +459,121 @@ class TestExceptionBoundary:
             },
         )
         assert pairs(findings) == [("QA006", 4)]
+
+
+# ---------------------------------------------------------------------------
+# QA007 — telemetry discipline
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetryDiscipline:
+    def test_print_and_stream_writes_flagged_in_library_modules(self, findings_of):
+        findings = findings_of(
+            TelemetryDisciplineRule,
+            {
+                "repro/runtime/worker.py": """
+                    import sys
+
+                    def run(batch):
+                        print("starting", len(batch))
+                        sys.stderr.write("halfway\\n")
+                        sys.stdout.write("done\\n")
+                        return batch
+                    """
+            },
+        )
+        assert pairs(findings) == [
+            ("QA007", 4),  # print()
+            ("QA007", 5),  # sys.stderr.write
+            ("QA007", 6),  # sys.stdout.write
+        ]
+
+    def test_main_modules_may_print(self, findings_of):
+        findings = findings_of(
+            TelemetryDisciplineRule,
+            {
+                "repro/runtime/__main__.py": """
+                    import sys
+
+                    def main():
+                        print("report")
+                        sys.stderr.write("notice\\n")
+                        return 0
+                    """
+            },
+        )
+        assert findings == []
+
+    def test_aliased_stream_write_is_flagged(self, findings_of):
+        findings = findings_of(
+            TelemetryDisciplineRule,
+            {
+                "repro/signal/debug.py": """
+                    from sys import stderr
+
+                    def trace(msg):
+                        stderr.write(msg)
+                    """
+            },
+        )
+        assert pairs(findings) == [("QA007", 4)]
+
+    def test_literal_span_and_event_names_flagged(self, findings_of):
+        findings = findings_of(
+            TelemetryDisciplineRule,
+            {
+                "repro/runtime/instrumented.py": """
+                    def run(tracer, log, recording):
+                        with tracer.span("stage.bandpass"):
+                            pass
+                        log.emit("batch.started", recordings=1)
+                    """
+            },
+        )
+        assert pairs(findings) == [
+            ("QA007", 2),  # tracer.span("literal")
+            ("QA007", 4),  # log.emit("literal")
+        ]
+
+    def test_registered_constants_are_clean(self, findings_of):
+        findings = findings_of(
+            TelemetryDisciplineRule,
+            {
+                "repro/runtime/instrumented.py": """
+                    from repro.obs import names
+
+                    def run(tracer, log, recording):
+                        with tracer.span(names.SPAN_STAGE_BANDPASS):
+                            pass
+                        log.emit(names.EVENT_BATCH_STARTED, recordings=1)
+                    """
+            },
+        )
+        assert findings == []
+
+    def test_literal_names_flagged_even_in_main_modules(self, findings_of):
+        findings = findings_of(
+            TelemetryDisciplineRule,
+            {
+                "repro/obs/__main__.py": """
+                    def main(tracer):
+                        with tracer.span("cli.render"):
+                            return 0
+                    """
+            },
+        )
+        assert pairs(findings) == [("QA007", 2)]
+
+    def test_unrelated_calls_stay_silent(self, findings_of):
+        findings = findings_of(
+            TelemetryDisciplineRule,
+            {
+                "repro/signal/clean.py": """
+                    def spans(match, fmt):
+                        start, end = match.span(0)
+                        text = fmt.format("value")
+                        return start, end, text
+                    """
+            },
+        )
+        assert findings == []

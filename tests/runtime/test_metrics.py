@@ -1,9 +1,11 @@
 """Unit tests for the runtime metrics registry."""
 
+import threading
+
 import numpy as np
 import pytest
 
-from repro.runtime.metrics import Histogram, RuntimeMetrics
+from repro.runtime.metrics import DEFAULT_MAX_SAMPLES, Histogram, RuntimeMetrics
 
 
 class TestHistogram:
@@ -23,6 +25,94 @@ class TestHistogram:
         assert s["mean"] == pytest.approx(50.5)
         assert s["max"] == 100.0
         assert s["p50"] <= s["p95"] <= s["p99"] <= s["max"]
+
+
+class TestHistogramReservoir:
+    def test_sample_storage_is_bounded_by_cap(self):
+        hist = Histogram(max_samples=64)
+        for v in range(10_000):
+            hist.observe(float(v))
+        assert hist.count == 10_000
+        assert len(hist._samples) == 64
+        assert hist.saturated
+
+    def test_exact_until_cap_then_sampled(self):
+        hist = Histogram(max_samples=100)
+        for v in range(1, 101):
+            hist.observe(float(v))
+        assert not hist.saturated
+        # Below the cap, every sample is stored verbatim.
+        assert hist.percentile(50) == pytest.approx(50.5)
+        hist.observe(101.0)
+        assert hist.saturated
+
+    def test_count_total_max_stay_exact_beyond_cap(self):
+        hist = Histogram(max_samples=32)
+        values = [float(v) for v in range(1, 2001)]
+        for v in values:
+            hist.observe(v)
+        assert hist.count == 2000
+        assert hist.total == pytest.approx(sum(values))
+        assert hist.summary()["max"] == 2000.0
+        assert hist.summary()["mean"] == pytest.approx(sum(values) / 2000)
+
+    def test_reservoir_percentiles_track_distribution(self):
+        # Uniform stream: the reservoir's median should land near the
+        # true median, not near either end.
+        hist = Histogram(max_samples=512)
+        for v in range(100_000):
+            hist.observe(float(v % 1000))
+        p50 = hist.percentile(50)
+        assert 300.0 < p50 < 700.0
+
+    def test_reservoir_is_deterministic(self):
+        def fill() -> list[float]:
+            hist = Histogram(max_samples=16)
+            for v in range(5_000):
+                hist.observe(float(v))
+            return list(hist._samples)
+
+        assert fill() == fill()
+
+    def test_unbounded_histogram_keeps_everything(self):
+        hist = Histogram(max_samples=None)
+        for v in range(DEFAULT_MAX_SAMPLES + 100):
+            hist.observe(float(v))
+        assert len(hist._samples) == DEFAULT_MAX_SAMPLES + 100
+        assert not hist.saturated
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(max_samples=0)
+
+    def test_direct_observe_is_locked(self):
+        # The documented direct-access path: histogram(name).observe()
+        # must mutate under the histogram's own lock.  Hammer it from
+        # several threads and check no observation was lost.
+        m = RuntimeMetrics(histogram_max_samples=None)
+        hist = m.histogram("contended_ms")
+        per_thread, threads = 2_000, 8
+
+        def worker() -> None:
+            for v in range(per_thread):
+                hist.observe(float(v))
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert hist.count == per_thread * threads
+        assert len(hist._samples) == per_thread * threads
+
+    def test_registry_passes_cap_to_new_histograms(self):
+        m = RuntimeMetrics(histogram_max_samples=8)
+        for v in range(100):
+            m.observe("capped_ms", float(v))
+        hist = m.histogram("capped_ms")
+        assert hist.max_samples == 8
+        assert hist.count == 100
+        assert len(hist._samples) == 8
 
 
 class TestRuntimeMetrics:
