@@ -113,3 +113,48 @@ class CircuitOpenError(ExecutionError):
 
 class InjectedFaultError(ExecutionError):
     """A deliberate failure raised by the chaos fault-injection hook."""
+
+
+class ServiceError(EarSonarError):
+    """Base class for online-serving (:mod:`repro.serve`) failures.
+
+    Distinct from :class:`ExecutionError`: execution errors happen to
+    work that was *accepted* (the executor quarantines them), while
+    service errors describe the front door — requests that were never
+    admitted, or a service used outside its lifecycle.
+    """
+
+
+class AdmissionRejected(ServiceError):
+    """The service refused a request at the front door.
+
+    Carries machine-readable shedding metadata so callers can implement
+    polite retry:
+
+    - ``reason`` — one of ``"rate_limited"`` (the tenant's token bucket
+      is empty), ``"queue_full"`` (the bounded request queue is at
+      capacity), ``"overload"`` (estimated queue wait exceeds the SLO
+      headroom), or ``"shutdown"`` (the service is stopping);
+    - ``retry_after_s`` — the earliest time, in seconds, at which a
+      retry has a chance of being admitted.
+    """
+
+    def __init__(
+        self,
+        message: str = "request rejected by admission control",
+        *,
+        reason: str = "overload",
+        retry_after_s: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_s = float(retry_after_s)
+
+
+class ServiceStoppedError(ServiceError):
+    """An operation was attempted on a service that is not running.
+
+    Raised by ``submit`` before ``start`` or after ``stop`` — distinct
+    from :class:`AdmissionRejected`, which describes load shedding on a
+    *running* service.
+    """

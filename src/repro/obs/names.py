@@ -17,8 +17,14 @@ defined here.  Centralizing the vocabulary buys three things:
 
 Names are dotted, lowercase, and grouped by subsystem prefix
 (``stage.``, ``cache.``, ``executor.``, ``quality.``, ``breaker.``,
-``recordings.``); histogram names carry their unit as a suffix
-(``_ms``).
+``recordings.``, ``serve.``); histogram names carry their unit as a
+suffix (``_ms``).
+
+The online service (:mod:`repro.serve`) has its own canonical sets
+(``SERVE_CANONICAL_COUNTERS`` / ``SERVE_CANONICAL_HISTOGRAMS``),
+asserted by the serving end-to-end emission suite, plus the
+:func:`tenant_counter` pattern for per-tenant counters whose tenant
+segment is dynamic by nature.
 """
 
 from __future__ import annotations
@@ -68,6 +74,34 @@ __all__ = [
     "HIST_BATCH_MS",
     "CANONICAL_COUNTERS",
     "CANONICAL_HISTOGRAMS",
+    "SPAN_SERVE_ADMISSION",
+    "SPAN_SERVE_BATCH",
+    "EVENT_SERVE_STARTED",
+    "EVENT_SERVE_STOPPED",
+    "EVENT_SERVE_REJECTED",
+    "EVENT_SERVE_BATCH_DISPATCHED",
+    "EVENT_SERVE_POOL_RESIZED",
+    "METRIC_SERVE_SUBMITTED",
+    "METRIC_SERVE_ADMITTED",
+    "METRIC_SERVE_COMPLETED",
+    "METRIC_SERVE_FAST_REJECTED",
+    "METRIC_SERVE_REJECTED_RATE_LIMITED",
+    "METRIC_SERVE_REJECTED_QUEUE_FULL",
+    "METRIC_SERVE_REJECTED_OVERLOAD",
+    "METRIC_SERVE_REJECTED_SHUTDOWN",
+    "METRIC_SERVE_BATCHES_DISPATCHED",
+    "METRIC_SERVE_BATCH_FAILURES",
+    "METRIC_SERVE_POOL_RESIZES",
+    "HIST_SERVE_REQUEST_MS",
+    "HIST_SERVE_QUEUE_MS",
+    "HIST_SERVE_BATCH_MS",
+    "SERVE_CANONICAL_COUNTERS",
+    "SERVE_CANONICAL_HISTOGRAMS",
+    "SERVE_REJECTION_COUNTERS",
+    "METRIC_TENANT_SUBMITTED",
+    "METRIC_TENANT_COMPLETED",
+    "METRIC_TENANT_REJECTED",
+    "tenant_counter",
 ]
 
 # -- span names ---------------------------------------------------------
@@ -95,6 +129,11 @@ SPAN_STAGE_FEATURES = "stage.features"
 #: MFCC extraction of the mean echo segment (child of stage.features).
 SPAN_STAGE_MFCC = "stage.mfcc"
 
+#: Admission decision for one service request (attrs: tenant, outcome).
+SPAN_SERVE_ADMISSION = "serve.admission"
+#: One dispatched micro-batch (attrs: batch, size, tenants).
+SPAN_SERVE_BATCH = "serve.batch"
+
 #: The in-recording pipeline stages, in execution order.
 STAGE_SPAN_NAMES = (
     SPAN_STAGE_BANDPASS,
@@ -113,6 +152,8 @@ SPAN_NAMES = frozenset(
         SPAN_QUALITY_GATE,
         SPAN_CACHE_LOOKUP,
         SPAN_CHUNK,
+        SPAN_SERVE_ADMISSION,
+        SPAN_SERVE_BATCH,
         *STAGE_SPAN_NAMES,
     }
 )
@@ -135,6 +176,18 @@ EVENT_SERIAL_FALLBACK = "executor.serial_fallback"
 EVENT_EXPERIMENT_STARTED = "experiment.started"
 #: An experiments-CLI run finished (fields: experiment, seconds).
 EVENT_EXPERIMENT_FINISHED = "experiment.finished"
+#: The online screening service started (fields: workers, max_depth).
+EVENT_SERVE_STARTED = "serve.started"
+#: The service stopped (fields: completed, rejected, drained).
+EVENT_SERVE_STOPPED = "serve.stopped"
+#: Admission control rejected a request (fields: tenant, reason,
+#: retry_after_s).
+EVENT_SERVE_REJECTED = "serve.request_rejected"
+#: A micro-batch was handed to the executor (fields: batch, size, ms).
+EVENT_SERVE_BATCH_DISPATCHED = "serve.batch_dispatched"
+#: The SLO controller resized the worker pool (fields: previous,
+#: workers, p95_ms).
+EVENT_SERVE_POOL_RESIZED = "serve.pool_resized"
 
 #: Every registered structured-event name.
 EVENT_NAMES = frozenset(
@@ -147,6 +200,11 @@ EVENT_NAMES = frozenset(
         EVENT_SERIAL_FALLBACK,
         EVENT_EXPERIMENT_STARTED,
         EVENT_EXPERIMENT_FINISHED,
+        EVENT_SERVE_STARTED,
+        EVENT_SERVE_STOPPED,
+        EVENT_SERVE_REJECTED,
+        EVENT_SERVE_BATCH_DISPATCHED,
+        EVENT_SERVE_POOL_RESIZED,
     }
 )
 
@@ -226,3 +284,91 @@ CANONICAL_HISTOGRAMS = frozenset(
         HIST_BATCH_MS,
     }
 )
+
+# -- online-service (repro.serve) metric names --------------------------
+
+#: Requests handed to :meth:`ScreeningService.submit` (pre-admission).
+METRIC_SERVE_SUBMITTED = "serve.requests.submitted"
+#: Requests that passed admission control into the bounded queue.
+METRIC_SERVE_ADMITTED = "serve.requests.admitted"
+#: Admitted requests that received a response (any outcome).
+METRIC_SERVE_COMPLETED = "serve.requests.completed"
+#: Requests answered by the pre-enqueue quality gate without queueing.
+METRIC_SERVE_FAST_REJECTED = "serve.requests.fast_rejected"
+#: Rejections: the tenant's token bucket was empty.
+METRIC_SERVE_REJECTED_RATE_LIMITED = "serve.rejected.rate_limited"
+#: Rejections: the bounded request queue was at capacity.
+METRIC_SERVE_REJECTED_QUEUE_FULL = "serve.rejected.queue_full"
+#: Rejections: estimated queue wait exceeded the SLO headroom.
+METRIC_SERVE_REJECTED_OVERLOAD = "serve.rejected.overload"
+#: Rejections: the service was stopping.
+METRIC_SERVE_REJECTED_SHUTDOWN = "serve.rejected.shutdown"
+#: Micro-batches handed to the batch executor.
+METRIC_SERVE_BATCHES_DISPATCHED = "serve.batches.dispatched"
+#: Micro-batches whose executor call raised (requests answered as failed).
+METRIC_SERVE_BATCH_FAILURES = "serve.batch_failures"
+#: Worker-pool resizes applied by the SLO latency controller.
+METRIC_SERVE_POOL_RESIZES = "serve.pool_resizes"
+
+#: Submit-to-response wall time per request.
+HIST_SERVE_REQUEST_MS = "serve.request_ms"
+#: Admission-to-dispatch wait per request.
+HIST_SERVE_QUEUE_MS = "serve.queue_ms"
+#: Executor wall time per dispatched micro-batch.
+HIST_SERVE_BATCH_MS = "serve.batch_ms"
+
+#: Rejection counter for each :class:`~repro.errors.AdmissionRejected`
+#: reason the service can emit.
+SERVE_REJECTION_COUNTERS = {
+    "rate_limited": METRIC_SERVE_REJECTED_RATE_LIMITED,
+    "queue_full": METRIC_SERVE_REJECTED_QUEUE_FULL,
+    "overload": METRIC_SERVE_REJECTED_OVERLOAD,
+    "shutdown": METRIC_SERVE_REJECTED_SHUTDOWN,
+}
+
+#: Every counter the online service documents; the serving emission
+#: test asserts each one is produced by an end-to-end service scenario.
+SERVE_CANONICAL_COUNTERS = frozenset(
+    {
+        METRIC_SERVE_SUBMITTED,
+        METRIC_SERVE_ADMITTED,
+        METRIC_SERVE_COMPLETED,
+        METRIC_SERVE_FAST_REJECTED,
+        METRIC_SERVE_REJECTED_RATE_LIMITED,
+        METRIC_SERVE_REJECTED_QUEUE_FULL,
+        METRIC_SERVE_REJECTED_OVERLOAD,
+        METRIC_SERVE_REJECTED_SHUTDOWN,
+        METRIC_SERVE_BATCHES_DISPATCHED,
+        METRIC_SERVE_BATCH_FAILURES,
+        METRIC_SERVE_POOL_RESIZES,
+    }
+)
+
+#: Every histogram the online service documents.
+SERVE_CANONICAL_HISTOGRAMS = frozenset(
+    {
+        HIST_SERVE_REQUEST_MS,
+        HIST_SERVE_QUEUE_MS,
+        HIST_SERVE_BATCH_MS,
+    }
+)
+
+# -- per-tenant counter pattern ----------------------------------------
+
+#: Per-tenant requests submitted (see :func:`tenant_counter`).
+METRIC_TENANT_SUBMITTED = "serve.tenant.submitted"
+#: Per-tenant responses delivered.
+METRIC_TENANT_COMPLETED = "serve.tenant.completed"
+#: Per-tenant admission rejections.
+METRIC_TENANT_REJECTED = "serve.tenant.rejected"
+
+
+def tenant_counter(base: str, tenant: str) -> str:
+    """Per-tenant counter name: ``<base>.<tenant>``.
+
+    Tenant ids are caller data, so per-tenant counters cannot be a
+    closed vocabulary; instead the *base* must be one of the
+    ``METRIC_TENANT_*`` constants and the tenant id is appended as the
+    final segment (e.g. ``serve.tenant.completed.clinic-a``).
+    """
+    return f"{base}.{tenant}"

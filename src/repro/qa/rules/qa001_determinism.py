@@ -31,6 +31,9 @@ from ._helpers import ImportMap, attribute_chain, canonical_name, module_subpack
 __all__ = ["DeterminismRule"]
 
 #: Subpackages whose code must be deterministic under a threaded seed.
+#: ``serve`` is held to the same standard in *virtual time*: its entire
+#: behavior (deadlines, backpressure, fairness, the feedback loop) must
+#: be a pure function of submitted requests and the injected clock.
 SCIENCE_SUBPACKAGES = (
     "signal",
     "features",
@@ -40,7 +43,38 @@ SCIENCE_SUBPACKAGES = (
     "kernels",
     "faultlab",
     "quality",
+    "serve",
 )
+
+#: Modules that *implement* the clock abstraction and may therefore
+#: touch real time sources; everything else in ``serve`` must go
+#: through an injected :class:`repro.serve.clock.Clock`.
+CLOCK_BOUNDARY_MODULES = frozenset({"serve.clock"})
+
+#: Calls forbidden in ``serve`` outside the clock boundary: direct time
+#: reads and sleeps (deterministic tests would hang or flake), and the
+#: asyncio timeout helpers that hard-wire the real event-loop clock
+#: (``wait_for``/``timeout`` time out on the wall even under a
+#: VirtualClock — use :func:`repro.serve.clock.wait_for_event`).
+_SERVE_CLOCK_CALLS = frozenset(
+    {
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.sleep",
+        "asyncio.sleep",
+        "asyncio.wait_for",
+        "asyncio.timeout",
+    }
+)
+
+
+def _is_clock_boundary(module: ModuleInfo) -> bool:
+    name = module.name
+    if name.startswith("repro."):
+        name = name[len("repro."):]
+    return name in CLOCK_BOUNDARY_MODULES
 
 #: ``numpy.random`` attributes that are part of the modern, explicitly
 #: seeded Generator API and therefore allowed.
@@ -83,8 +117,12 @@ class DeterminismRule(Rule):
     )
 
     def check_module(self, module: ModuleInfo, project: Project) -> Iterable[Finding]:
-        if module_subpackage(module) not in SCIENCE_SUBPACKAGES:
+        subpackage = module_subpackage(module)
+        if subpackage not in SCIENCE_SUBPACKAGES:
             return
+        if _is_clock_boundary(module):
+            return
+        in_serve = subpackage == "serve"
         imports = ImportMap(module.tree)
 
         for node in ast.walk(module.tree):
@@ -111,13 +149,17 @@ class DeterminismRule(Rule):
                 continue
             if not isinstance(node, (ast.Attribute, ast.Name)):
                 continue
-            yield from self._check_use(module, node, imports)
+            yield from self._check_use(module, node, imports, in_serve=in_serve)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call):
                 yield from self._check_rng_creation(module, node, imports)
 
     def _check_use(
-        self, module: ModuleInfo, node: ast.expr, imports: ImportMap
+        self,
+        module: ModuleInfo,
+        node: ast.expr,
+        imports: ImportMap,
+        in_serve: bool = False,
     ) -> Iterable[Finding]:
         dotted = attribute_chain(node)
         if dotted is None or dotted.split(".")[0] not in imports.bindings:
@@ -151,6 +193,15 @@ class DeterminismRule(Rule):
                 node.lineno,
                 f"wall-clock read '{name}' makes results time-dependent",
                 "use time.perf_counter for latency metrics; pass timestamps in",
+            )
+        elif in_serve and name in _SERVE_CLOCK_CALLS:
+            yield self.finding(
+                module,
+                node.lineno,
+                f"direct time source '{name}' in repro.serve bypasses the "
+                "injected Clock, breaking virtual-time determinism",
+                "read/sleep via the injected repro.serve.clock.Clock (or "
+                "wait_for_event for timeouts)",
             )
 
     def _check_rng_creation(

@@ -38,6 +38,10 @@ QUARANTINE_BOUNDARY_MODULES = frozenset(
     {
         "runtime.executor",
         "runtime.faults",
+        # The service dispatch path: a crashed micro-batch must fail its
+        # own requests' futures (typed quarantine records), never the
+        # dispatch loop or the other tenants' pending work.
+        "serve.service",
     }
 )
 

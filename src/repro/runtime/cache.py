@@ -19,6 +19,14 @@ Two tiers: an in-memory LRU (bounded by entry count) and an optional
 on-disk ``.npz`` store that survives processes, making warm re-runs of
 whole studies skip signal processing entirely.
 
+The disk tier is safe for many *writers* as well as many readers:
+every write lands in a per-process temporary file (named with the
+writer's PID, so two processes storing the same key never interleave
+bytes) and is published with an atomic rename, optionally serialized
+through a caller-supplied ``write_lock`` (the sharded service cache in
+:mod:`repro.serve.shards` passes a per-shard file lock, which also
+mutually excludes compaction against live writers).
+
 The disk tier is *validated* on load: every entry carries a format
 version and a SHA-256 payload checksum, and anything that fails to
 open, parse, or verify — a truncated npz, a stray file, a half-written
@@ -32,8 +40,10 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import os
 import zipfile
 from collections import OrderedDict
+from contextlib import AbstractContextManager, nullcontext
 from pathlib import Path
 
 import numpy as np
@@ -92,6 +102,12 @@ class FeatureCache:
         cache counts corrupt-entry evictions under ``cache.corrupt``.
         :class:`~repro.runtime.executor.BatchExecutor` wires its own
         registry in when the cache has none.
+    write_lock:
+        Optional reusable context manager entered around each disk
+        write (the per-process tmp write plus the atomic publish
+        rename).  Writes are already interleaving-safe without it; a
+        lock additionally serializes writers against maintenance that
+        deletes files (e.g. shard compaction).
     """
 
     def __init__(
@@ -99,6 +115,7 @@ class FeatureCache:
         capacity: int | None = 4096,
         directory: str | Path | None = None,
         metrics: RuntimeMetrics | None = None,
+        write_lock: AbstractContextManager | None = None,
     ) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
@@ -107,6 +124,7 @@ class FeatureCache:
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self.metrics = metrics
+        self.write_lock = write_lock
         #: Corrupt disk entries evicted so far (also mirrored to
         #: ``metrics`` when a registry is attached).
         self.corrupt_evictions = 0
@@ -197,31 +215,53 @@ class FeatureCache:
             digest.update(np.ascontiguousarray(array, dtype=np.float64).tobytes())
         return digest.hexdigest()
 
-    @classmethod
-    def _save(cls, path: Path, processed: ProcessedRecording) -> None:
+    @staticmethod
+    def tmp_path_for(path: Path) -> Path:
+        """Per-process staging path for one entry's write.
+
+        The writer's PID is part of the name, so two processes storing
+        the same key stage into *different* files and the last atomic
+        rename wins — concurrent writers can waste a write but can
+        never interleave bytes into a shared tmp.  The name ends in a
+        non-``.npz`` suffix so directory scans (warm lookups,
+        compaction) never mistake a half-written staging file for an
+        entry; compaction removes any orphaned by a killed writer.
+        """
+        return path.with_name(f"{path.name}.tmp-{os.getpid()}")
+
+    def _save(self, path: Path, processed: ProcessedRecording) -> None:
         state = processed.true_state.value if processed.true_state else ""
-        checksum = cls._payload_checksum(
+        checksum = self._payload_checksum(
             processed.features, processed.curve, processed.mean_segment
         )
-        tmp = path.with_suffix(".tmp.npz")
-        np.savez(
-            tmp,
-            cache_version=np.int64(CACHE_FORMAT_VERSION),
-            checksum=np.str_(checksum),
-            features=processed.features,
-            curve=processed.curve,
-            mean_segment=processed.mean_segment,
-            segment_rate=np.float64(processed.segment_rate),
-            num_events=np.int64(processed.num_events),
-            num_echoes=np.int64(processed.num_echoes),
-            participant_id=np.str_(processed.participant_id),
-            day=np.float64(processed.day),
-            true_state=np.str_(state),
-            confidence=np.float64(processed.confidence),
-            num_chirps_dropped=np.int64(processed.num_chirps_dropped),
-            quality_reasons=np.array(list(processed.quality_reasons), dtype=np.str_),
+        tmp = self.tmp_path_for(path)
+        lock: AbstractContextManager = (
+            self.write_lock if self.write_lock is not None else nullcontext()
         )
-        tmp.replace(path)
+        with lock:
+            # An open handle (not a path) keeps numpy from appending a
+            # second ``.npz`` to the staging suffix.
+            with open(tmp, "wb") as stream:
+                np.savez(
+                    stream,
+                    cache_version=np.int64(CACHE_FORMAT_VERSION),
+                    checksum=np.str_(checksum),
+                    features=processed.features,
+                    curve=processed.curve,
+                    mean_segment=processed.mean_segment,
+                    segment_rate=np.float64(processed.segment_rate),
+                    num_events=np.int64(processed.num_events),
+                    num_echoes=np.int64(processed.num_echoes),
+                    participant_id=np.str_(processed.participant_id),
+                    day=np.float64(processed.day),
+                    true_state=np.str_(state),
+                    confidence=np.float64(processed.confidence),
+                    num_chirps_dropped=np.int64(processed.num_chirps_dropped),
+                    quality_reasons=np.array(
+                        list(processed.quality_reasons), dtype=np.str_
+                    ),
+                )
+            tmp.replace(path)
 
     @classmethod
     def _load(cls, path: Path) -> ProcessedRecording:

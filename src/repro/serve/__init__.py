@@ -1,0 +1,65 @@
+"""``repro.serve`` — the online screening service over the batch runtime.
+
+The offline stack processes whole studies; this package turns the same
+:class:`~repro.runtime.executor.BatchExecutor` into a long-lived,
+multi-tenant ingestion service:
+
+- :mod:`~repro.serve.clock` — the injectable time source
+  (:class:`MonotonicClock` in production, :class:`VirtualClock` in
+  tests) behind every deadline and latency measurement;
+- :mod:`~repro.serve.queue` — bounded admission with typed
+  backpressure (:class:`~repro.errors.AdmissionRejected`);
+- :mod:`~repro.serve.limiter` — per-tenant token buckets and weighted
+  round-robin dequeue;
+- :mod:`~repro.serve.batcher` — deadline/size micro-batching;
+- :mod:`~repro.serve.controller` — SLO-driven worker-pool sizing from
+  observed batch latencies;
+- :mod:`~repro.serve.shards` — the sharded, compacting, multi-process
+  safe feature-cache tier;
+- :mod:`~repro.serve.service` — :class:`ScreeningService`, tying the
+  above together;
+- ``python -m repro.serve`` — a JSONL serving front end and a seeded
+  load generator (see :mod:`repro.serve.__main__`).
+
+Quick use::
+
+    service = ScreeningService(executor, fast_reject=QualityConfig())
+    await service.start()
+    response = await service.submit(
+        ScreeningRequest("req-1", "clinic-a", recording)
+    )
+    await service.stop()
+"""
+
+from .batcher import BatchPolicy, MicroBatcher
+from .clock import Clock, MonotonicClock, VirtualClock, wait_for_event
+from .controller import ControllerPolicy, LatencyController
+from .limiter import TenancyConfig, TenantPolicy, TenantScheduler, TokenBucket
+from .queue import AdmissionController, AdmissionPolicy, PendingRequest, ScreeningRequest
+from .service import ScreeningResponse, ScreeningService
+from .shards import CompactionReport, FileLock, ShardedFeatureCache, shard_index
+
+__all__ = [
+    "Clock",
+    "MonotonicClock",
+    "VirtualClock",
+    "wait_for_event",
+    "AdmissionPolicy",
+    "AdmissionController",
+    "ScreeningRequest",
+    "PendingRequest",
+    "TenantPolicy",
+    "TenancyConfig",
+    "TokenBucket",
+    "TenantScheduler",
+    "BatchPolicy",
+    "MicroBatcher",
+    "ControllerPolicy",
+    "LatencyController",
+    "FileLock",
+    "shard_index",
+    "CompactionReport",
+    "ShardedFeatureCache",
+    "ScreeningResponse",
+    "ScreeningService",
+]

@@ -1,0 +1,458 @@
+"""Serving front end and load generator for ``repro.serve``.
+
+Two subcommands::
+
+    # Screen request specs from stdin (JSONL), one response line each:
+    echo '{"tenant": "clinic-a", "seed": 7, "day": 0.5}' \\
+        | python -m repro.serve serve
+
+    # Watch a spool directory instead of stdin:
+    python -m repro.serve serve --watch /tmp/earsonar-spool --max-files 10
+
+    # Seeded synthetic load (open-loop arrivals, tenant mix) with a
+    # latency/throughput report:
+    python -m repro.serve loadgen --requests 48 --tenants 3 --rate 200 \\
+        --report report.json
+    python -m repro.serve loadgen --chaos --workers 2   # injected faults
+
+The load generator runs on a :class:`~repro.serve.clock.VirtualClock`
+by default — the full arrival schedule, batching, backpressure, and
+fairness play out deterministically in simulated time, so CI soak runs
+are reproducible and fast; ``--real-clock`` switches to wall time for
+measuring actual service latencies.  Recordings are synthesized from
+the seeded simulation layer; every stochastic choice flows from
+``--seed``.
+
+The report counts every request exactly once: ``responded`` (answered
+with a screening outcome, processed or quarantined), ``rejected``
+(typed admission backpressure, by reason), and ``lost`` (neither — the
+invariant the soak job asserts is ``lost == 0``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from ..core.pipeline import EarSonarPipeline
+from ..errors import AdmissionRejected, EarSonarError, ServiceError
+from ..quality import QualityConfig
+from ..runtime.cache import FeatureCache
+from ..runtime.chaos import FaultInjector
+from ..runtime.executor import BatchExecutor
+from ..runtime.metrics import RuntimeMetrics
+from ..simulation.participant import sample_participant
+from ..simulation.session import Recording, SessionConfig, record_session
+from .batcher import BatchPolicy
+from .clock import Clock, MonotonicClock, VirtualClock
+from .controller import ControllerPolicy
+from .limiter import TenancyConfig, TenantPolicy
+from .queue import AdmissionPolicy, ScreeningRequest
+from .service import ScreeningResponse, ScreeningService
+from .shards import ShardedFeatureCache
+
+
+def _synthesize(
+    seed: int, day: float, duration_s: float, participant_id: str | None = None
+) -> Recording:
+    """One seeded recording: participant anatomy and capture from ``seed``."""
+    rng = np.random.default_rng(seed)
+    participant = sample_participant(rng, participant_id or f"P{seed % 1000:03d}")
+    return record_session(
+        participant, day, SessionConfig(duration_s=duration_s), rng
+    )
+
+
+def _build_service(args: argparse.Namespace, clock: Clock) -> ScreeningService:
+    """Executor + service wired from the shared CLI flags."""
+    metrics = RuntimeMetrics()
+    workers = args.workers
+    fault_injector = None
+    if getattr(args, "chaos", False):
+        # Injected faults arm only in the pool path; force it on.
+        workers = max(2, workers)
+        fault_injector = FaultInjector(mode="error", indices=(0,))
+    cache: FeatureCache | ShardedFeatureCache
+    if args.cache_dir is not None:
+        cache = ShardedFeatureCache(args.cache_dir, num_shards=args.shards)
+    else:
+        cache = FeatureCache()
+    executor = BatchExecutor(
+        EarSonarPipeline(),
+        workers=workers,
+        cache=cache,
+        metrics=metrics,
+        fault_injector=fault_injector,
+    )
+    controller = None
+    if args.target_p95_ms is not None:
+        controller = ControllerPolicy(
+            target_p95_ms=args.target_p95_ms,
+            min_workers=1,
+            max_workers=max(workers, args.max_workers),
+        )
+    tenancy = TenancyConfig(
+        default=TenantPolicy(rate_per_s=args.tenant_rate, burst=args.tenant_burst)
+        if args.tenant_rate is not None
+        else TenantPolicy()
+    )
+    return ScreeningService(
+        executor,
+        clock=clock,
+        admission=AdmissionPolicy(
+            max_queue_depth=args.max_queue_depth,
+            shed_wait_ms=args.shed_wait_ms,
+        ),
+        tenancy=tenancy,
+        batching=BatchPolicy(
+            max_batch_size=args.max_batch_size,
+            max_delay_s=args.max_delay_ms / 1e3,
+        ),
+        controller=controller,
+        fast_reject=QualityConfig() if args.fast_reject else None,
+    )
+
+
+def _response_line(response: ScreeningResponse) -> dict:
+    """JSON-safe summary of one service response."""
+    line = {
+        "request_id": response.request_id,
+        "tenant": response.tenant,
+        "verdict": response.verdict,
+        "ok": response.ok,
+        "batch": response.batch,
+        "queue_ms": round(response.queue_ms, 3),
+        "batch_ms": round(response.batch_ms, 3),
+    }
+    if response.ok:
+        line["confidence"] = round(float(response.confidence or 0.0), 4)
+    else:
+        line["error"] = response.outcome.reason  # type: ignore[union-attr]
+    return line
+
+
+# ---------------------------------------------------------------------------
+# serve: JSONL stdin / directory watcher
+# ---------------------------------------------------------------------------
+
+
+def _request_from_spec(spec: dict, index: int, duration_s: float) -> ScreeningRequest:
+    recording = _synthesize(
+        int(spec.get("seed", index)),
+        float(spec.get("day", 0.5)),
+        float(spec.get("duration_s", duration_s)),
+        spec.get("participant_id"),
+    )
+    return ScreeningRequest(
+        request_id=str(spec.get("request_id", f"req-{index:05d}")),
+        tenant=str(spec.get("tenant", "default")),
+        recording=recording,
+    )
+
+
+async def _serve_stdin(service: ScreeningService, args: argparse.Namespace) -> int:
+    await service.start()
+    failures = 0
+    try:
+        for index, line in enumerate(sys.stdin):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spec = json.loads(line)
+                request = _request_from_spec(spec, index, args.duration)
+                # Service submission, not pool dispatch.
+                response = await service.submit(request)  # qa: ignore[QA003]
+                print(json.dumps(_response_line(response)))
+            except (json.JSONDecodeError, EarSonarError) as exc:
+                failures += 1
+                print(
+                    json.dumps(
+                        {"error": type(exc).__name__, "message": str(exc)}
+                    )
+                )
+    finally:
+        await service.stop()
+    return 1 if failures else 0
+
+
+async def _serve_watch(service: ScreeningService, args: argparse.Namespace) -> int:
+    """Poll a spool directory: one JSON spec per file, result alongside."""
+    spool = Path(args.watch)
+    spool.mkdir(parents=True, exist_ok=True)
+    await service.start()
+    handled = 0
+    try:
+        while args.max_files is None or handled < args.max_files:
+            pending = sorted(spool.glob("*.json"))
+            pending = [p for p in pending if not p.name.endswith(".result.json")]
+            if not pending:
+                await service.clock.sleep(args.poll_s)
+                continue
+            for path in pending:
+                try:
+                    spec = json.loads(path.read_text())
+                    request = _request_from_spec(spec, handled, args.duration)
+                    # Service submission, not pool dispatch.
+                    response = await service.submit(request)  # qa: ignore[QA003]
+                    line = _response_line(response)
+                except (json.JSONDecodeError, EarSonarError) as exc:
+                    line = {"error": type(exc).__name__, "message": str(exc)}
+                path.with_suffix(".result.json").write_text(json.dumps(line))
+                path.unlink(missing_ok=True)
+                handled += 1
+                if args.max_files is not None and handled >= args.max_files:
+                    break
+    finally:
+        await service.stop()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# loadgen: seeded open-loop synthetic traffic
+# ---------------------------------------------------------------------------
+
+
+async def _run_loadgen(args: argparse.Namespace) -> dict:
+    clock: Clock = MonotonicClock() if args.real_clock else VirtualClock()
+    service = _build_service(args, clock)
+    rng = np.random.default_rng(args.seed)
+
+    # A small pool of distinct synthesized captures, reused across
+    # requests so loadgen cost is dominated by serving, not synthesis.
+    pool = [
+        _synthesize(args.seed + i, float(rng.uniform(0.0, 20.0)), args.duration)
+        for i in range(args.pool)
+    ]
+    tenants = [f"tenant-{i}" for i in range(args.tenants)]
+
+    # Open-loop schedule: exponential inter-arrivals at --rate req/s,
+    # tenant and capture drawn per request — all from the one seed.
+    offsets: list[float] = []
+    at = 0.0
+    for _ in range(args.requests):
+        at += float(rng.exponential(1.0 / args.rate))
+        offsets.append(at)
+    choices = [
+        (str(rng.choice(tenants)), int(rng.integers(0, len(pool))))
+        for _ in range(args.requests)
+    ]
+
+    responded: list[ScreeningResponse] = []
+    latencies_ms: list[float] = []
+    rejected: dict[str, int] = {}
+    per_tenant: dict[str, dict[str, int]] = {
+        tenant: {"submitted": 0, "responded": 0, "rejected": 0} for tenant in tenants
+    }
+
+    async def one(index: int) -> None:
+        await clock.sleep(offsets[index])
+        tenant, pick = choices[index]
+        per_tenant[tenant]["submitted"] += 1
+        started = clock.now()
+        try:
+            response = await service.submit(
+                ScreeningRequest(f"req-{index:05d}", tenant, pool[pick])
+            )
+        except AdmissionRejected as rejection:
+            rejected[rejection.reason] = rejected.get(rejection.reason, 0) + 1
+            per_tenant[tenant]["rejected"] += 1
+            return
+        except ServiceError:
+            rejected["shutdown"] = rejected.get("shutdown", 0) + 1
+            per_tenant[tenant]["rejected"] += 1
+            return
+        responded.append(response)
+        latencies_ms.append((clock.now() - started) * 1e3)
+        per_tenant[tenant]["responded"] += 1
+
+    await service.start()
+    tasks = [asyncio.ensure_future(one(i)) for i in range(args.requests)]
+    if isinstance(clock, VirtualClock):
+        horizon = offsets[-1] + 60.0
+        step = max(args.max_delay_ms / 1e3, 1.0 / args.rate)
+        await clock.advance_until(
+            lambda: all(task.done() for task in tasks),
+            step=step,
+            max_steps=int(horizon / step) + 10_000,
+        )
+    await asyncio.gather(*tasks)
+    await service.stop()
+
+    total_rejected = sum(rejected.values())
+    lost = args.requests - len(responded) - total_rejected
+    answerable = args.requests - total_rejected
+    quarantined = sum(1 for r in responded if not r.ok)
+    latency = {}
+    if latencies_ms:
+        data = np.asarray(latencies_ms)
+        latency = {
+            "p50": float(np.percentile(data, 50.0)),
+            "p95": float(np.percentile(data, 95.0)),
+            "p99": float(np.percentile(data, 99.0)),
+            "max": float(data.max()),
+        }
+    metrics = service.metrics.report()
+    return {
+        "clock": "real" if args.real_clock else "virtual",
+        "seed": args.seed,
+        "requests": args.requests,
+        "responded": len(responded),
+        "ok": len(responded) - quarantined,
+        "quarantined": quarantined,
+        "rejected": rejected,
+        "lost": lost,
+        "completion_rate": (len(responded) / answerable) if answerable else 1.0,
+        "latency_ms": latency,
+        "per_tenant": per_tenant,
+        "workers_final": service.workers,
+        "pool_resizes": metrics["counters"].get("serve.pool_resizes", 0),
+        "batches": metrics["counters"].get("serve.batches.dispatched", 0),
+        "counters": metrics["counters"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Online screening service front end and load generator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def _shared(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--workers", type=int, default=1, help="worker processes")
+        cmd.add_argument(
+            "--max-workers", type=int, default=4, help="controller ceiling"
+        )
+        cmd.add_argument(
+            "--max-batch-size", type=int, default=8, help="micro-batch size cap"
+        )
+        cmd.add_argument(
+            "--max-delay-ms",
+            type=float,
+            default=50.0,
+            help="micro-batch coalescing deadline",
+        )
+        cmd.add_argument(
+            "--max-queue-depth", type=int, default=256, help="admission queue cap"
+        )
+        cmd.add_argument(
+            "--shed-wait-ms",
+            type=float,
+            default=None,
+            help="SLO headroom: shed when estimated wait exceeds this",
+        )
+        cmd.add_argument(
+            "--tenant-rate",
+            type=float,
+            default=None,
+            help="per-tenant sustained admission rate (req/s)",
+        )
+        cmd.add_argument(
+            "--tenant-burst", type=float, default=8.0, help="per-tenant burst size"
+        )
+        cmd.add_argument(
+            "--target-p95-ms",
+            type=float,
+            default=None,
+            help="enable the latency controller with this p95 budget",
+        )
+        cmd.add_argument(
+            "--fast-reject",
+            action="store_true",
+            help="run the quality gate before admission",
+        )
+        cmd.add_argument(
+            "--cache-dir", default=None, help="sharded feature-cache directory"
+        )
+        cmd.add_argument("--shards", type=int, default=8, help="cache shard count")
+        cmd.add_argument(
+            "--duration",
+            type=float,
+            default=0.1,
+            help="synthesized recording length in seconds",
+        )
+
+    serve_cmd = sub.add_parser("serve", help="answer screening requests")
+    _shared(serve_cmd)
+    serve_cmd.add_argument(
+        "--watch",
+        default=None,
+        help="poll this spool directory for *.json request specs "
+        "(default: read JSONL specs from stdin)",
+    )
+    serve_cmd.add_argument(
+        "--poll-s", type=float, default=0.2, help="spool poll interval"
+    )
+    serve_cmd.add_argument(
+        "--max-files",
+        type=int,
+        default=None,
+        help="stop after handling this many spool files",
+    )
+
+    load_cmd = sub.add_parser("loadgen", help="seeded synthetic load")
+    _shared(load_cmd)
+    load_cmd.add_argument("--requests", type=int, default=48, help="request count")
+    load_cmd.add_argument("--tenants", type=int, default=3, help="tenant count")
+    load_cmd.add_argument(
+        "--rate", type=float, default=200.0, help="aggregate arrival rate (req/s)"
+    )
+    load_cmd.add_argument("--seed", type=int, default=2023, help="loadgen seed")
+    load_cmd.add_argument(
+        "--pool", type=int, default=8, help="distinct synthesized captures"
+    )
+    load_cmd.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject worker faults (error mode, first index of each batch)",
+    )
+    load_cmd.add_argument(
+        "--real-clock",
+        action="store_true",
+        help="run on wall time instead of the deterministic virtual clock",
+    )
+    load_cmd.add_argument(
+        "--report", default=None, help="write the JSON report to this path"
+    )
+    load_cmd.add_argument(
+        "--min-completion",
+        type=float,
+        default=0.99,
+        help="fail (exit 1) below this completion rate",
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "serve":
+        service = _build_service(args, MonotonicClock())
+        if args.watch is not None:
+            return asyncio.run(_serve_watch(service, args))
+        return asyncio.run(_serve_stdin(service, args))
+
+    report = asyncio.run(_run_loadgen(args))
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if args.report is not None:
+        Path(args.report).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.report).write_text(rendered + "\n")
+    print(rendered)
+    if report["lost"] > 0:
+        print(f"FAIL: {report['lost']} requests lost", file=sys.stderr)
+        return 1
+    if report["completion_rate"] < args.min_completion:
+        print(
+            f"FAIL: completion rate {report['completion_rate']:.3f} < "
+            f"{args.min_completion}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

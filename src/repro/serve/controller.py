@@ -1,0 +1,146 @@
+"""SLO-aware worker-pool sizing from observed batch latencies.
+
+The executor's worker count is the service's main capacity knob: more
+processes shrink the wall time of a dispatched micro-batch (the DSP
+parallelizes per recording) at the cost of memory and pool churn.
+:class:`LatencyController` closes the loop between the ``serve.batch_ms``
+observations the service records for every dispatch — the service-side
+aggregate of the ``executor.chunk`` span timings — and that knob:
+
+- when the windowed p95 exceeds the latency budget, capacity is added
+  one worker at a time (additive increase — cautious, because each new
+  process costs startup and memory);
+- when p95 sits comfortably inside the budget, capacity is released
+  one worker at a time, never below the floor;
+- a hysteresis deadband around the target plus a cooldown (minimum
+  observations between resizes, with the window cleared on each
+  resize) keeps the controller from oscillating on noise or on stale
+  pre-resize samples.
+
+The controller is pure arithmetic over fed observations — no clocks,
+no I/O — so convergence is provable in a deterministic unit test.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["ControllerPolicy", "LatencyController"]
+
+
+@dataclass(frozen=True)
+class ControllerPolicy:
+    """Feedback-loop parameters for SLO-driven pool sizing.
+
+    Attributes
+    ----------
+    target_p95_ms:
+        The batch-latency budget the controller steers toward.
+    min_workers / max_workers:
+        Hard bounds on the pool size recommendation.
+    window:
+        Number of recent batch latencies the p95 is computed over.
+    deadband:
+        Fractional hysteresis: no action while p95 is within
+        ``target * (1 ± deadband)``.
+    cooldown:
+        Minimum observations after a resize (or startup) before the
+        next resize may trigger — at least the window must partially
+        refill with post-resize samples.
+    """
+
+    target_p95_ms: float = 250.0
+    min_workers: int = 1
+    max_workers: int = 8
+    window: int = 8
+    deadband: float = 0.15
+    cooldown: int = 3
+
+    def __post_init__(self) -> None:
+        if self.target_p95_ms <= 0:
+            raise ConfigurationError(
+                f"target_p95_ms must be positive, got {self.target_p95_ms}"
+            )
+        if self.min_workers < 1:
+            raise ConfigurationError(
+                f"min_workers must be >= 1, got {self.min_workers}"
+            )
+        if self.max_workers < self.min_workers:
+            raise ConfigurationError(
+                f"max_workers ({self.max_workers}) must be >= min_workers "
+                f"({self.min_workers})"
+            )
+        if self.window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {self.window}")
+        if not 0.0 <= self.deadband < 1.0:
+            raise ConfigurationError(
+                f"deadband must be in [0, 1), got {self.deadband}"
+            )
+        if self.cooldown < 1:
+            raise ConfigurationError(f"cooldown must be >= 1, got {self.cooldown}")
+
+
+class LatencyController:
+    """Windowed-p95 feedback controller for the executor worker count."""
+
+    def __init__(self, policy: ControllerPolicy, initial_workers: int | None = None) -> None:
+        self.policy = policy
+        workers = policy.min_workers if initial_workers is None else initial_workers
+        if not policy.min_workers <= workers <= policy.max_workers:
+            raise ConfigurationError(
+                f"initial_workers {workers} outside "
+                f"[{policy.min_workers}, {policy.max_workers}]"
+            )
+        self._workers = workers
+        self._window: deque[float] = deque(maxlen=policy.window)
+        self._since_resize = 0
+        self._resizes = 0
+
+    @property
+    def workers(self) -> int:
+        """The current pool-size recommendation."""
+        return self._workers
+
+    @property
+    def resizes(self) -> int:
+        """Total resize decisions taken so far."""
+        return self._resizes
+
+    def window_p95(self) -> float:
+        """p95 of the observation window (0.0 while empty)."""
+        if not self._window:
+            return 0.0
+        return float(np.percentile(np.asarray(self._window), 95.0))
+
+    def observe(self, batch_ms: float) -> int:
+        """Feed one batch latency; returns the (possibly new) pool size.
+
+        The recommendation changes by at most one worker per call, and
+        only after ``cooldown`` post-resize observations, so the pool
+        is never whipsawed by a single outlier batch.
+        """
+        self._window.append(float(batch_ms))
+        self._since_resize += 1
+        if self._since_resize < self.policy.cooldown:
+            return self._workers
+        p95 = self.window_p95()
+        target = self.policy.target_p95_ms
+        band = self.policy.deadband
+        if p95 > target * (1.0 + band) and self._workers < self.policy.max_workers:
+            self._apply(self._workers + 1)
+        elif p95 < target * (1.0 - band) and self._workers > self.policy.min_workers:
+            self._apply(self._workers - 1)
+        return self._workers
+
+    def _apply(self, workers: int) -> None:
+        self._workers = workers
+        self._resizes += 1
+        self._since_resize = 0
+        # Pre-resize latencies describe the old capacity; steering on
+        # them would double-count the correction.
+        self._window.clear()

@@ -1,0 +1,266 @@
+"""Per-tenant fairness: token-bucket rate limiting and weighted dequeue.
+
+A screening service fronting many clinics (tenants) has two fairness
+problems, solved by two cooperating mechanisms:
+
+- **Ingress**: one misbehaving client must not be able to fill the
+  bounded queue by itself.  Each tenant gets a :class:`TokenBucket`
+  (sustained rate plus burst); an empty bucket turns into an
+  ``AdmissionRejected(reason="rate_limited")`` with an honest
+  retry-after computed from the refill rate.
+- **Egress**: among *admitted* work, a backlogged tenant must not starve
+  the others.  :class:`TenantScheduler` keeps one FIFO lane per tenant
+  and drains them with deficit-style weighted round-robin: each lane is
+  served up to ``weight`` requests per cycle while every other
+  non-empty lane is guaranteed its own turn each cycle, so worst-case
+  head-of-line delay for any tenant is bounded by one cycle regardless
+  of how deep another tenant's backlog is.
+
+All timing flows through the injected :class:`~repro.serve.clock.Clock`
+so both mechanisms are exactly simulatable in tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generic, Mapping, TypeVar
+
+from ..errors import ConfigurationError
+from .clock import Clock
+
+__all__ = [
+    "TenantPolicy",
+    "TenancyConfig",
+    "TokenBucket",
+    "TenantScheduler",
+]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Fairness parameters for one tenant (or the default for all).
+
+    Attributes
+    ----------
+    weight:
+        Relative dequeue share under weighted round-robin.  A tenant
+        with weight 3 gets up to three requests dispatched per
+        scheduling cycle for every one of a weight-1 tenant — when both
+        are backlogged; an idle tenant's share is never wasted.
+    rate_per_s:
+        Sustained admission rate for the tenant's token bucket, in
+        requests per second.  ``None`` disables rate limiting.
+    burst:
+        Bucket capacity: how many requests may arrive back-to-back
+        before the sustained rate applies.
+    """
+
+    weight: int = 1
+    rate_per_s: float | None = None
+    burst: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 1:
+            raise ConfigurationError(f"weight must be >= 1, got {self.weight}")
+        if self.rate_per_s is not None and self.rate_per_s <= 0:
+            raise ConfigurationError(
+                f"rate_per_s must be positive or None, got {self.rate_per_s}"
+            )
+        if self.burst < 1:
+            raise ConfigurationError(f"burst must be >= 1, got {self.burst}")
+
+
+@dataclass(frozen=True)
+class TenancyConfig:
+    """Per-tenant policy table with a default for unknown tenants."""
+
+    default: TenantPolicy = field(default_factory=TenantPolicy)
+    overrides: Mapping[str, TenantPolicy] = field(default_factory=dict)
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        """The policy governing ``tenant``."""
+        return self.overrides.get(tenant, self.default)
+
+
+class TokenBucket:
+    """Classic token bucket on an injected clock.
+
+    Starts full (``burst`` tokens); refills continuously at
+    ``rate_per_s``.  :meth:`try_acquire` is the only mutation point, so
+    the bucket needs no locking inside a single event loop.
+    """
+
+    def __init__(self, rate_per_s: float, burst: float, clock: Clock) -> None:
+        if rate_per_s <= 0:
+            raise ConfigurationError(f"rate_per_s must be positive, got {rate_per_s}")
+        if burst < 1:
+            raise ConfigurationError(f"burst must be >= 1, got {burst}")
+        self._rate = float(rate_per_s)
+        self._burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._refilled_at = clock.now()
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (refill applied)."""
+        self._refill()
+        return self._tokens
+
+    def _refill(self) -> None:
+        now = self._clock.now()
+        elapsed = now - self._refilled_at
+        if elapsed > 0:
+            self._tokens = min(self._burst, self._tokens + elapsed * self._rate)
+        self._refilled_at = now
+
+    def try_acquire(self, cost: float = 1.0) -> float:
+        """Take ``cost`` tokens if available.
+
+        Returns ``0.0`` on success, otherwise the seconds until the
+        bucket will hold ``cost`` tokens — the honest retry-after for
+        an ``AdmissionRejected(reason="rate_limited")``.
+        """
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return 0.0
+        return (cost - self._tokens) / self._rate
+
+
+@dataclass
+class _Lane(Generic[T]):
+    """One tenant's FIFO plus its scheduling state."""
+
+    policy: TenantPolicy
+    queue: deque = field(default_factory=deque)
+    credit: int = 0
+    bucket: TokenBucket | None = None
+    enqueued: int = 0
+    dequeued: int = 0
+
+
+class TenantScheduler(Generic[T]):
+    """Per-tenant FIFO lanes drained by weighted round-robin.
+
+    Deficit-style scheduling: a cursor walks the lanes in first-seen
+    order; each visit serves a lane for up to ``weight`` consecutive
+    items (its per-cycle credit) and then moves on.  When no non-empty
+    lane has credit left, every non-empty lane is recharged by its
+    weight and the cycle restarts.  Idle lanes carry no credit into the
+    next cycle, so quiet tenants cannot hoard bandwidth and bursty ones
+    cannot exceed their share while others wait.
+    """
+
+    def __init__(self, tenancy: TenancyConfig, clock: Clock) -> None:
+        self._tenancy = tenancy
+        self._clock = clock
+        self._lanes: dict[str, _Lane[T]] = {}
+        self._ring: list[str] = []
+        self._cursor = 0
+        self._depth = 0
+
+    @property
+    def depth(self) -> int:
+        """Total queued items across all tenants."""
+        return self._depth
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Every tenant seen so far, in first-seen order."""
+        return tuple(self._ring)
+
+    def depth_for(self, tenant: str) -> int:
+        """Queued items for one tenant."""
+        lane = self._lanes.get(tenant)
+        return len(lane.queue) if lane is not None else 0
+
+    def _lane(self, tenant: str) -> _Lane[T]:
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            policy = self._tenancy.policy_for(tenant)
+            bucket = None
+            if policy.rate_per_s is not None:
+                bucket = TokenBucket(policy.rate_per_s, policy.burst, self._clock)
+            lane = self._lanes[tenant] = _Lane(policy=policy, bucket=bucket)
+            self._ring.append(tenant)
+        return lane
+
+    def acquire_slot(self, tenant: str) -> float:
+        """Charge the tenant's token bucket for one admission.
+
+        Returns ``0.0`` when admitted, else the retry-after in seconds.
+        Unlimited tenants always return ``0.0``.
+        """
+        lane = self._lane(tenant)
+        if lane.bucket is None:
+            return 0.0
+        return lane.bucket.try_acquire()
+
+    def enqueue(self, tenant: str, item: T) -> None:
+        """Append one admitted item to the tenant's FIFO lane."""
+        lane = self._lane(tenant)
+        lane.queue.append(item)
+        lane.enqueued += 1
+        self._depth += 1
+
+    def dequeue(self) -> T | None:
+        """Next item under weighted round-robin, or ``None`` if empty."""
+        if self._depth == 0:
+            return None
+        # At most two passes over the ring: one to exhaust remaining
+        # credit, one after a recharge (a recharge always makes some
+        # non-empty lane eligible, since weights are >= 1).
+        for _ in range(2 * len(self._ring) + 1):
+            tenant = self._ring[self._cursor % len(self._ring)]
+            lane = self._lanes[tenant]
+            if lane.queue and lane.credit >= 1:
+                lane.credit -= 1
+                lane.dequeued += 1
+                self._depth -= 1
+                item = lane.queue.popleft()
+                if not lane.queue or lane.credit < 1:
+                    self._cursor += 1
+                return item
+            if not lane.queue:
+                # Idle lanes do not bank credit across cycles.
+                lane.credit = 0
+            self._cursor += 1
+            if self._cursor % len(self._ring) == 0 and not self._any_eligible():
+                self._recharge()
+        raise AssertionError("weighted round-robin failed to find a lane")
+
+    def _any_eligible(self) -> bool:
+        return any(
+            lane.queue and lane.credit >= 1 for lane in self._lanes.values()
+        )
+
+    def _recharge(self) -> None:
+        for lane in self._lanes.values():
+            if lane.queue:
+                lane.credit += lane.policy.weight
+
+    def drain(self) -> list[T]:
+        """Remove and return every queued item in round-robin order."""
+        items: list[T] = []
+        while self._depth:
+            item = self.dequeue()
+            if item is None:
+                break
+            items.append(item)
+        return items
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-tenant enqueue/dequeue/backlog snapshot."""
+        return {
+            tenant: {
+                "enqueued": lane.enqueued,
+                "dequeued": lane.dequeued,
+                "queued": len(lane.queue),
+                "weight": lane.policy.weight,
+            }
+            for tenant, lane in self._lanes.items()
+        }

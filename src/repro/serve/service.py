@@ -1,0 +1,480 @@
+"""The online screening service: admission → batching → dispatch.
+
+:class:`ScreeningService` is the long-lived asyncio front end over the
+batch runtime.  A caller submits one
+:class:`~repro.serve.queue.ScreeningRequest` and awaits one
+:class:`ScreeningResponse`; between the two, the service
+
+1. **fast-rejects** hopeless captures — when a quality config is set,
+   the gate runs *before* admission, so a flat-line or clipped
+   recording is answered immediately and never spends queue capacity
+   or a rate-limit token on DSP it would fail anyway;
+2. **admits or sheds** via :class:`~repro.serve.queue.AdmissionController`
+   (tenant token bucket → queue depth → SLO headroom), raising a typed
+   :class:`~repro.errors.AdmissionRejected` with an honest retry-after;
+3. **coalesces** admitted requests into micro-batches
+   (:class:`~repro.serve.batcher.MicroBatcher` over the weighted
+   round-robin :class:`~repro.serve.limiter.TenantScheduler`);
+4. **dispatches** each micro-batch through the shared
+   :class:`~repro.runtime.executor.BatchExecutor` — the *same* runtime
+   the offline path uses, so a served feature vector is bit-identical
+   to the batch one;
+5. **steers capacity**: observed batch latencies feed the
+   :class:`~repro.serve.controller.LatencyController`, whose
+   recommendation resizes the executor's worker pool between batches.
+
+Every timed decision reads the injected :class:`~repro.serve.clock.Clock`,
+so the whole service — backpressure, fairness, deadlines, the feedback
+loop — runs unmodified and deterministically under
+:class:`~repro.serve.clock.VirtualClock` in tests.
+
+This module is a *boundary*: the dispatch path catches ``Exception``
+(QA006-sanctioned, like the executor's quarantine path) because a
+crashed batch must fail its own requests' futures with typed
+quarantine records, never the service loop or the other tenants.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import AdmissionRejected, QualityRejectedError, ServiceStoppedError
+from ..obs import names as obs_names
+from ..obs.events import EventLevel, current_event_log
+from ..obs.tracer import current_tracer
+from ..quality import QualityConfig, assess_recording
+from ..runtime.executor import BatchExecutor, BatchResult
+from ..runtime.faults import FailedRecording
+from ..core.results import ProcessedRecording
+from ..simulation.session import Recording
+from .batcher import BatchPolicy, MicroBatcher
+from .clock import Clock, MonotonicClock
+from .controller import ControllerPolicy, LatencyController
+from .limiter import TenancyConfig, TenantScheduler
+from .queue import AdmissionController, AdmissionPolicy, PendingRequest, ScreeningRequest
+
+__all__ = ["ScreeningResponse", "ScreeningService"]
+
+#: Batch index assigned to responses answered before batching (the
+#: pre-admission quality fast-reject path).
+FAST_REJECT_BATCH = -1
+
+
+@dataclass(frozen=True)
+class ScreeningResponse:
+    """The service's answer to one screening request.
+
+    Attributes
+    ----------
+    request_id / tenant:
+        Echoed from the request.
+    outcome:
+        Either the pipeline's :class:`ProcessedRecording` (with
+        confidence and quality reasons) or a :class:`FailedRecording`
+        quarantine record explaining why no screening result exists.
+    batch:
+        Sequence number of the micro-batch that served the request;
+        :data:`FAST_REJECT_BATCH` for quality fast-rejects.
+    queue_ms:
+        Admission-to-dispatch wait (0.0 for fast-rejects).
+    batch_ms:
+        Wall time of the serving micro-batch (0.0 for fast-rejects).
+    """
+
+    request_id: str
+    tenant: str
+    outcome: ProcessedRecording | FailedRecording
+    batch: int = FAST_REJECT_BATCH
+    queue_ms: float = 0.0
+    batch_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the pipeline produced a screening result."""
+        return isinstance(self.outcome, ProcessedRecording)
+
+    @property
+    def confidence(self) -> float | None:
+        """Screening confidence, or ``None`` for quarantined requests."""
+        return self.outcome.confidence if isinstance(self.outcome, ProcessedRecording) else None
+
+    @property
+    def verdict(self) -> str:
+        """``"processed"`` or ``"quarantined"`` — the coarse outcome."""
+        return "processed" if self.ok else "quarantined"
+
+
+#: A batch runner: recordings in, per-recording outcomes out.  Defaults
+#: to the shared executor's ``run``; tests substitute stubs that tick a
+#: virtual clock to model batch cost.
+BatchRunner = Callable[[list[Recording]], BatchResult]
+
+
+class ScreeningService:
+    """Asyncio ingestion layer over a shared :class:`BatchExecutor`.
+
+    Parameters
+    ----------
+    executor:
+        The batch runtime that actually screens recordings.  Its
+        metrics registry becomes the service's registry, so ``serve.*``
+        counters land next to the executor's own telemetry; its
+        ``workers`` attribute is the knob the latency controller turns.
+    clock:
+        Time source for every deadline, wait, and latency measurement.
+        Defaults to :class:`MonotonicClock`; tests pass
+        :class:`~repro.serve.clock.VirtualClock`.
+    admission / tenancy / batching:
+        Backpressure, fairness, and coalescing policies (defaults are
+        reasonable for tests; real deployments should size
+        ``max_queue_depth`` and tenant buckets deliberately).
+    controller:
+        Optional :class:`ControllerPolicy` enabling SLO-driven pool
+        sizing.  ``None`` leaves the executor's worker count alone.
+    fast_reject:
+        Optional :class:`QualityConfig`; when set, REJECT-verdict
+        captures are answered pre-admission without queueing.
+    runner:
+        Override for the batch-dispatch callable (testing seam).
+    """
+
+    def __init__(
+        self,
+        executor: BatchExecutor,
+        *,
+        clock: Clock | None = None,
+        admission: AdmissionPolicy | None = None,
+        tenancy: TenancyConfig | None = None,
+        batching: BatchPolicy | None = None,
+        controller: ControllerPolicy | None = None,
+        fast_reject: QualityConfig | None = None,
+        runner: BatchRunner | None = None,
+    ) -> None:
+        self.executor = executor
+        self.metrics = executor.metrics
+        self.clock: Clock = clock if clock is not None else MonotonicClock()
+        self.admission = AdmissionController(admission or AdmissionPolicy())
+        self.batch_policy = batching or BatchPolicy()
+        self.scheduler: TenantScheduler[PendingRequest] = TenantScheduler(
+            tenancy or TenancyConfig(), self.clock
+        )
+        self.batcher = MicroBatcher(self.scheduler, self.batch_policy, self.clock)
+        self.fast_reject = fast_reject
+        self._runner: BatchRunner = runner if runner is not None else executor.run
+        self._controller: LatencyController | None = None
+        if controller is not None:
+            initial = min(
+                max(executor.workers, controller.min_workers), controller.max_workers
+            )
+            self._controller = LatencyController(controller, initial_workers=initial)
+            self.executor.workers = self._controller.workers
+        self._dispatch_task: asyncio.Task | None = None
+        self._running = False
+        self._abandoned = False
+        self._batch_seq = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`stop`."""
+        return self._running
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted-but-undispatched requests across all tenants."""
+        return self.scheduler.depth
+
+    @property
+    def workers(self) -> int:
+        """The executor's current worker-pool size."""
+        return self.executor.workers
+
+    async def start(self) -> None:
+        """Begin accepting requests and start the dispatch loop."""
+        if self._running:
+            return
+        self._running = True
+        self._dispatch_task = asyncio.ensure_future(self._dispatch_loop())
+        current_event_log().emit(
+            obs_names.EVENT_SERVE_STARTED,
+            workers=self.executor.workers,
+            max_queue_depth=self.admission.policy.max_queue_depth,
+            max_batch_size=self.batch_policy.max_batch_size,
+        )
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the service.
+
+        With ``drain=True`` (the default) every admitted request is
+        still batched and answered before the loop exits — shutdown
+        never strands accepted work.  With ``drain=False`` queued
+        requests are failed immediately with
+        :class:`ServiceStoppedError` on their futures.
+        """
+        if not self._running:
+            return
+        self._running = False
+        if not drain:
+            # Cover both queued requests and any the batcher has
+            # already pulled into a partial batch: the abandoned flag
+            # makes the dispatch loop fail those instead of running.
+            self._abandoned = True
+            for pending in self.scheduler.drain():
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        ServiceStoppedError("service stopped before dispatch")
+                    )
+        self.batcher.close()
+        if self._dispatch_task is not None:
+            await self._dispatch_task
+            self._dispatch_task = None
+        current_event_log().emit(obs_names.EVENT_SERVE_STOPPED)
+
+    # -- submission ----------------------------------------------------
+
+    async def submit(self, request: ScreeningRequest) -> ScreeningResponse:
+        """Screen one recording; resolves when its batch completes.
+
+        Raises
+        ------
+        ServiceStoppedError
+            If the service is not accepting (before start / after stop).
+        AdmissionRejected
+            Typed backpressure verdict (rate limit, full queue, or SLO
+            shedding) with a machine-readable reason and retry-after.
+        """
+        self.metrics.increment(obs_names.METRIC_SERVE_SUBMITTED)
+        self.metrics.increment(
+            obs_names.tenant_counter(obs_names.METRIC_TENANT_SUBMITTED, request.tenant)
+        )
+        if not self._running:
+            self.metrics.increment(
+                obs_names.SERVE_REJECTION_COUNTERS["shutdown"]
+            )
+            raise ServiceStoppedError(
+                "service is not accepting requests (not started or stopping)"
+            )
+
+        fast = self._fast_reject_response(request)
+        if fast is not None:
+            self.metrics.increment(obs_names.METRIC_SERVE_FAST_REJECTED)
+            self.metrics.increment(
+                obs_names.tenant_counter(
+                    obs_names.METRIC_TENANT_COMPLETED, request.tenant
+                )
+            )
+            return fast
+
+        self._admit(request)
+        self.metrics.increment(obs_names.METRIC_SERVE_ADMITTED)
+        loop = asyncio.get_running_loop()
+        pending = PendingRequest(
+            request=request,
+            future=loop.create_future(),
+            admitted_at=self.clock.now(),
+        )
+        self.scheduler.enqueue(request.tenant, pending)
+        self.batcher.notify()
+        response: ScreeningResponse = await pending.future
+        self.metrics.observe(
+            obs_names.HIST_SERVE_REQUEST_MS,
+            (self.clock.now() - pending.admitted_at) * 1e3,
+        )
+        self.metrics.increment(obs_names.METRIC_SERVE_COMPLETED)
+        self.metrics.increment(
+            obs_names.tenant_counter(obs_names.METRIC_TENANT_COMPLETED, request.tenant)
+        )
+        return response
+
+    def _fast_reject_response(
+        self, request: ScreeningRequest
+    ) -> ScreeningResponse | None:
+        """Pre-admission quality gate: answer REJECT captures in place."""
+        if self.fast_reject is None:
+            return None
+        with current_tracer().span(
+            obs_names.SPAN_SERVE_ADMISSION, tenant=request.tenant
+        ):
+            with current_tracer().span(obs_names.SPAN_QUALITY_GATE) as gate:
+                report = assess_recording(
+                    request.recording,
+                    self.executor.pipeline.config.chirp,
+                    self.fast_reject,
+                )
+                gate.set("verdict", report.verdict.value)
+                if report.reasons:
+                    gate.set("reasons", report.reason_string)
+        if not report.rejected:
+            return None
+        recording = request.recording
+        failure = FailedRecording(
+            participant_id=recording.participant_id,
+            day=recording.day,
+            error_type=QualityRejectedError.__name__,
+            message=f"quality gate rejected capture: {report.reason_string}",
+            true_state=recording.state,
+        )
+        return ScreeningResponse(
+            request_id=request.request_id,
+            tenant=request.tenant,
+            outcome=failure,
+        )
+
+    def _admit(self, request: ScreeningRequest) -> None:
+        """Run admission control; record and re-raise rejections."""
+        rate_wait = self.scheduler.acquire_slot(request.tenant)
+        try:
+            self.admission.check(
+                depth=self.scheduler.depth,
+                est_wait_ms=self.estimated_wait_ms(),
+                rate_wait_s=rate_wait,
+            )
+        except AdmissionRejected as rejection:
+            self.metrics.increment(
+                obs_names.SERVE_REJECTION_COUNTERS[rejection.reason]
+            )
+            self.metrics.increment(
+                obs_names.tenant_counter(
+                    obs_names.METRIC_TENANT_REJECTED, request.tenant
+                )
+            )
+            current_event_log().emit(
+                obs_names.EVENT_SERVE_REJECTED,
+                level=EventLevel.WARNING,
+                tenant=request.tenant,
+                reason=rejection.reason,
+                retry_after_s=rejection.retry_after_s,
+            )
+            raise
+
+    def estimated_wait_ms(self) -> float:
+        """Expected queue wait for a request admitted right now.
+
+        Backlog expressed in whole micro-batches, each costing the
+        observed p95 batch latency.  Zero until the first batch has
+        been timed — the service never sheds on a guess.
+        """
+        depth = self.scheduler.depth
+        if depth == 0:
+            return 0.0
+        p95 = self.metrics.histogram(obs_names.HIST_SERVE_BATCH_MS).percentile(95.0)
+        batches_ahead = math.ceil(depth / self.batch_policy.max_batch_size)
+        return batches_ahead * p95
+
+    # -- dispatch ------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        """Pull micro-batches until the batcher closes and drains."""
+        while True:
+            batch = await self.batcher.collect()
+            if batch is None:
+                return
+            if self._abandoned:
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_exception(
+                            ServiceStoppedError("service stopped before dispatch")
+                        )
+                continue
+            if batch:
+                self._dispatch(batch)
+
+    def _dispatch(self, batch: list[PendingRequest]) -> None:
+        """Run one micro-batch and resolve its futures."""
+        seq = self._batch_seq
+        self._batch_seq += 1
+        start = self.clock.now()
+        for pending in batch:
+            self.metrics.observe(
+                obs_names.HIST_SERVE_QUEUE_MS,
+                (start - pending.admitted_at) * 1e3,
+            )
+        recordings = [pending.request.recording for pending in batch]
+        tracer = current_tracer()
+        error: Exception | None = None
+        result: BatchResult | None = None
+        with tracer.span(obs_names.SPAN_SERVE_BATCH, batch=seq, size=len(batch)):
+            try:
+                result = self._runner(recordings)
+            except Exception as exc:  # boundary: a crashed batch fails
+                error = exc  # its own requests, never the service loop
+        batch_ms = (self.clock.now() - start) * 1e3
+        self.metrics.observe(obs_names.HIST_SERVE_BATCH_MS, batch_ms)
+        self.metrics.increment(obs_names.METRIC_SERVE_BATCHES_DISPATCHED)
+        current_event_log().emit(
+            obs_names.EVENT_SERVE_BATCH_DISPATCHED,
+            batch=seq,
+            size=len(batch),
+            batch_ms=batch_ms,
+        )
+        if error is not None or result is None or len(result.outcomes) != len(batch):
+            self.metrics.increment(obs_names.METRIC_SERVE_BATCH_FAILURES)
+            message = (
+                f"batch runner failed: {type(error).__name__}: {error}"
+                if error is not None
+                else "batch runner returned a result of the wrong length"
+            )
+            self._fail_batch(batch, seq, batch_ms, message)
+        else:
+            for pending, outcome in zip(batch, result.outcomes):
+                self._resolve(pending, outcome, seq, batch_ms)
+        self._steer(batch_ms)
+
+    def _fail_batch(
+        self, batch: list[PendingRequest], seq: int, batch_ms: float, message: str
+    ) -> None:
+        """Answer every request of a crashed batch with a quarantine record."""
+        for pending in batch:
+            recording = pending.request.recording
+            self._resolve(
+                pending,
+                FailedRecording(
+                    participant_id=recording.participant_id,
+                    day=recording.day,
+                    error_type="ServiceError",
+                    message=message,
+                    true_state=recording.state,
+                ),
+                seq,
+                batch_ms,
+            )
+
+    def _resolve(
+        self,
+        pending: PendingRequest,
+        outcome: ProcessedRecording | FailedRecording,
+        seq: int,
+        batch_ms: float,
+    ) -> None:
+        if pending.future.done():  # pragma: no cover - cancelled caller
+            return
+        pending.future.set_result(
+            ScreeningResponse(
+                request_id=pending.request.request_id,
+                tenant=pending.request.tenant,
+                outcome=outcome,
+                batch=seq,
+                queue_ms=(self.clock.now() - pending.admitted_at) * 1e3 - batch_ms,
+                batch_ms=batch_ms,
+            )
+        )
+
+    def _steer(self, batch_ms: float) -> None:
+        """Feed the latency controller; apply any resize to the executor."""
+        if self._controller is None:
+            return
+        before = self.executor.workers
+        after = self._controller.observe(batch_ms)
+        if after != before:
+            self.executor.workers = after
+            self.metrics.increment(obs_names.METRIC_SERVE_POOL_RESIZES)
+            current_event_log().emit(
+                obs_names.EVENT_SERVE_POOL_RESIZED,
+                workers_before=before,
+                workers_after=after,
+                window_p95_ms=self._controller.window_p95(),
+            )

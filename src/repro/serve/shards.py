@@ -1,0 +1,300 @@
+"""Sharded, compacting feature-cache tier shared by service workers.
+
+One flat cache directory stops scaling when many service processes
+share it: every writer contends on one directory, maintenance scans
+everything at once, and a single lock would serialize the fleet.
+:class:`ShardedFeatureCache` splits the key space into ``num_shards``
+independent :class:`~repro.runtime.cache.FeatureCache` shards:
+
+- **routing** — keys are content hashes (uniform hex), so the shard
+  index is simply the key's leading 64 bits modulo ``num_shards``;
+  placement is a pure function of the key, identical in every process;
+- **per-shard locking** — each shard directory carries a
+  :class:`FileLock` (``flock``-based, advisory); writers serialize
+  only against co-shard writers and against compaction of that one
+  shard, never across shards;
+- **compaction** — :meth:`compact` walks shards one at a time under
+  their locks, deleting orphaned staging files from killed writers,
+  evicting entries that fail checksum/version validation, and (when a
+  budget is set) trimming each shard to its newest N entries.
+
+The sharded store is a drop-in for ``FeatureCache`` wherever
+:class:`~repro.runtime.executor.BatchExecutor` accepts a cache — it
+implements the same ``get`` / ``get_for`` / ``put`` surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from types import TracebackType
+
+from ..core.results import ProcessedRecording
+from ..errors import CacheCorruptionError, ConfigurationError
+from ..runtime.cache import FeatureCache
+from ..runtime.metrics import RuntimeMetrics
+from ..simulation.session import Recording
+
+__all__ = ["FileLock", "shard_index", "CompactionReport", "ShardedFeatureCache"]
+
+try:  # POSIX advisory locking; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+
+class FileLock:
+    """Reusable advisory file lock (``flock``) guarding one shard.
+
+    Enter to hold the shard exclusively across *processes*; exit to
+    release.  Advisory: every cooperating writer/compactor must enter
+    the same lock path.  On platforms without ``fcntl`` the lock
+    degrades to a no-op (single-writer deployments remain correct
+    because cache writes are atomic-rename-published regardless).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._stream = None
+
+    def __enter__(self) -> "FileLock":
+        if fcntl is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = open(self.path, "a+")
+            fcntl.flock(self._stream.fileno(), fcntl.LOCK_EX)
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        if self._stream is not None:
+            fcntl.flock(self._stream.fileno(), fcntl.LOCK_UN)
+            self._stream.close()
+            self._stream = None
+
+
+def shard_index(key: str, num_shards: int) -> int:
+    """Shard owning ``key``: leading 64 key bits modulo ``num_shards``.
+
+    Keys are SHA-256 hex digests (see
+    :func:`~repro.runtime.cache.recording_key`), so the prefix is
+    uniformly distributed and the split is balanced for any shard
+    count.
+    """
+    if num_shards < 1:
+        raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+    return int(key[:16], 16) % num_shards
+
+
+@dataclass
+class CompactionReport:
+    """What one :meth:`ShardedFeatureCache.compact` pass did."""
+
+    shards: int = 0
+    scanned: int = 0
+    corrupt_evicted: int = 0
+    orphans_removed: int = 0
+    trimmed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form for JSON reports."""
+        return {
+            "shards": self.shards,
+            "scanned": self.scanned,
+            "corrupt_evicted": self.corrupt_evicted,
+            "orphans_removed": self.orphans_removed,
+            "trimmed": self.trimmed,
+        }
+
+
+class ShardedFeatureCache:
+    """N-way sharded disk+memory feature cache for shared service use.
+
+    Parameters
+    ----------
+    directory:
+        Root of the shared store; shard subdirectories
+        (``shard-00`` …) are created beneath it.
+    num_shards:
+        Key-space split factor.  Changing it re-routes keys (existing
+        entries in other shards simply miss and age out via
+        compaction), so pick it once per deployment.
+    capacity:
+        Total in-memory entry budget, divided evenly across shards.
+    metrics:
+        Optional shared :class:`RuntimeMetrics`; assigning the
+        ``metrics`` property later (as ``BatchExecutor`` does) wires
+        every shard.
+    lock_writes:
+        Per-shard ``flock`` around disk writes and compaction.  Leave
+        on for multi-process deployments; single-process tests may
+        disable it.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        num_shards: int = 8,
+        capacity: int | None = 4096,
+        metrics: RuntimeMetrics | None = None,
+        lock_writes: bool = True,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+        self.directory = Path(directory)
+        self.num_shards = num_shards
+        per_shard = None if capacity is None else max(1, capacity // num_shards)
+        self._locks: list[FileLock | None] = []
+        self._shards: list[FeatureCache] = []
+        for index in range(num_shards):
+            shard_dir = self.directory / f"shard-{index:02d}"
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            lock = FileLock(shard_dir / ".lock") if lock_writes else None
+            self._locks.append(lock)
+            self._shards.append(
+                FeatureCache(
+                    capacity=per_shard,
+                    directory=shard_dir,
+                    metrics=metrics,
+                    write_lock=lock,
+                )
+            )
+        self._metrics = metrics
+
+    # -- FeatureCache-compatible surface -------------------------------
+
+    @property
+    def metrics(self) -> RuntimeMetrics | None:
+        """The shared metrics registry (propagated to every shard)."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry: RuntimeMetrics | None) -> None:
+        self._metrics = registry
+        for shard in self._shards:
+            shard.metrics = registry
+
+    @property
+    def corrupt_evictions(self) -> int:
+        """Corrupt disk entries evicted so far, across all shards."""
+        return sum(shard.corrupt_evictions for shard in self._shards)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._shard_for(key)
+
+    def _shard_for(self, key: str) -> FeatureCache:
+        return self._shards[shard_index(key, self.num_shards)]
+
+    def shard_of(self, key: str) -> int:
+        """The shard index that owns ``key`` (for tests/introspection)."""
+        return shard_index(key, self.num_shards)
+
+    def get(self, key: str) -> ProcessedRecording | None:
+        """Cached result for ``key``, or ``None`` on a miss."""
+        return self._shard_for(key).get(key)
+
+    def get_for(
+        self, recording: Recording, config_fingerprint: str
+    ) -> ProcessedRecording | None:
+        """Content-addressed lookup with provenance re-stamping."""
+        from ..runtime.cache import recording_key
+
+        return self._shard_for(
+            recording_key(recording, config_fingerprint)
+        ).get_for(recording, config_fingerprint)
+
+    def put(self, key: str, processed: ProcessedRecording) -> None:
+        """Store a pipeline output in the owning shard."""
+        self._shard_for(key).put(key, processed)
+
+    def clear_memory(self) -> None:
+        """Drop every shard's memory tier (disk entries remain)."""
+        for shard in self._shards:
+            shard.clear_memory()
+
+    # -- maintenance ---------------------------------------------------
+
+    def compact(self, max_entries_per_shard: int | None = None) -> CompactionReport:
+        """Scrub every shard: orphans, corrupt entries, size budget.
+
+        Each shard is processed under its write lock, so live writers
+        in other processes block only for their own shard's scan.
+        Entries over the per-shard budget are dropped oldest-mtime
+        first (recency approximates usefulness for a content-addressed
+        store).  Evictions here are maintenance, not misses — they are
+        *not* counted under ``cache.corrupt``-style miss metrics, but
+        the returned report accounts for every deleted file.
+        """
+        report = CompactionReport(shards=self.num_shards)
+        for shard, lock in zip(self._shards, self._locks):
+            assert shard.directory is not None
+            with lock if lock is not None else _NULL_LOCK:
+                report.orphans_removed += _remove_orphans(shard.directory)
+                report.scanned, report.corrupt_evicted = _validate_entries(
+                    shard, report.scanned, report.corrupt_evicted
+                )
+                if max_entries_per_shard is not None:
+                    report.trimmed += _trim_to_budget(
+                        shard.directory, max_entries_per_shard
+                    )
+        return report
+
+
+class _NullLockType:
+    """No-op stand-in when shard locking is disabled."""
+
+    def __enter__(self) -> "_NullLockType":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_LOCK = _NullLockType()
+
+
+def _remove_orphans(directory: Path) -> int:
+    """Delete staging files (``*.tmp-<pid>``) left by killed writers."""
+    removed = 0
+    for orphan in sorted(directory.glob("*.npz.tmp-*")):
+        orphan.unlink(missing_ok=True)
+        removed += 1
+    return removed
+
+
+def _validate_entries(
+    shard: FeatureCache, scanned: int, corrupt: int
+) -> tuple[int, int]:
+    """Load-validate every entry in a shard, evicting failures."""
+    assert shard.directory is not None
+    for path in sorted(shard.directory.glob("*.npz")):
+        scanned += 1
+        try:
+            shard._load(path)
+        except CacheCorruptionError:
+            path.unlink(missing_ok=True)
+            corrupt += 1
+    return scanned, corrupt
+
+
+def _trim_to_budget(directory: Path, budget: int) -> int:
+    """Keep the newest ``budget`` entries of a shard, drop the rest."""
+    if budget < 0:
+        raise ConfigurationError(f"budget must be >= 0, got {budget}")
+    entries = sorted(
+        directory.glob("*.npz"),
+        key=lambda p: (p.stat().st_mtime, p.name),
+        reverse=True,
+    )
+    trimmed = 0
+    for stale in entries[budget:]:
+        stale.unlink(missing_ok=True)
+        trimmed += 1
+    return trimmed

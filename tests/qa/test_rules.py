@@ -113,6 +113,58 @@ class TestDeterminism:
         )
         assert findings == []
 
+    def test_serve_modules_must_use_the_injected_clock(self, findings_of):
+        findings = findings_of(
+            DeterminismRule,
+            {
+                "repro/serve/sleepy.py": """
+                    import asyncio
+                    import time
+
+                    async def nap():
+                        await asyncio.sleep(0.1)
+                        return time.monotonic()
+                    """
+            },
+        )
+        assert pairs(findings) == [
+            ("QA001", 5),  # asyncio.sleep bypasses the Clock
+            ("QA001", 6),  # time.monotonic bypasses the Clock
+        ]
+
+    def test_serve_clock_module_is_the_sanctioned_boundary(self, findings_of):
+        findings = findings_of(
+            DeterminismRule,
+            {
+                "repro/serve/clock.py": """
+                    import asyncio
+                    import time
+
+                    class MonotonicClock:
+                        def now(self):
+                            return time.monotonic()
+
+                        async def sleep(self, seconds):
+                            await asyncio.sleep(seconds)
+                    """
+            },
+        )
+        assert findings == []
+
+    def test_serve_code_on_an_injected_clock_is_clean(self, findings_of):
+        findings = findings_of(
+            DeterminismRule,
+            {
+                "repro/serve/polite.py": """
+                    async def wait(clock, seconds):
+                        deadline = clock.now() + seconds
+                        await clock.sleep(seconds)
+                        return deadline
+                    """
+            },
+        )
+        assert findings == []
+
 
 # ---------------------------------------------------------------------------
 # QA002 — fingerprint completeness
@@ -252,6 +304,21 @@ class TestPoolSafety:
             },
         )
         assert pairs(findings) == [("QA003", 4)]
+
+    def test_serve_modules_are_covered_too(self, findings_of):
+        # The service resizes and reuses the executor's pool; the same
+        # pickle-safety rules apply to anything it dispatches.
+        findings = findings_of(
+            PoolSafetyRule,
+            {
+                "repro/serve/dispatcher.py": """
+                    def drain(pool, batch):
+                        handler = lambda item: item.process()
+                        return [pool.submit(handler, item) for item in batch]
+                    """
+            },
+        )
+        assert pairs(findings) == [("QA003", 3)]
 
 
 # ---------------------------------------------------------------------------
@@ -460,6 +527,38 @@ class TestExceptionBoundary:
         )
         assert pairs(findings) == [("QA006", 4)]
 
+    def test_serve_dispatch_boundary_is_exempt(self, findings_of):
+        # serve.service fences crashed batch runners the same way the
+        # executor fences pool workers: a broad handler is the contract.
+        findings = findings_of(
+            ExceptionBoundaryRule,
+            {
+                "repro/serve/service.py": """
+                    def dispatch(runner, batch):
+                        try:
+                            return runner(batch)
+                        except Exception as exc:
+                            return exc
+                    """
+            },
+        )
+        assert findings == []
+
+    def test_other_serve_modules_are_not_exempt(self, findings_of):
+        findings = findings_of(
+            ExceptionBoundaryRule,
+            {
+                "repro/serve/limiter.py": """
+                    def acquire(bucket):
+                        try:
+                            return bucket.take()
+                        except Exception:
+                            return None
+                    """
+            },
+        )
+        assert pairs(findings) == [("QA006", 4)]
+
 
 # ---------------------------------------------------------------------------
 # QA007 — telemetry discipline
@@ -573,6 +672,42 @@ class TestTelemetryDiscipline:
                         start, end = match.span(0)
                         text = fmt.format("value")
                         return start, end, text
+                    """
+            },
+        )
+        assert findings == []
+
+    def test_serve_library_modules_follow_the_same_discipline(
+        self, findings_of
+    ):
+        # repro.serve emits through the structured log and the span
+        # registry like every other library package: printing request
+        # state or inventing inline span names lints the same way.
+        findings = findings_of(
+            TelemetryDisciplineRule,
+            {
+                "repro/serve/chatty.py": """
+                    def admit(tracer, request):
+                        print("admitted", request)
+                        with tracer.span("serve.admission"):
+                            return True
+                    """
+            },
+        )
+        assert pairs(findings) == [
+            ("QA007", 2),  # print() in a serve library module
+            ("QA007", 3),  # inline span-name literal
+        ]
+
+    def test_serve_main_module_may_print_results(self, findings_of):
+        findings = findings_of(
+            TelemetryDisciplineRule,
+            {
+                "repro/serve/__main__.py": """
+                    import json
+
+                    def emit_response(response):
+                        print(json.dumps(response))
                     """
             },
         )

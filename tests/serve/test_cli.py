@@ -1,0 +1,166 @@
+"""CLI surface: ``python -m repro.serve`` serve and loadgen commands."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.serve.__main__ import main
+
+
+class TestLoadgen:
+    def test_virtual_clock_run_is_lossless_and_reported(self, tmp_path):
+        report_path = tmp_path / "report.json"
+        exit_code = main(
+            [
+                "loadgen",
+                "--requests", "10",
+                "--tenants", "2",
+                "--rate", "100",
+                "--seed", "7",
+                "--pool", "3",
+                "--duration", "0.05",
+                "--report", str(report_path),
+            ]
+        )
+        assert exit_code == 0
+        report = json.loads(report_path.read_text())
+        assert report["clock"] == "virtual"
+        assert report["requests"] == 10
+        assert report["lost"] == 0
+        assert report["responded"] + sum(report["rejected"].values()) == 10
+        assert report["completion_rate"] == pytest.approx(1.0)
+        assert set(report["per_tenant"]) == {"tenant-0", "tenant-1"}
+        assert report["latency_ms"]["p95"] >= 0.0
+
+    def test_same_seed_same_outcome_counts(self, tmp_path):
+        def counts(run_id):
+            path = tmp_path / f"r{run_id}.json"
+            assert (
+                main(
+                    [
+                        "loadgen",
+                        "--requests", "8",
+                        "--rate", "50",
+                        "--seed", "123",
+                        "--pool", "2",
+                        "--duration", "0.05",
+                        "--report", str(path),
+                    ]
+                )
+                == 0
+            )
+            report = json.loads(path.read_text())
+            return (
+                report["responded"],
+                report["ok"],
+                report["quarantined"],
+                report["rejected"],
+            )
+
+        assert counts(1) == counts(2)
+
+    def test_chaos_run_still_answers_every_request(self, tmp_path):
+        report_path = tmp_path / "chaos.json"
+        exit_code = main(
+            [
+                "loadgen",
+                "--chaos",
+                "--requests", "6",
+                "--rate", "50",
+                "--seed", "3",
+                "--pool", "2",
+                "--duration", "0.05",
+                "--report", str(report_path),
+            ]
+        )
+        assert exit_code == 0
+        report = json.loads(report_path.read_text())
+        assert report["lost"] == 0
+        # Injected pool faults quarantine their chunk, never drop it.
+        assert report["quarantined"] >= 1
+        assert report["responded"] == report["requests"]
+
+    def test_min_completion_gate_fails_the_run(self, tmp_path):
+        # An impossible bar (>100%) must exit non-zero: this is the
+        # same gate the CI soak job relies on.
+        exit_code = main(
+            [
+                "loadgen",
+                "--requests", "4",
+                "--rate", "50",
+                "--pool", "2",
+                "--duration", "0.05",
+                "--min-completion", "1.01",
+                "--report", str(tmp_path / "gate.json"),
+            ]
+        )
+        assert exit_code == 1
+
+
+class TestServeStdin:
+    def test_jsonl_in_jsonl_out(self, monkeypatch, capsys):
+        specs = [
+            {"tenant": "clinic-a", "seed": 11, "day": 0.5},
+            {"tenant": "clinic-b", "seed": 12, "day": 9.5},
+        ]
+        stdin = io.StringIO("".join(json.dumps(s) + "\n" for s in specs))
+        monkeypatch.setattr("sys.stdin", stdin)
+        exit_code = main(["serve", "--duration", "0.05"])
+        assert exit_code == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert len(lines) == 2
+        assert {line["tenant"] for line in lines} == {"clinic-a", "clinic-b"}
+        for line in lines:
+            assert line["verdict"] in {"processed", "quarantined"}
+            assert "request_id" in line and "batch" in line
+
+    def test_malformed_lines_are_reported_not_fatal(self, monkeypatch, capsys):
+        stdin = io.StringIO(
+            "this is not json\n"
+            + json.dumps({"tenant": "clinic", "seed": 5, "day": 1.0})
+            + "\n"
+        )
+        monkeypatch.setattr("sys.stdin", stdin)
+        exit_code = main(["serve", "--duration", "0.05"])
+        # Bad input is reported inline and in the exit code, but the
+        # stream keeps flowing: the good line is still answered.
+        assert exit_code == 1
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert len(lines) == 2
+        assert any("error" in line for line in lines)
+        assert any(line.get("verdict") == "processed" for line in lines)
+
+
+class TestServeWatch:
+    def test_spool_directory_round_trip(self, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        (spool / "a.json").write_text(
+            json.dumps({"tenant": "clinic", "seed": 21, "day": 0.5})
+        )
+        (spool / "b.json").write_text(
+            json.dumps({"tenant": "clinic", "seed": 22, "day": 10.5})
+        )
+        exit_code = main(
+            [
+                "serve",
+                "--watch", str(spool),
+                "--max-files", "2",
+                "--duration", "0.05",
+            ]
+        )
+        assert exit_code == 0
+        results = sorted(spool.glob("*.result.json"))
+        assert [p.name for p in results] == ["a.result.json", "b.result.json"]
+        for path in results:
+            payload = json.loads(path.read_text())
+            assert payload["verdict"] in {"processed", "quarantined"}

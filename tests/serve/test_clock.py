@@ -1,0 +1,165 @@
+"""VirtualClock semantics: the foundation the serving suite stands on."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import Clock, MonotonicClock, VirtualClock, wait_for_event
+
+from .conftest import run
+
+
+class TestProtocol:
+    def test_both_clocks_satisfy_the_protocol(self):
+        assert isinstance(MonotonicClock(), Clock)
+        assert isinstance(VirtualClock(), Clock)
+
+    def test_monotonic_clock_never_goes_backwards(self):
+        clock = MonotonicClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+
+class TestVirtualClock:
+    def test_now_only_moves_when_advanced(self):
+        clock = VirtualClock(start=5.0)
+        assert clock.now() == 5.0
+        clock.tick(1.5)
+        assert clock.now() == 6.5
+
+    def test_tick_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().tick(-0.1)
+
+    def test_sleepers_wake_in_deadline_order(self):
+        async def scenario():
+            clock = VirtualClock()
+            order: list[str] = []
+
+            async def sleeper(name: str, delay: float):
+                await clock.sleep(delay)
+                order.append(name)
+
+            tasks = [
+                asyncio.ensure_future(sleeper("c", 0.3)),
+                asyncio.ensure_future(sleeper("a", 0.1)),
+                asyncio.ensure_future(sleeper("b", 0.2)),
+            ]
+            await clock.advance(0.5)
+            assert all(t.done() for t in tasks)
+            return order
+
+        assert run(scenario()) == ["a", "b", "c"]
+
+    def test_sleep_zero_is_a_pure_yield(self):
+        async def scenario():
+            clock = VirtualClock()
+            await clock.sleep(0.0)  # must not require an advance
+            return clock.now()
+
+        assert run(scenario()) == 0.0
+
+    def test_woken_task_can_sleep_again_within_one_advance(self):
+        async def scenario():
+            clock = VirtualClock()
+            hops: list[float] = []
+
+            async def hopper():
+                for _ in range(3):
+                    await clock.sleep(0.1)
+                    hops.append(clock.now())
+
+            task = asyncio.ensure_future(hopper())
+            await clock.advance(1.0)
+            assert task.done()
+            return hops
+
+        assert run(scenario()) == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_advance_until_returns_first_holding_time(self):
+        async def scenario():
+            clock = VirtualClock()
+            flag: list[bool] = []
+
+            async def setter():
+                await clock.sleep(0.25)
+                flag.append(True)
+
+            asyncio.ensure_future(setter())
+            at = await clock.advance_until(lambda: bool(flag), step=0.1)
+            return at
+
+        assert run(scenario()) == pytest.approx(0.3)
+
+    def test_advance_until_times_out(self):
+        async def scenario():
+            clock = VirtualClock()
+            with pytest.raises(TimeoutError):
+                await clock.advance_until(lambda: False, step=0.1, max_steps=5)
+
+        run(scenario())
+
+    def test_pending_sleepers_counts_parked_tasks(self):
+        async def scenario():
+            clock = VirtualClock()
+            tasks = [asyncio.ensure_future(clock.sleep(1.0)) for _ in range(3)]
+            await clock.settle()
+            parked = clock.pending_sleepers
+            await clock.advance(2.0)
+            return parked, clock.pending_sleepers, all(t.done() for t in tasks)
+
+        assert run(scenario()) == (3, 0, True)
+
+
+class TestWaitForEvent:
+    def test_event_set_wins_over_timeout(self):
+        async def scenario():
+            clock = VirtualClock()
+            event = asyncio.Event()
+
+            async def setter():
+                await clock.sleep(0.1)
+                event.set()
+
+            asyncio.ensure_future(setter())
+
+            async def waiter():
+                return await wait_for_event(clock, event, timeout=5.0)
+
+            task = asyncio.ensure_future(waiter())
+            await clock.advance(0.2)
+            return task.result(), clock.pending_sleepers
+
+        got, parked = run(scenario())
+        assert got is True
+        # The losing timeout sleeper was cancelled, not left parked.
+        assert parked == 0
+
+    def test_timeout_fires_without_event(self):
+        async def scenario():
+            clock = VirtualClock()
+            event = asyncio.Event()
+            task = asyncio.ensure_future(wait_for_event(clock, event, timeout=0.3))
+            await clock.advance(0.5)
+            return task.result()
+
+        assert run(scenario()) is False
+
+    def test_preset_event_returns_immediately(self):
+        async def scenario():
+            clock = VirtualClock()
+            event = asyncio.Event()
+            event.set()
+            return await wait_for_event(clock, event, timeout=10.0)
+
+        assert run(scenario()) is True
+
+    def test_nonpositive_timeout_is_an_immediate_miss(self):
+        async def scenario():
+            clock = VirtualClock()
+            return await wait_for_event(clock, asyncio.Event(), timeout=0.0)
+
+        assert run(scenario()) is False

@@ -1,0 +1,124 @@
+"""Latency-controller convergence, hysteresis, and bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import ControllerPolicy, LatencyController
+
+
+def feed_until_stable(controller, work_ms: float, max_rounds: int = 200) -> int:
+    """Simulate a perfectly parallel batch: latency = work / workers.
+
+    Feeds observations until the recommendation stops changing for a
+    full window, returning the converged worker count.
+    """
+    unchanged = 0
+    while unchanged < controller.policy.window + controller.policy.cooldown:
+        before = controller.workers
+        controller.observe(work_ms / controller.workers)
+        unchanged = unchanged + 1 if controller.workers == before else 0
+        max_rounds -= 1
+        assert max_rounds > 0, "controller failed to converge"
+    return controller.workers
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            ControllerPolicy(target_p95_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            ControllerPolicy(min_workers=0)
+        with pytest.raises(ConfigurationError):
+            ControllerPolicy(min_workers=4, max_workers=2)
+        with pytest.raises(ConfigurationError):
+            ControllerPolicy(deadband=1.0)
+        with pytest.raises(ConfigurationError):
+            ControllerPolicy(cooldown=0)
+        with pytest.raises(ConfigurationError):
+            LatencyController(ControllerPolicy(max_workers=4), initial_workers=9)
+
+
+class TestConvergence:
+    def test_scales_up_into_the_deadband(self):
+        policy = ControllerPolicy(
+            target_p95_ms=150.0, max_workers=8, window=4, cooldown=2
+        )
+        controller = LatencyController(policy, initial_workers=1)
+        workers = feed_until_stable(controller, work_ms=800.0)
+        # 800/5 = 160 ms sits inside 150 ± 15%; 4 workers (200 ms) does not.
+        assert workers == 5
+        p95 = 800.0 / workers
+        assert 150.0 * 0.85 <= p95 <= 150.0 * 1.15
+
+    def test_releases_capacity_when_comfortable(self):
+        policy = ControllerPolicy(
+            target_p95_ms=150.0, max_workers=16, window=4, cooldown=2
+        )
+        controller = LatencyController(policy, initial_workers=16)
+        workers = feed_until_stable(controller, work_ms=800.0)
+        # Coming down, the first count whose latency re-enters the band
+        # is 6 (800/6 = 133 ms > 127.5 ms floor).
+        assert workers == 6
+
+    def test_stable_load_causes_no_resizes(self):
+        policy = ControllerPolicy(target_p95_ms=150.0, window=4, cooldown=2)
+        controller = LatencyController(policy, initial_workers=2)
+        for _ in range(50):
+            controller.observe(150.0)
+        assert controller.workers == 2
+        assert controller.resizes == 0
+
+
+class TestHysteresis:
+    def test_cooldown_defers_early_resizes(self):
+        policy = ControllerPolicy(target_p95_ms=100.0, window=8, cooldown=5)
+        controller = LatencyController(policy, initial_workers=1)
+        for _ in range(4):
+            controller.observe(1000.0)
+        assert controller.workers == 1  # still inside the cooldown
+        controller.observe(1000.0)
+        assert controller.workers == 2
+
+    def test_resize_clears_the_window(self):
+        policy = ControllerPolicy(target_p95_ms=100.0, window=8, cooldown=2)
+        controller = LatencyController(policy, initial_workers=1)
+        controller.observe(1000.0)
+        controller.observe(1000.0)
+        assert controller.workers == 2
+        # Old 1000 ms samples must not linger and trigger a second
+        # resize off stale data.
+        assert controller.window_p95() == 0.0
+
+    def test_single_outlier_moves_at_most_one_step(self):
+        policy = ControllerPolicy(
+            target_p95_ms=100.0, window=8, cooldown=4, max_workers=8
+        )
+        controller = LatencyController(policy, initial_workers=4)
+        for _ in range(20):
+            controller.observe(100.0)
+        controller.observe(5000.0)  # one pathological batch
+        # Additive increase: the spike buys one worker, never a jump,
+        # and the post-resize cooldown blocks immediate follow-ups.
+        assert controller.workers == 5
+        controller.observe(5000.0)
+        assert controller.workers == 5
+
+
+class TestBounds:
+    def test_never_exceeds_max_workers(self):
+        policy = ControllerPolicy(target_p95_ms=10.0, max_workers=3, cooldown=1)
+        controller = LatencyController(policy, initial_workers=1)
+        for _ in range(50):
+            controller.observe(10_000.0)
+        assert controller.workers == 3
+
+    def test_never_drops_below_min_workers(self):
+        policy = ControllerPolicy(
+            target_p95_ms=1000.0, min_workers=2, max_workers=8, cooldown=1
+        )
+        controller = LatencyController(policy, initial_workers=8)
+        for _ in range(50):
+            controller.observe(0.1)
+        assert controller.workers == 2

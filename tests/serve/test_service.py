@@ -1,0 +1,540 @@
+"""End-to-end service behavior on a virtual clock: no real sleeps.
+
+These are deterministic *simulations*: requests arrive as asyncio
+tasks, batch cost is modelled by stub runners that tick the virtual
+clock, and every assertion — backpressure, fairness, SLO steering,
+drain semantics — holds on exact virtual timestamps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import AdmissionRejected, ServiceStoppedError
+from repro.obs import names as obs_names
+from repro.quality import QualityConfig
+from repro.serve import (
+    AdmissionPolicy,
+    BatchPolicy,
+    ControllerPolicy,
+    ScreeningRequest,
+    ScreeningService,
+    TenancyConfig,
+    TenantPolicy,
+    VirtualClock,
+)
+
+from .conftest import run, ticking_runner
+
+
+def make_service(executor, clock, **kwargs) -> ScreeningService:
+    kwargs.setdefault(
+        "batching", BatchPolicy(max_batch_size=4, max_delay_s=0.05)
+    )
+    kwargs.setdefault("runner", ticking_runner(clock, 0.02))
+    return ScreeningService(executor, clock=clock, **kwargs)
+
+
+def submit_all(service, requests):
+    return [
+        asyncio.ensure_future(service.submit(request)) for request in requests
+    ]
+
+
+async def drive(clock, tasks, step=0.01):
+    await clock.advance_until(
+        lambda: all(task.done() for task in tasks), step=step
+    )
+    return tasks
+
+
+class TestHappyPath:
+    def test_every_request_answered_exactly_once(self, executor, serve_recordings):
+        async def scenario():
+            clock = VirtualClock()
+            service = make_service(executor, clock)
+            await service.start()
+            requests = [
+                ScreeningRequest(f"req-{i}", "clinic", recording)
+                for i, recording in enumerate(serve_recordings)
+            ]
+            tasks = submit_all(service, requests)
+            await drive(clock, tasks)
+            await service.stop()
+            return [task.result() for task in tasks]
+
+        responses = run(scenario())
+        assert len(responses) == 6
+        assert all(response.ok for response in responses)
+        assert sorted(r.request_id for r in responses) == [
+            f"req-{i}" for i in range(6)
+        ]
+        # Size cap 4: first batch full, second carries the remainder.
+        assert [r.batch for r in responses] == [0, 0, 0, 0, 1, 1]
+
+    def test_counters_balance(self, executor, serve_recordings):
+        async def scenario():
+            clock = VirtualClock()
+            service = make_service(executor, clock)
+            await service.start()
+            tasks = submit_all(
+                service,
+                [
+                    ScreeningRequest(f"r{i}", "clinic", rec)
+                    for i, rec in enumerate(serve_recordings[:3])
+                ],
+            )
+            await drive(clock, tasks)
+            await service.stop()
+            return service.metrics
+
+        metrics = run(scenario())
+        assert metrics.counter(obs_names.METRIC_SERVE_SUBMITTED) == 3
+        assert metrics.counter(obs_names.METRIC_SERVE_ADMITTED) == 3
+        assert metrics.counter(obs_names.METRIC_SERVE_COMPLETED) == 3
+        assert (
+            metrics.counter(obs_names.tenant_counter(
+                obs_names.METRIC_TENANT_SUBMITTED, "clinic"
+            ))
+            == 3
+        )
+        assert metrics.histogram(obs_names.HIST_SERVE_REQUEST_MS).count == 3
+        assert metrics.histogram(obs_names.HIST_SERVE_BATCH_MS).count >= 1
+
+    def test_partial_batch_pays_exactly_the_coalescing_deadline(
+        self, executor, serve_recordings
+    ):
+        async def scenario():
+            clock = VirtualClock()
+            service = make_service(
+                executor,
+                clock,
+                batching=BatchPolicy(max_batch_size=8, max_delay_s=0.05),
+                runner=ticking_runner(clock, 0.0),
+            )
+            await service.start()
+            tasks = submit_all(
+                service,
+                [ScreeningRequest("lone", "clinic", serve_recordings[0])],
+            )
+            await drive(clock, tasks)
+            await service.stop()
+            return tasks[0].result()
+
+        response = run(scenario())
+        assert response.queue_ms == pytest.approx(50.0)
+
+
+class TestBackpressure:
+    def test_queue_full_rejects_with_typed_reason(
+        self, executor, serve_recordings
+    ):
+        async def scenario():
+            clock = VirtualClock()
+            service = make_service(
+                executor,
+                clock,
+                admission=AdmissionPolicy(max_queue_depth=2),
+                batching=BatchPolicy(max_batch_size=2, max_delay_s=0.05),
+            )
+            await service.start()
+            requests = [
+                ScreeningRequest(f"r{i}", "clinic", serve_recordings[0])
+                for i in range(5)
+            ]
+            tasks = submit_all(service, requests)
+            await drive(clock, tasks)
+            await service.stop()
+            return tasks, service.metrics
+
+        tasks, metrics = run(scenario())
+        rejected = [
+            task.exception()
+            for task in tasks
+            if task.exception() is not None
+        ]
+        answered = [task for task in tasks if task.exception() is None]
+        # The first two fill the queue; the dispatch loop has had no
+        # chance to drain before the rest are checked.
+        assert len(rejected) == 3
+        assert all(isinstance(exc, AdmissionRejected) for exc in rejected)
+        assert {exc.reason for exc in rejected} == {"queue_full"}
+        assert all(exc.retry_after_s > 0 for exc in rejected)
+        assert len(answered) == 2
+        assert (
+            metrics.counter(obs_names.METRIC_SERVE_REJECTED_QUEUE_FULL) == 3
+        )
+
+    def test_slo_headroom_sheds_before_the_queue_fills(
+        self, executor, serve_recordings
+    ):
+        async def scenario():
+            clock = VirtualClock()
+            # Batches cost 200 ms; shed once the estimated wait tops
+            # 300 ms even though the queue itself has plenty of room.
+            service = make_service(
+                executor,
+                clock,
+                admission=AdmissionPolicy(
+                    max_queue_depth=1000, shed_wait_ms=300.0
+                ),
+                batching=BatchPolicy(max_batch_size=1, max_delay_s=0.01),
+                runner=ticking_runner(clock, 0.2),
+            )
+            await service.start()
+            # Prime the latency estimate with one observed batch.
+            first = submit_all(
+                service,
+                [ScreeningRequest("prime", "clinic", serve_recordings[0])],
+            )
+            await drive(clock, first)
+            # Burst: each queued request now predicts +200 ms of wait.
+            burst = submit_all(
+                service,
+                [
+                    ScreeningRequest(f"b{i}", "clinic", serve_recordings[0])
+                    for i in range(6)
+                ],
+            )
+            await drive(clock, burst)
+            await service.stop()
+            return burst, service.metrics
+
+        burst, metrics = run(scenario())
+        overloaded = [
+            task.exception() for task in burst if task.exception() is not None
+        ]
+        assert overloaded, "headroom shedding never engaged"
+        assert {exc.reason for exc in overloaded} == {"overload"}
+        assert metrics.counter(obs_names.METRIC_SERVE_REJECTED_OVERLOAD) == len(
+            overloaded
+        )
+        # Depth stayed far from the hard cap: shedding was preemptive.
+        assert metrics.counter(obs_names.METRIC_SERVE_REJECTED_QUEUE_FULL) == 0
+
+
+class TestTenantFairness:
+    def test_hot_tenant_is_rate_limited_others_unaffected(
+        self, executor, serve_recordings
+    ):
+        async def scenario():
+            clock = VirtualClock()
+            service = make_service(
+                executor,
+                clock,
+                tenancy=TenancyConfig(
+                    default=TenantPolicy(),
+                    overrides={
+                        "hot": TenantPolicy(rate_per_s=10.0, burst=2.0)
+                    },
+                ),
+            )
+            await service.start()
+            hot = submit_all(
+                service,
+                [
+                    ScreeningRequest(f"h{i}", "hot", serve_recordings[0])
+                    for i in range(6)
+                ],
+            )
+            calm = submit_all(
+                service,
+                [
+                    ScreeningRequest(f"c{i}", "calm", serve_recordings[1])
+                    for i in range(6)
+                ],
+            )
+            await drive(clock, hot + calm)
+            await service.stop()
+            return hot, calm, service.metrics
+
+        hot, calm, metrics = run(scenario())
+        hot_rejected = [t for t in hot if t.exception() is not None]
+        assert len(hot_rejected) == 4  # burst of 2 admitted, rest limited
+        assert all(
+            isinstance(t.exception(), AdmissionRejected)
+            and t.exception().reason == "rate_limited"
+            for t in hot_rejected
+        )
+        # The calm tenant is untouched by its neighbour's limit.
+        assert all(t.exception() is None for t in calm)
+        assert (
+            metrics.counter(obs_names.tenant_counter(
+                obs_names.METRIC_TENANT_REJECTED, "hot"
+            ))
+            == 4
+        )
+        assert (
+            metrics.counter(obs_names.tenant_counter(
+                obs_names.METRIC_TENANT_REJECTED, "calm"
+            ))
+            == 0
+        )
+
+    def test_backlogged_tenant_cannot_starve_the_light_one(
+        self, executor, serve_recordings
+    ):
+        async def scenario():
+            clock = VirtualClock()
+            service = make_service(
+                executor,
+                clock,
+                batching=BatchPolicy(max_batch_size=2, max_delay_s=0.05),
+            )
+            await service.start()
+            # 8 hot requests enqueue first, then 2 light ones.
+            hot = submit_all(
+                service,
+                [
+                    ScreeningRequest(f"h{i}", "hot", serve_recordings[0])
+                    for i in range(8)
+                ],
+            )
+            light = submit_all(
+                service,
+                [
+                    ScreeningRequest(f"l{i}", "light", serve_recordings[1])
+                    for i in range(2)
+                ],
+            )
+            await drive(clock, hot + light)
+            await service.stop()
+            return hot, light
+
+        hot, light = run(scenario())
+        light_batches = [task.result().batch for task in light]
+        # Weighted round-robin interleaves: the light tenant rides the
+        # first batches instead of waiting behind the whole hot backlog.
+        assert max(light_batches) <= 1
+
+
+class TestFastReject:
+    def test_silent_capture_answered_without_queueing(
+        self, executor, silent_recording
+    ):
+        async def scenario():
+            clock = VirtualClock()
+            service = make_service(
+                executor, clock, fast_reject=QualityConfig()
+            )
+            await service.start()
+            response = await service.submit(
+                ScreeningRequest("bad", "clinic", silent_recording)
+            )
+            await service.stop()
+            return response, service.metrics
+
+        response, metrics = run(scenario())
+        assert not response.ok
+        assert response.verdict == "quarantined"
+        assert response.batch == -1
+        assert response.outcome.error_type == "QualityRejectedError"
+        assert metrics.counter(obs_names.METRIC_SERVE_FAST_REJECTED) == 1
+        # Never admitted: no queue space or batch was spent on it.
+        assert metrics.counter(obs_names.METRIC_SERVE_ADMITTED) == 0
+        assert metrics.counter(obs_names.METRIC_SERVE_BATCHES_DISPATCHED) == 0
+
+    def test_clean_capture_passes_the_gate(self, executor, serve_recordings):
+        async def scenario():
+            clock = VirtualClock()
+            service = make_service(
+                executor, clock, fast_reject=QualityConfig()
+            )
+            await service.start()
+            tasks = submit_all(
+                service,
+                [ScreeningRequest("good", "clinic", serve_recordings[0])],
+            )
+            await drive(clock, tasks)
+            await service.stop()
+            return tasks[0].result()
+
+        response = run(scenario())
+        assert response.ok
+        assert response.batch >= 0
+
+
+class TestLifecycle:
+    def test_submit_before_start_and_after_stop_raises(
+        self, executor, serve_recordings
+    ):
+        async def scenario():
+            clock = VirtualClock()
+            service = make_service(executor, clock)
+            request = ScreeningRequest("r", "clinic", serve_recordings[0])
+            with pytest.raises(ServiceStoppedError):
+                await service.submit(request)
+            await service.start()
+            await service.stop()
+            with pytest.raises(ServiceStoppedError):
+                await service.submit(request)
+            return service.metrics
+
+        metrics = run(scenario())
+        assert metrics.counter(obs_names.METRIC_SERVE_REJECTED_SHUTDOWN) == 2
+
+    def test_drain_stop_answers_all_queued_work(
+        self, executor, serve_recordings
+    ):
+        async def scenario():
+            clock = VirtualClock()
+            service = make_service(
+                executor,
+                clock,
+                batching=BatchPolicy(max_batch_size=2, max_delay_s=10.0),
+            )
+            await service.start()
+            tasks = submit_all(
+                service,
+                [
+                    ScreeningRequest(f"r{i}", "clinic", serve_recordings[0])
+                    for i in range(5)
+                ],
+            )
+            await clock.settle()
+            # Stop with a huge coalescing deadline outstanding: drain
+            # must flush the partial batch immediately, no advance.
+            await service.stop(drain=True)
+            return tasks
+
+        tasks = run(scenario())
+        assert all(task.done() and task.exception() is None for task in tasks)
+
+    def test_abandon_stop_fails_pending_futures(
+        self, executor, serve_recordings
+    ):
+        async def scenario():
+            clock = VirtualClock()
+            service = make_service(
+                executor,
+                clock,
+                batching=BatchPolicy(max_batch_size=100, max_delay_s=10.0),
+            )
+            await service.start()
+            tasks = submit_all(
+                service,
+                [
+                    ScreeningRequest(f"r{i}", "clinic", serve_recordings[0])
+                    for i in range(3)
+                ],
+            )
+            await clock.settle()
+            await service.stop(drain=False)
+            await clock.settle()
+            return tasks
+
+        tasks = run(scenario())
+        assert all(
+            isinstance(task.exception(), ServiceStoppedError) for task in tasks
+        )
+
+
+class TestController:
+    def test_sustained_overload_grows_the_pool(
+        self, executor, serve_recordings
+    ):
+        async def scenario():
+            clock = VirtualClock()
+            service = make_service(
+                executor,
+                clock,
+                batching=BatchPolicy(max_batch_size=1, max_delay_s=0.001),
+                runner=ticking_runner(clock, 0.8),  # 800 ms per batch
+                controller=ControllerPolicy(
+                    target_p95_ms=150.0,
+                    max_workers=4,
+                    window=2,
+                    cooldown=1,
+                ),
+            )
+            await service.start()
+            tasks = submit_all(
+                service,
+                [
+                    ScreeningRequest(f"r{i}", "clinic", serve_recordings[0])
+                    for i in range(6)
+                ],
+            )
+            await drive(clock, tasks, step=0.1)
+            await service.stop()
+            return service
+
+        service = run(scenario())
+        assert service.workers == 4  # pinned at the ceiling under load
+        assert service.executor.workers == 4
+        assert service.metrics.counter(obs_names.METRIC_SERVE_POOL_RESIZES) >= 3
+
+    def test_without_controller_workers_are_untouched(
+        self, executor, serve_recordings
+    ):
+        async def scenario():
+            clock = VirtualClock()
+            before = executor.workers
+            service = make_service(
+                executor, clock, runner=ticking_runner(clock, 0.9)
+            )
+            await service.start()
+            tasks = submit_all(
+                service,
+                [
+                    ScreeningRequest(f"r{i}", "clinic", serve_recordings[0])
+                    for i in range(4)
+                ],
+            )
+            await drive(clock, tasks, step=0.1)
+            await service.stop()
+            return before, executor.workers
+
+        before, after = run(scenario())
+        assert after == before
+
+
+class TestDispatchFaults:
+    def test_crashed_batch_fails_only_its_own_requests(
+        self, executor, serve_recordings
+    ):
+        calls = {"n": 0}
+
+        def flaky_runner(recordings):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("pool exploded")
+            from repro.runtime.executor import BatchResult
+
+            from .conftest import fake_processed
+
+            return BatchResult(
+                outcomes=[fake_processed(r) for r in recordings]
+            )
+
+        async def scenario():
+            clock = VirtualClock()
+            service = make_service(
+                executor,
+                clock,
+                batching=BatchPolicy(max_batch_size=2, max_delay_s=0.01),
+                runner=flaky_runner,
+            )
+            await service.start()
+            tasks = submit_all(
+                service,
+                [
+                    ScreeningRequest(f"r{i}", "clinic", serve_recordings[0])
+                    for i in range(4)
+                ],
+            )
+            await drive(clock, tasks)
+            await service.stop()
+            return tasks, service.metrics
+
+        tasks, metrics = run(scenario())
+        responses = [task.result() for task in tasks]
+        crashed = [r for r in responses if not r.ok]
+        survived = [r for r in responses if r.ok]
+        assert len(crashed) == 2  # exactly the first batch
+        assert all(r.outcome.error_type == "ServiceError" for r in crashed)
+        assert "pool exploded" in crashed[0].outcome.message
+        assert len(survived) == 2  # the loop kept serving afterwards
+        assert metrics.counter(obs_names.METRIC_SERVE_BATCH_FAILURES) == 1

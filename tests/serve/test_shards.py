@@ -1,0 +1,267 @@
+"""Sharded cache tier: routing, locking, compaction, multi-writer safety."""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.results import ProcessedRecording
+from repro.errors import ConfigurationError
+from repro.runtime.cache import FeatureCache
+from repro.serve import (
+    CompactionReport,
+    FileLock,
+    ShardedFeatureCache,
+    shard_index,
+)
+
+
+def make_processed(tag: float) -> ProcessedRecording:
+    return ProcessedRecording(
+        features=np.full(105, tag, dtype=np.float64),
+        curve=np.linspace(0.0, tag, 16),
+        mean_segment=np.zeros(8),
+        segment_rate=50.0,
+        num_events=4,
+        num_echoes=4,
+        participant_id="P001",
+        day=tag,
+    )
+
+
+def key_of(i: int) -> str:
+    return hashlib.sha256(f"entry-{i}".encode()).hexdigest()
+
+
+class TestShardIndex:
+    def test_deterministic_and_in_range(self):
+        keys = [key_of(i) for i in range(200)]
+        for key in keys:
+            index = shard_index(key, 8)
+            assert 0 <= index < 8
+            assert index == shard_index(key, 8)  # pure function of key
+
+    def test_uniform_hex_keys_spread_across_shards(self):
+        hit = {shard_index(key_of(i), 8) for i in range(200)}
+        assert hit == set(range(8))
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            shard_index(key_of(0), 0)
+        with pytest.raises(ConfigurationError):
+            ShardedFeatureCache("/tmp/unused", num_shards=0)
+
+
+class TestRoutingAndRoundTrip:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ShardedFeatureCache(tmp_path, num_shards=4)
+        for i in range(12):
+            cache.put(key_of(i), make_processed(float(i)))
+        assert len(cache) == 12
+        for i in range(12):
+            entry = cache.get(key_of(i))
+            assert entry is not None
+            assert entry.features[0] == float(i)
+        assert cache.get(key_of(99)) is None
+
+    def test_entries_land_in_their_owning_shard_directory(self, tmp_path):
+        cache = ShardedFeatureCache(tmp_path, num_shards=4)
+        for i in range(12):
+            key = key_of(i)
+            cache.put(key, make_processed(1.0))
+            owner = tmp_path / f"shard-{cache.shard_of(key):02d}" / f"{key}.npz"
+            assert owner.exists()
+
+    def test_disk_tier_survives_memory_clear(self, tmp_path):
+        cache = ShardedFeatureCache(tmp_path, num_shards=2)
+        cache.put(key_of(0), make_processed(7.0))
+        cache.clear_memory()
+        entry = cache.get(key_of(0))
+        assert entry is not None and entry.features[0] == 7.0
+
+    def test_contains_checks_the_right_shard(self, tmp_path):
+        cache = ShardedFeatureCache(tmp_path, num_shards=4)
+        cache.put(key_of(3), make_processed(1.0))
+        assert key_of(3) in cache
+        assert key_of(4) not in cache
+
+
+class TestCompaction:
+    def test_clean_store_compacts_to_zero_findings(self, tmp_path):
+        cache = ShardedFeatureCache(tmp_path, num_shards=2)
+        for i in range(6):
+            cache.put(key_of(i), make_processed(1.0))
+        report = cache.compact()
+        assert isinstance(report, CompactionReport)
+        assert report.shards == 2
+        assert report.scanned == 6
+        assert report.corrupt_evicted == 0
+        assert report.orphans_removed == 0
+        assert report.trimmed == 0
+        assert report.as_dict()["scanned"] == 6
+
+    def test_orphaned_staging_files_are_removed(self, tmp_path):
+        cache = ShardedFeatureCache(tmp_path, num_shards=2)
+        cache.put(key_of(0), make_processed(1.0))
+        # Simulate writers killed mid-publish in both shards.
+        for shard in ("shard-00", "shard-01"):
+            orphan = tmp_path / shard / f"{key_of(9)}.npz.tmp-12345"
+            orphan.write_bytes(b"half a write")
+        report = cache.compact()
+        assert report.orphans_removed == 2
+        assert not list(tmp_path.glob("shard-*/*.tmp-*"))
+        # The published entry is untouched.
+        assert cache.get(key_of(0)) is not None
+
+    def test_corrupt_entries_are_evicted(self, tmp_path):
+        cache = ShardedFeatureCache(tmp_path, num_shards=2)
+        for i in range(4):
+            cache.put(key_of(i), make_processed(1.0))
+        victim_key = key_of(0)
+        victim = (
+            tmp_path
+            / f"shard-{cache.shard_of(victim_key):02d}"
+            / f"{victim_key}.npz"
+        )
+        victim.write_bytes(victim.read_bytes()[:40])  # truncate
+        report = cache.compact()
+        assert report.corrupt_evicted == 1
+        assert not victim.exists()
+        cache.clear_memory()
+        assert cache.get(victim_key) is None  # gone, not resurrect-able
+
+    def test_trim_keeps_the_newest_entries_per_shard(self, tmp_path):
+        cache = ShardedFeatureCache(tmp_path, num_shards=1)
+        for i in range(10):
+            key = key_of(i)
+            cache.put(key, make_processed(float(i)))
+            path = tmp_path / "shard-00" / f"{key}.npz"
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+        report = cache.compact(max_entries_per_shard=3)
+        assert report.trimmed == 7
+        survivors = sorted(p.name for p in (tmp_path / "shard-00").glob("*.npz"))
+        expected = sorted(f"{key_of(i)}.npz" for i in (7, 8, 9))
+        assert survivors == expected
+
+
+class TestFileLock:
+    def test_reusable_and_reentrant_across_uses(self, tmp_path):
+        lock = FileLock(tmp_path / ".lock")
+        for _ in range(3):
+            with lock:
+                assert lock._stream is not None or not _has_fcntl()
+            assert lock._stream is None
+
+    def test_excludes_a_second_process(self, tmp_path):
+        if not _has_fcntl():
+            pytest.skip("fcntl unavailable")
+        lock_path = tmp_path / ".lock"
+        ctx = multiprocessing.get_context("fork")
+        acquired = ctx.Value("i", 0)
+        with FileLock(lock_path):
+            probe = ctx.Process(
+                target=_try_lock_nonblocking, args=(str(lock_path), acquired)
+            )
+            probe.start()
+            probe.join(timeout=10)
+        assert acquired.value == 0  # contender could not take it
+        probe2 = ctx.Process(
+            target=_try_lock_nonblocking, args=(str(lock_path), acquired)
+        )
+        probe2.start()
+        probe2.join(timeout=10)
+        assert acquired.value == 1  # free lock acquires instantly
+
+
+def _has_fcntl() -> bool:
+    try:
+        import fcntl  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+def _try_lock_nonblocking(path: str, acquired) -> None:
+    import fcntl
+
+    with open(path, "a+") as stream:
+        try:
+            fcntl.flock(stream.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            return
+        acquired.value = 1
+        fcntl.flock(stream.fileno(), fcntl.LOCK_UN)
+
+
+def _hammer_shared_store(root: str, worker: int, rounds: int) -> None:
+    """Child-process body: write a shared key set over and over."""
+    cache = ShardedFeatureCache(root, num_shards=4)
+    for round_no in range(rounds):
+        for i in range(8):
+            tag = float(worker * 1000 + round_no)
+            cache.put(key_of(i), make_processed(tag))
+
+
+class TestMultiProcessWriters:
+    def test_concurrent_writers_never_corrupt_entries(self, tmp_path):
+        """Many processes, same keys, zero torn reads afterwards.
+
+        This is the regression test for the multi-writer staging
+        scheme: PID-unique tmp files + atomic rename + per-shard
+        flock.  Whatever interleaving happened, every published entry
+        must load and checksum cleanly.
+        """
+        ctx = multiprocessing.get_context("fork")
+        workers = [
+            ctx.Process(
+                target=_hammer_shared_store, args=(str(tmp_path), w, 5)
+            )
+            for w in range(4)
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        cache = ShardedFeatureCache(tmp_path, num_shards=4)
+        for i in range(8):
+            entry = cache.get(key_of(i))
+            assert entry is not None  # published and readable
+            assert entry.features.shape == (105,)
+        report = cache.compact()
+        assert report.scanned == 8
+        assert report.corrupt_evicted == 0  # no torn writes anywhere
+        assert cache.corrupt_evictions == 0
+
+    def test_single_flat_cache_is_also_multi_writer_safe(self, tmp_path):
+        """The underlying FeatureCache staging survives concurrency too."""
+        ctx = multiprocessing.get_context("fork")
+        workers = [
+            ctx.Process(
+                target=_hammer_flat_store, args=(str(tmp_path), w, 5)
+            )
+            for w in range(4)
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        cache = FeatureCache(directory=tmp_path)
+        for i in range(4):
+            entry = cache.get(key_of(i))
+            assert entry is not None
+        assert cache.corrupt_evictions == 0
+        assert not list(tmp_path.glob("*.tmp-*"))  # no stranded staging
+
+
+def _hammer_flat_store(root: str, worker: int, rounds: int) -> None:
+    cache = FeatureCache(directory=root)
+    for round_no in range(rounds):
+        for i in range(4):
+            cache.put(key_of(i), make_processed(float(worker + round_no)))
