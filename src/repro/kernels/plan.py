@@ -102,9 +102,9 @@ def cached_plan(key: tuple[Hashable, ...], build: Callable[[], Any]) -> Any:
     global _HITS, _MISSES
     plan = _CACHE.get(key)
     if plan is not None:
-        _HITS += 1
+        _HITS += 1  # qa: ignore[QA009]  intentional per-process cache stats
         return plan
-    _MISSES += 1
+    _MISSES += 1  # qa: ignore[QA009]  intentional per-process cache stats
     plan = build()
     if len(_CACHE) >= _MAX_ENTRIES:
         _CACHE.pop(next(iter(_CACHE)))

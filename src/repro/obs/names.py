@@ -102,6 +102,7 @@ __all__ = [
     "METRIC_TENANT_COMPLETED",
     "METRIC_TENANT_REJECTED",
     "tenant_counter",
+    "registry",
 ]
 
 # -- span names ---------------------------------------------------------
@@ -372,3 +373,23 @@ def tenant_counter(base: str, tenant: str) -> str:
     final segment (e.g. ``serve.tenant.completed.clinic-a``).
     """
     return f"{base}.{tenant}"
+
+
+def registry() -> dict[str, tuple[str, ...]]:
+    """Machine-readable export of every name registry, sorted.
+
+    One entry per registry set, keyed by the set's constant name.  This
+    is the runtime counterpart of the static view the QA010 rule builds
+    from this module's source — ``tests/qa`` asserts the two agree, so
+    a registry refactor that the static analyzer cannot follow fails
+    loudly instead of silently weakening the lint.
+    """
+    return {
+        "SPAN_NAMES": tuple(sorted(SPAN_NAMES)),
+        "EVENT_NAMES": tuple(sorted(EVENT_NAMES)),
+        "CANONICAL_COUNTERS": tuple(sorted(CANONICAL_COUNTERS)),
+        "CANONICAL_HISTOGRAMS": tuple(sorted(CANONICAL_HISTOGRAMS)),
+        "SERVE_REJECTION_COUNTERS": tuple(sorted(SERVE_REJECTION_COUNTERS.values())),
+        "SERVE_CANONICAL_COUNTERS": tuple(sorted(SERVE_CANONICAL_COUNTERS)),
+        "SERVE_CANONICAL_HISTOGRAMS": tuple(sorted(SERVE_CANONICAL_HISTOGRAMS)),
+    }

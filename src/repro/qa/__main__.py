@@ -5,12 +5,20 @@ Examples::
     python -m repro.qa                       # lint src/, text report
     python -m repro.qa --strict              # warnings fail too (CI)
     python -m repro.qa --format json         # machine-readable output
+    python -m repro.qa --format sarif        # code-scanning annotations
+    python -m repro.qa --jobs 4              # parallel per-file analysis
+    python -m repro.qa --no-cache            # ignore the summary cache
     python -m repro.qa --write-baseline      # accept current findings
     python -m repro.qa --rules QA001,QA004   # subset of rules
     python -m repro.qa --root other/src      # lint a different tree
 
 Exit codes: 0 clean, 1 findings (new errors; with ``--strict`` any new
 finding), 2 usage error.
+
+The whole-program rules (QA008–QA010) build per-function summaries,
+cached by content hash under ``--cache-dir`` (default ``.qa-cache``
+next to the source root) so repeated runs only re-analyze changed
+files; findings are byte-identical to a cold run either way.
 """
 
 from __future__ import annotations
@@ -30,6 +38,19 @@ def _default_root() -> Path:
     """``src/`` when run from a repo checkout, else the working dir."""
     src = Path("src")
     return src if (src / "repro").is_dir() else Path(".")
+
+
+def _uri_prefix(root: Path) -> str:
+    """Repo-relative prefix for SARIF URIs (``src`` in this repo).
+
+    Finding paths are relative to the scanned root; annotations need
+    paths relative to the repository checkout, i.e. the working dir.
+    """
+    try:
+        rel = root.resolve().relative_to(Path.cwd())
+    except ValueError:
+        return ""
+    return "" if rel == Path(".") else rel.as_posix()
 
 
 def _render_text(report: Report, baseline_path: Path) -> str:
@@ -81,9 +102,26 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel worker processes for per-file analysis (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="summary cache directory (default: ./.qa-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental summary cache",
     )
     parser.add_argument(
         "--baseline",
@@ -131,6 +169,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"source root {root} does not exist", file=sys.stderr)
         return 2
 
+    from .graph import DEFAULT_CACHE_DIR, SummaryCache
     from .project import Project
 
     project = Project.scan(root)
@@ -140,12 +179,18 @@ def main(argv: list[str] | None = None) -> int:
         print(str(exc), file=sys.stderr)
         return 2
 
-    engine = QAEngine(rules=rules, baseline=baseline)
+    if args.no_cache:
+        cache = None
+    else:
+        cache_dir = args.cache_dir or Path(DEFAULT_CACHE_DIR)
+        cache = SummaryCache(cache_dir)
+
+    engine = QAEngine(rules=rules, baseline=baseline, cache=cache, jobs=args.jobs)
 
     if args.write_baseline:
         # Pragma-suppressed findings stay suppressed by their pragma;
         # everything else becomes accepted debt.
-        report = QAEngine(rules=rules).run(project)
+        report = QAEngine(rules=rules, cache=cache, jobs=args.jobs).run(project)
         Baseline.from_findings(report.findings).save(args.baseline)
         print(
             f"wrote {len(report.findings)} finding(s) to {args.baseline}",
@@ -155,6 +200,10 @@ def main(argv: list[str] | None = None) -> int:
     report = engine.run(project)
     if args.format == "json":
         print(_render_json(report))
+    elif args.format == "sarif":
+        from .sarif import render_sarif
+
+        print(render_sarif(report, rules, uri_prefix=_uri_prefix(root)))
     else:
         print(_render_text(report, args.baseline))
     return report.exit_code(strict=args.strict)

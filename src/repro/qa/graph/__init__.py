@@ -1,0 +1,92 @@
+"""Whole-program analysis: import graph, summaries, call graph, cache.
+
+This subpackage turns ``repro.qa`` from a per-file linter into a
+whole-program analyzer.  The pipeline is::
+
+    Project ──summarize_module──▶ ModuleSummary (cached by content hash)
+            ──ImportGraph.build──▶ module dependency edges
+    {ModuleSummary} ──CallGraph──▶ interprocedural resolution + BFS
+
+Rules that need the program view implement ``check_program`` (see
+:class:`repro.qa.engine.Rule`) and receive a :class:`ProgramModel`
+bundling all three artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..project import Project
+from .cache import DEFAULT_CACHE_DIR, CacheStats, SummaryCache
+from .callgraph import CallGraph
+from .imports import ImportGraph, ModuleBindings, resolve_relative_import
+from .summaries import (
+    SUMMARY_FORMAT_VERSION,
+    BlockingUse,
+    CallSite,
+    ClassSummary,
+    FunctionSummary,
+    GlobalRebind,
+    LockAcquisition,
+    ModuleSummary,
+    TelemetryUse,
+    summarize_module,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "SUMMARY_FORMAT_VERSION",
+    "BlockingUse",
+    "CacheStats",
+    "CallGraph",
+    "CallSite",
+    "ClassSummary",
+    "FunctionSummary",
+    "GlobalRebind",
+    "ImportGraph",
+    "LockAcquisition",
+    "ModuleBindings",
+    "ModuleSummary",
+    "ProgramModel",
+    "SummaryCache",
+    "TelemetryUse",
+    "build_program_model",
+    "resolve_relative_import",
+    "summarize_module",
+]
+
+
+@dataclass
+class ProgramModel:
+    """Everything a ``check_program`` rule hook receives."""
+
+    project: Project
+    summaries: dict[str, ModuleSummary]
+    imports: ImportGraph
+    callgraph: CallGraph
+
+
+def build_program_model(
+    project: Project,
+    *,
+    cache: SummaryCache | None = None,
+    summaries: dict[str, ModuleSummary] | None = None,
+) -> ProgramModel:
+    """Assemble the program model, summarizing through ``cache`` if given.
+
+    Pre-computed ``summaries`` (e.g. merged from parallel workers) are
+    used as-is; remaining modules are summarized here.
+    """
+    table: dict[str, ModuleSummary] = dict(summaries or {})
+    for module in project:
+        if module.name not in table:
+            if cache is not None:
+                table[module.name] = cache.summarize(module)
+            else:
+                table[module.name] = summarize_module(module)
+    return ProgramModel(
+        project=project,
+        summaries=table,
+        imports=ImportGraph.build(project),
+        callgraph=CallGraph(table),
+    )

@@ -1,0 +1,127 @@
+"""Incremental summary cache keyed by content hash.
+
+A module's summary is a pure function of its source text and the
+analyzer version, so caching is sound by construction: the key is
+``sha256(source)`` and any extraction-semantics change bumps
+:data:`~repro.qa.graph.summaries.SUMMARY_FORMAT_VERSION`, orphaning
+every stale entry at once.  Repeated runs therefore re-analyze only
+files whose bytes changed — and because the whole-program pass is
+rebuilt from summaries (cached or fresh) the findings are byte-identical
+either way; the incremental test in ``tests/qa`` locks that in.
+
+Layout: one JSON file per module under the cache directory, named by
+relpath with separators flattened (``src_repro_serve_service.py.json``),
+holding ``{"hash": ..., "version": ..., "summary": {...}}``.  Corrupt or
+unreadable entries are treated as misses, never errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..project import ModuleInfo
+from .summaries import SUMMARY_FORMAT_VERSION, ModuleSummary, summarize_module
+
+__all__ = ["SummaryCache", "CacheStats", "DEFAULT_CACHE_DIR"]
+
+#: Default cache location, relative to the analysis root's parent.
+DEFAULT_CACHE_DIR = ".qa-cache"
+
+
+def _content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _entry_name(relpath: str) -> str:
+    return relpath.replace("/", "_").replace("\\", "_") + ".json"
+
+
+@dataclass
+class CacheStats:
+    """Counters for the incremental-analysis tests and ``--format json``."""
+
+    reused: int = 0
+    analyzed: int = 0
+    reused_modules: list[str] = field(default_factory=list)
+    analyzed_modules: list[str] = field(default_factory=list)
+
+    def record(self, relpath: str, *, hit: bool) -> None:
+        if hit:
+            self.reused += 1
+            self.reused_modules.append(relpath)
+        else:
+            self.analyzed += 1
+            self.analyzed_modules.append(relpath)
+
+
+class SummaryCache:
+    """Content-hash summary store; ``directory=None`` disables persistence."""
+
+    def __init__(self, directory: Path | None) -> None:
+        self.directory = directory
+        self.stats = CacheStats()
+
+    def summarize(self, module: ModuleInfo) -> ModuleSummary:
+        """Return the module's summary, from cache when the hash matches."""
+        cached = self.peek(module)
+        if cached is not None:
+            return cached
+        summary = summarize_module(module)
+        self.put(module, summary)
+        return summary
+
+    def peek(self, module: ModuleInfo) -> ModuleSummary | None:
+        """Cached summary for the module's current content, or ``None``.
+
+        A hit is recorded in the stats; a miss records nothing (the
+        caller computes the summary and calls :meth:`put`).
+        """
+        cached = self._load(module.relpath, _content_hash(module.source))
+        if cached is not None:
+            self.stats.record(module.relpath, hit=True)
+        return cached
+
+    def put(self, module: ModuleInfo, summary: ModuleSummary) -> None:
+        """Record a freshly computed summary (counts as 'analyzed')."""
+        self.stats.record(module.relpath, hit=False)
+        self._store(module.relpath, _content_hash(module.source), summary)
+
+    # -- persistence ------------------------------------------------------
+
+    def _entry_path(self, relpath: str) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / _entry_name(relpath)
+
+    def _load(self, relpath: str, digest: str) -> ModuleSummary | None:
+        path = self._entry_path(relpath)
+        if path is None or not path.is_file():
+            return None
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            if (
+                data.get("hash") != digest
+                or data.get("version") != SUMMARY_FORMAT_VERSION
+            ):
+                return None
+            return ModuleSummary.from_dict(data["summary"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None  # corrupt entry == miss
+
+    def _store(self, relpath: str, digest: str, summary: ModuleSummary) -> None:
+        path = self._entry_path(relpath)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "hash": digest,
+                "version": SUMMARY_FORMAT_VERSION,
+                "summary": summary.to_dict(),
+            }
+            path.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        except OSError:
+            pass  # read-only cache dir: analysis still succeeds

@@ -1,0 +1,183 @@
+"""Module-qualified call graph built from per-function summaries.
+
+The graph resolves three call shapes:
+
+- **dotted calls** — ``repro.quality.assess_recording(...)`` or a bound
+  alias (``quality.assess_recording`` after ``from .. import quality``),
+  chased through package ``__init__`` re-exports;
+- **constructor calls** — a dotted call landing on a class resolves to
+  that class's ``__init__``;
+- **method calls** — ``self.batcher.flush()`` where the receiver's
+  class is statically provable, resolved through the class and its
+  bases in order.
+
+Resolution failures are silent by design: a dynamic callable produces
+no edge, so the interprocedural rules under-approximate rather than
+guess.  :meth:`CallGraph.reachable_from` returns call paths so rule
+findings can show the chain from root to sink.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .summaries import CallSite, ClassSummary, FunctionSummary, ModuleSummary
+
+__all__ = ["CallGraph"]
+
+#: Cap on re-export chase depth (cycles are also guarded by a seen-set).
+_MAX_CHASE = 16
+
+
+class CallGraph:
+    """Whole-program call graph over a set of module summaries."""
+
+    def __init__(self, summaries: dict[str, ModuleSummary]) -> None:
+        self.summaries = summaries
+        self.functions: dict[str, FunctionSummary] = {}
+        self.classes: dict[str, ClassSummary] = {}
+        for summary in summaries.values():
+            for fn in summary.functions:
+                self.functions[fn.qualname] = fn
+            for cls in summary.classes:
+                self.classes[cls.qualname] = cls
+
+    # -- name resolution --------------------------------------------------
+
+    def _split_module(self, dotted: str) -> tuple[ModuleSummary, list[str]] | None:
+        """Longest module prefix of a dotted path, plus the remainder."""
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            name = ".".join(parts[:cut])
+            if name in self.summaries:
+                return self.summaries[name], parts[cut:]
+        return None
+
+    def resolve_function(self, dotted: str) -> FunctionSummary | None:
+        """Resolve a canonical dotted path to a function summary.
+
+        Follows re-export bindings (``from .service import submit`` in a
+        package ``__init__``) and maps a class target to its
+        ``__init__`` (constructor call).
+        """
+        seen: set[str] = set()
+        current = dotted
+        for _ in range(_MAX_CHASE):
+            if current in seen:
+                return None
+            seen.add(current)
+            split = self._split_module(current)
+            if split is None:
+                return None
+            module, rest = split
+            if not rest:
+                return None  # bare module, not callable
+            qual = f"{module.module}.{'.'.join(rest)}"
+            if qual in self.functions:
+                return self.functions[qual]
+            if len(rest) == 1 and qual in self.classes:
+                return self.resolve_method(qual, "__init__")
+            if len(rest) == 2:
+                class_qual = f"{module.module}.{rest[0]}"
+                if class_qual in self.classes:
+                    return self.resolve_method(class_qual, rest[1])
+            # Re-export chase: the head symbol may be bound in the module.
+            head = rest[0]
+            if head in module.bindings:
+                target = module.bindings[head]
+                tail = rest[1:]
+                current = ".".join([target, *tail]) if tail else target
+                continue
+            return None
+        return None
+
+    def resolve_class(self, dotted: str) -> ClassSummary | None:
+        """Resolve a canonical dotted path to a class summary."""
+        seen: set[str] = set()
+        current = dotted
+        for _ in range(_MAX_CHASE):
+            if current in seen:
+                return None
+            seen.add(current)
+            if current in self.classes:
+                return self.classes[current]
+            split = self._split_module(current)
+            if split is None:
+                return None
+            module, rest = split
+            if not rest:
+                return None
+            head = rest[0]
+            if head in module.bindings:
+                current = ".".join([module.bindings[head], *rest[1:]])
+                continue
+            return None
+        return None
+
+    def resolve_method(self, class_dotted: str, method: str) -> FunctionSummary | None:
+        """Resolve a method through a class and its bases, in MRO order."""
+        seen: set[str] = set()
+        queue = deque([class_dotted])
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            cls = self.resolve_class(current)
+            if cls is None:
+                continue
+            if method in cls.methods:
+                return self.functions.get(f"{cls.qualname}.{method}")
+            queue.extend(cls.bases)
+        return None
+
+    def resolve_call(self, site: CallSite) -> FunctionSummary | None:
+        """Resolve one call site to its target, when statically possible."""
+        if site.receiver_class:
+            return self.resolve_method(site.receiver_class, site.name)
+        return self.resolve_function(site.name)
+
+    # -- traversal --------------------------------------------------------
+
+    def callees(self, fn: FunctionSummary) -> list[tuple[CallSite, FunctionSummary]]:
+        """Resolved (site, target) pairs for a function's call sites."""
+        out: list[tuple[CallSite, FunctionSummary]] = []
+        for site in fn.calls:
+            target = self.resolve_call(site)
+            if target is not None:
+                out.append((site, target))
+        return out
+
+    def reachable_from(
+        self, root: FunctionSummary, *, skip_modules: frozenset[str] = frozenset()
+    ) -> dict[str, tuple[str, ...]]:
+        """BFS over call edges: reachable qualname → path from ``root``.
+
+        The path includes the root and the target, so findings can show
+        the full chain.  Functions defined in ``skip_modules`` are not
+        expanded (nor reported) — this is how sanctioned boundary
+        modules terminate QA008 traversals.
+        """
+        paths: dict[str, tuple[str, ...]] = {root.qualname: (root.qualname,)}
+        queue = deque([root])
+        while queue:
+            current = queue.popleft()
+            for _site, target in self.callees(current):
+                if target.module in skip_modules:
+                    continue
+                if target.qualname in paths:
+                    continue
+                paths[target.qualname] = (*paths[current.qualname], target.qualname)
+                queue.append(target)
+        return paths
+
+    def transitive_locks(
+        self, root: FunctionSummary, *, _cache: dict[str, frozenset[str]] | None = None
+    ) -> frozenset[str]:
+        """All lock ids acquired by ``root`` or any reachable callee."""
+        out: set[str] = set()
+        for qual in self.reachable_from(root):
+            fn = self.functions.get(qual)
+            if fn is not None:
+                out.update(acq.lock_id for acq in fn.locks)
+        return frozenset(out)

@@ -80,9 +80,16 @@ class ModuleInfo:
 class Project:
     """All modules under one source root, with static name resolution."""
 
-    def __init__(self, root: Path, modules: dict[str, ModuleInfo]) -> None:
+    def __init__(
+        self,
+        root: Path,
+        modules: dict[str, ModuleInfo],
+        exclude_parts: tuple[str, ...] = ("__pycache__",),
+    ) -> None:
         self.root = root
         self.modules = modules
+        #: Kept so parallel workers can reproduce this exact scan.
+        self.exclude_parts = exclude_parts
 
     @classmethod
     def scan(
@@ -119,7 +126,7 @@ class Project:
                 source=source,
                 tree=tree,
             )
-        return cls(root, modules)
+        return cls(root, modules, exclude_parts)
 
     def __iter__(self) -> Iterable[ModuleInfo]:
         return iter(self.modules.values())

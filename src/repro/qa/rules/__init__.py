@@ -4,6 +4,10 @@ Importing this package registers every rule with the engine registry
 (:func:`repro.qa.engine.all_rules` relies on that side effect).  Each
 rule lives in its own module, named after its id, and documents the
 scientific invariant it protects in its module docstring.
+
+QA001–QA007 are per-file (``check_module``) rules; QA008–QA010 are
+whole-program (``check_program``) rules built on the call-graph and
+summary machinery in :mod:`repro.qa.graph`.
 """
 
 from . import (  # noqa: F401  (imports register the rules)
@@ -14,6 +18,9 @@ from . import (  # noqa: F401  (imports register the rules)
     qa005_api,
     qa006_exceptions,
     qa007_telemetry,
+    qa008_async_blocking,
+    qa009_lock_discipline,
+    qa010_telemetry_registry,
 )
 from .qa001_determinism import DeterminismRule
 from .qa002_fingerprint import FingerprintCompletenessRule
@@ -22,6 +29,9 @@ from .qa004_units import UnitDisciplineRule
 from .qa005_api import PublicApiRule
 from .qa006_exceptions import ExceptionBoundaryRule
 from .qa007_telemetry import TelemetryDisciplineRule
+from .qa008_async_blocking import AsyncBlockingRule
+from .qa009_lock_discipline import LockDisciplineRule
+from .qa010_telemetry_registry import TelemetryRegistryRule
 
 __all__ = [
     "DeterminismRule",
@@ -31,4 +41,7 @@ __all__ = [
     "PublicApiRule",
     "ExceptionBoundaryRule",
     "TelemetryDisciplineRule",
+    "AsyncBlockingRule",
+    "LockDisciplineRule",
+    "TelemetryRegistryRule",
 ]

@@ -1,4 +1,4 @@
-"""QA004 — unit discipline: no magic sample-rate literals in DSP code.
+"""QA004 — unit discipline: no magic sample-rate or unit-literal drift.
 
 Every stage of the pipeline derives its timing from the config's
 ``sample_rate``/Hz fields; the config validators then prove the whole
@@ -8,13 +8,24 @@ bypasses that proof: it keeps working until someone runs the system at
 a different rate, at which point delays, band edges, and distances are
 silently wrong — no exception, just corrupted features.
 
-The rule flags numeric literals matching well-known audio sample rates
-inside function bodies of the DSP packages.  Literals are *allowed*
-where rates legitimately live:
+Two checks, both scoped to the DSP and serving packages:
+
+1. **Sample-rate literals** — numeric literals matching well-known
+   audio sample rates inside function bodies.
+2. **Unit-bearing keyword literals** — a non-zero numeric literal
+   passed directly to a keyword whose name carries a unit suffix
+   (``timeout_s=30``, ``window_ms=250``, ``band_hz=4000``).  Durations
+   and frequencies are policy, and policy lives in configs; a literal
+   at the call site is a hidden default that drifts from the config it
+   shadows.  Zero is exempt — it is the identity in any unit.
+
+Literals are *allowed* where rates and durations legitimately live:
 
 - dataclass field defaults (the config layer — includes nested
-  ``default_factory`` expressions), and
-- module-level ``ALL_CAPS`` constants (named, greppable, documented).
+  ``default_factory`` expressions),
+- module-level ``ALL_CAPS`` constants (named, greppable, documented),
+- ``__main__`` entry-point modules (argparse defaults are the CLI's
+  documented surface, mirroring QA007's exemption).
 """
 
 from __future__ import annotations
@@ -27,7 +38,7 @@ from ..findings import Finding, Severity
 from ..project import ModuleInfo, Project
 from ._helpers import module_subpackage
 
-__all__ = ["UnitDisciplineRule", "SAMPLE_RATE_LITERALS"]
+__all__ = ["UnitDisciplineRule", "SAMPLE_RATE_LITERALS", "UNIT_KWARG_SUFFIXES"]
 
 #: Common audio sample rates (Hz), plus the pipeline's 8x upsampled rate.
 SAMPLE_RATE_LITERALS = frozenset(
@@ -48,30 +59,46 @@ SAMPLE_RATE_LITERALS = frozenset(
     }
 )
 
-#: Packages whose function bodies must take rates from the config.
-_DSP_SUBPACKAGES = ("signal", "features", "acoustics", "core", "kernels", "faultlab", "quality")
+#: Keyword-name suffixes that declare a unit the argument is measured in.
+UNIT_KWARG_SUFFIXES = ("_s", "_ms", "_hz", "_sec", "_seconds")
+
+#: Packages whose function bodies must take rates/durations from the config.
+_DSP_SUBPACKAGES = (
+    "signal",
+    "features",
+    "acoustics",
+    "core",
+    "kernels",
+    "faultlab",
+    "quality",
+    "serve",
+)
 
 
 @register
 class UnitDisciplineRule(Rule):
-    """Sample rates come from the config, not from inline literals."""
+    """Sample rates and unit-bearing values come from configs, not literals."""
 
     rule_id = "QA004"
     severity = Severity.ERROR
     description = (
-        "magic sample-rate literals in DSP code bypass the config's "
-        "sample_rate/Hz fields and their cross-stage validation"
+        "magic sample-rate literals and non-zero numeric literals passed "
+        "to unit-suffixed keywords (_s/_ms/_hz) in DSP/serving code bypass "
+        "the config layer and its cross-stage validation"
     )
 
     def check_module(self, module: ModuleInfo, project: Project) -> Iterable[Finding]:
         if module_subpackage(module) not in _DSP_SUBPACKAGES:
             return
+        if module.name.rsplit(".", 1)[-1] == "__main__":
+            return
         allowed = self._allowed_literal_ids(module.tree)
+        rates = {float(v) for v in SAMPLE_RATE_LITERALS}
         for node in ast.walk(module.tree):
             if (
                 isinstance(node, ast.Constant)
                 and type(node.value) in (int, float)
-                and float(node.value) in {float(v) for v in SAMPLE_RATE_LITERALS}
+                and float(node.value) in rates
                 and id(node) not in allowed
             ):
                 yield self.finding(
@@ -81,6 +108,31 @@ class UnitDisciplineRule(Rule):
                     "config's sample_rate/Hz fields",
                     "take the rate from the relevant config (ChirpDesign."
                     "sample_rate etc.) or hoist it to a named module constant",
+                )
+            if isinstance(node, ast.Call):
+                yield from self._check_unit_kwargs(module, node, allowed)
+
+    def _check_unit_kwargs(
+        self, module: ModuleInfo, node: ast.Call, allowed: set[int]
+    ) -> Iterable[Finding]:
+        for keyword in node.keywords:
+            if keyword.arg is None or not keyword.arg.endswith(UNIT_KWARG_SUFFIXES):
+                continue
+            value = keyword.value
+            if (
+                isinstance(value, ast.Constant)
+                and type(value.value) in (int, float)
+                and value.value != 0
+                and id(value) not in allowed
+            ):
+                yield self.finding(
+                    module,
+                    value.lineno,
+                    f"unit-bearing keyword {keyword.arg}={value.value!r} "
+                    "hard-codes a duration/frequency at the call site",
+                    "thread the value through the relevant config field "
+                    "or a named module constant so the policy is "
+                    "declared once",
                 )
 
     def _allowed_literal_ids(self, tree: ast.Module) -> set[int]:

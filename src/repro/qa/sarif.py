@@ -1,0 +1,90 @@
+"""SARIF 2.1.0 rendering so findings surface as code-scanning annotations.
+
+GitHub's code-scanning upload action consumes SARIF and renders each
+result as an inline PR annotation at the exact file and line — the
+findings stop living in a CI log nobody reads.  The mapping is small
+and deliberately minimal:
+
+- one ``run`` from the ``repro.qa`` driver, with every registered rule
+  listed under the driver (id, description, default level) so the UI
+  can group and link results;
+- one ``result`` per active finding; severities map directly
+  (``error`` → ``error``, ``warning`` → ``warning``), suggestions ride
+  along in the message text;
+- finding paths are relative to the scanned source root, so the caller
+  passes ``uri_prefix`` (``"src"`` in this repo) to rebase them onto
+  repository-relative URIs the annotation UI expects.
+
+The ``--format json`` output is unchanged and remains the stable
+machine interface; SARIF is an additional projection of the same
+:class:`~repro.qa.engine.Report`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .engine import Report, Rule
+from .findings import Finding, Severity
+
+__all__ = ["render_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_descriptor(rule: Rule) -> dict:
+    return {
+        "id": rule.rule_id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.description or rule.rule_id},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+
+
+def _result(finding: Finding, uri_prefix: str) -> dict:
+    uri = f"{uri_prefix}/{finding.path}" if uri_prefix else finding.path
+    text = finding.message
+    if finding.suggestion:
+        text = f"{text} — {finding.suggestion}"
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": text},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": {"startLine": finding.line},
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(
+    report: Report, rules: Sequence[Rule], uri_prefix: str = ""
+) -> str:
+    """Serialize a report as a SARIF 2.1.0 JSON document."""
+    prefix = uri_prefix.strip("/")
+    payload = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.qa",
+                        "rules": [_rule_descriptor(rule) for rule in rules],
+                    }
+                },
+                "results": [_result(f, prefix) for f in report.findings],
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

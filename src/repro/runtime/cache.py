@@ -199,7 +199,7 @@ class FeatureCache:
         path.unlink(missing_ok=True)
         self.corrupt_evictions += 1
         if self.metrics is not None:
-            self.metrics.increment("cache.corrupt")
+            self.metrics.increment(obs_names.METRIC_CACHE_CORRUPT)
         current_event_log().emit(
             obs_names.EVENT_CACHE_CORRUPT_EVICTED,
             level=EventLevel.WARNING,

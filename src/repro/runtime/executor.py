@@ -323,7 +323,7 @@ class BatchExecutor:
             recordings=len(recordings),
             workers=self.workers,
         )
-        self.metrics.increment("recordings.submitted", len(recordings))
+        self.metrics.increment(obs_names.METRIC_RECORDINGS_SUBMITTED, len(recordings))
         outcomes: list[Outcome | None] = [None] * len(recordings)
 
         misses: list[tuple[int, Recording]] = []
@@ -342,9 +342,9 @@ class BatchExecutor:
 
         ok = sum(1 for o in outcomes if isinstance(o, ProcessedRecording))
         failed = sum(1 for o in outcomes if isinstance(o, FailedRecording))
-        self.metrics.increment("recordings.ok", ok)
-        self.metrics.increment("recordings.failed", failed)
-        self.metrics.observe("batch_ms", (time.perf_counter() - t0) * 1e3)
+        self.metrics.increment(obs_names.METRIC_RECORDINGS_OK, ok)
+        self.metrics.increment(obs_names.METRIC_RECORDINGS_FAILED, failed)
+        self.metrics.observe(obs_names.HIST_BATCH_MS, (time.perf_counter() - t0) * 1e3)
         events.emit(obs_names.EVENT_BATCH_FINISHED, ok=ok, failed=failed)
         assert all(o is not None for o in outcomes)
         return BatchResult(outcomes=list(outcomes))
@@ -359,7 +359,11 @@ class BatchExecutor:
         with current_tracer().span(obs_names.SPAN_CACHE_LOOKUP, index=index) as span:
             hit = self.cache.get_for(recording, self._fingerprint)
             span.set("hit", hit is not None)
-        self.metrics.increment("cache.hits" if hit is not None else "cache.misses")
+        self.metrics.increment(
+            obs_names.METRIC_CACHE_HITS
+            if hit is not None
+            else obs_names.METRIC_CACHE_MISSES
+        )
         return hit
 
     def _cache_store(self, recording: Recording, processed: ProcessedRecording) -> None:
@@ -372,7 +376,7 @@ class BatchExecutor:
         if multiprocessing.current_process().daemon:
             # Daemonized processes (e.g. inside another pool) cannot
             # fork children; degrade gracefully instead of crashing.
-            self.metrics.increment("executor.serial_fallback")
+            self.metrics.increment(obs_names.METRIC_SERIAL_FALLBACK)
             current_event_log().emit(
                 obs_names.EVENT_SERIAL_FALLBACK,
                 level=EventLevel.WARNING,
@@ -391,12 +395,12 @@ class BatchExecutor:
         outcomes: list[Outcome | None],
     ) -> None:
         outcomes[index] = outcome
-        self.metrics.increment("pipeline.calls", attempts)
+        self.metrics.increment(obs_names.METRIC_PIPELINE_CALLS, attempts)
         if attempts > 1:
-            self.metrics.increment("recordings.retried", attempts - 1)
+            self.metrics.increment(obs_names.METRIC_RECORDINGS_RETRIED, attempts - 1)
         if isinstance(outcome, FailedRecording):
             if outcome.error_type == "QualityRejectedError":
-                self.metrics.increment("quality.rejected")
+                self.metrics.increment(obs_names.METRIC_QUALITY_REJECTED)
             current_event_log().emit(
                 obs_names.EVENT_RECORDING_QUARANTINED,
                 level=EventLevel.WARNING,
@@ -407,13 +411,14 @@ class BatchExecutor:
             return
         if isinstance(outcome, ProcessedRecording):
             if outcome.quality_reasons:
-                self.metrics.increment("quality.degraded")
+                self.metrics.increment(obs_names.METRIC_QUALITY_DEGRADED)
             self._cache_store(recording, outcome)
             if latencies is not None:
-                self.metrics.observe("stage.bandpass_ms", latencies.bandpass_ms)
-                self.metrics.observe("stage.features_ms", latencies.feature_extract_ms)
+                self.metrics.observe(obs_names.HIST_STAGE_BANDPASS_MS, latencies.bandpass_ms)
+                self.metrics.observe(obs_names.HIST_STAGE_FEATURES_MS, latencies.feature_extract_ms)
                 self.metrics.observe(
-                    "recording_ms", latencies.bandpass_ms + latencies.feature_extract_ms
+                    obs_names.HIST_RECORDING_MS,
+                    latencies.bandpass_ms + latencies.feature_extract_ms,
                 )
 
     def _run_serial(
@@ -479,7 +484,7 @@ class BatchExecutor:
     ) -> None:
         self._quarantine_chunk(chunk, outcomes, exc)
         if self.breaker is not None and self.breaker.record_failure():
-            self.metrics.increment("breaker.opened")
+            self.metrics.increment(obs_names.METRIC_BREAKER_OPENED)
             current_event_log().emit(
                 obs_names.EVENT_BREAKER_OPENED,
                 level=EventLevel.ERROR,
@@ -491,7 +496,7 @@ class BatchExecutor:
     ) -> None:
         workers = self._effective_workers(len(misses))
         chunks = self._chunk(misses, workers)
-        self.metrics.increment("chunks.dispatched", len(chunks))
+        self.metrics.increment(obs_names.METRIC_CHUNKS_DISPATCHED, len(chunks))
         by_index = {index: recording for index, recording in misses}
         config = self.pipeline.config
         tracer = current_tracer()
@@ -516,7 +521,7 @@ class BatchExecutor:
             for chunk_no, (chunk, future) in enumerate(zip(chunks, futures)):
                 if breaker is not None and breaker.is_open:
                     future.cancel()
-                    self.metrics.increment("executor.chunks_skipped")
+                    self.metrics.increment(obs_names.METRIC_CHUNKS_SKIPPED)
                     self._quarantine_chunk(
                         chunk,
                         outcomes,
@@ -533,7 +538,7 @@ class BatchExecutor:
                     ):
                         rows = future.result(timeout=self.task_timeout_s)
                 except FuturesTimeoutError:
-                    self.metrics.increment("executor.timeouts")
+                    self.metrics.increment(obs_names.METRIC_TIMEOUTS)
                     self._chunk_failed(
                         chunk,
                         outcomes,
@@ -543,7 +548,7 @@ class BatchExecutor:
                         ),
                     )
                 except BrokenProcessPool as exc:
-                    self.metrics.increment("executor.worker_failures")
+                    self.metrics.increment(obs_names.METRIC_WORKER_FAILURES)
                     self._chunk_failed(
                         chunk,
                         outcomes,
@@ -553,7 +558,7 @@ class BatchExecutor:
                     # Injected faults and classified infrastructure
                     # errors raised inside the worker; anything else
                     # (a genuine programming error) still propagates.
-                    self.metrics.increment("executor.worker_failures")
+                    self.metrics.increment(obs_names.METRIC_WORKER_FAILURES)
                     self._chunk_failed(chunk, outcomes, exc)
                 else:
                     if breaker is not None:

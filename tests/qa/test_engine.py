@@ -36,7 +36,18 @@ BAD_SIGNAL = {
 
 def test_all_rules_registered():
     ids = [rule.rule_id for rule in all_rules()]
-    assert ids == ["QA001", "QA002", "QA003", "QA004", "QA005", "QA006", "QA007"]
+    assert ids == [
+        "QA001",
+        "QA002",
+        "QA003",
+        "QA004",
+        "QA005",
+        "QA006",
+        "QA007",
+        "QA008",
+        "QA009",
+        "QA010",
+    ]
 
 
 def test_engine_runs_all_rules_and_sorts_findings(make_project):

@@ -1,0 +1,116 @@
+"""Incremental summary cache + parallel-jobs determinism.
+
+The acceptance bar: a warm rerun analyzes only changed files and its
+findings are byte-identical to a cold run; ``--jobs 1`` and ``--jobs 4``
+produce identical ordered findings.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.qa import QAEngine
+from repro.qa.graph import SummaryCache
+
+# A small tree with deliberate violations so findings are non-empty.
+TREE = {
+    "repro/serve/loop.py": """
+        from ..store.disk import persist
+
+        async def flush():
+            persist("x")
+        """,
+    "repro/store/disk.py": """
+        def persist(payload):
+            with open("out.json", "w") as fh:
+                fh.write(payload)
+        """,
+    "repro/obs/names.py": """
+        METRIC_DEAD = "work.dead"
+        CANONICAL_COUNTERS = frozenset({METRIC_DEAD})
+        SPAN_NAMES = frozenset()
+        EVENT_NAMES = frozenset()
+        CANONICAL_HISTOGRAMS = frozenset()
+        """,
+}
+
+
+def _findings_payload(findings) -> str:
+    return json.dumps([f.to_dict() for f in findings], sort_keys=True)
+
+
+def test_warm_rerun_reuses_cache_and_is_byte_identical(make_project, tmp_path):
+    project = make_project(TREE)
+    cache_dir = tmp_path / "qa-cache"
+
+    cold_cache = SummaryCache(cache_dir)
+    cold = QAEngine(cache=cold_cache).collect(project)
+    assert cold, "fixture tree should produce findings"
+    assert cold_cache.stats.analyzed == len(project.modules)
+    assert cold_cache.stats.reused == 0
+
+    warm_cache = SummaryCache(cache_dir)
+    warm = QAEngine(cache=warm_cache).collect(project)
+    assert warm_cache.stats.analyzed == 0
+    assert warm_cache.stats.reused == len(project.modules)
+    assert _findings_payload(warm) == _findings_payload(cold)
+
+
+def test_touched_file_is_the_only_one_reanalyzed(make_project, tmp_path):
+    project = make_project(TREE)
+    cache_dir = tmp_path / "qa-cache"
+    QAEngine(cache=SummaryCache(cache_dir)).collect(project)
+
+    # Touch exactly one module (content change, same violations).
+    disk = project.get("repro.store.disk")
+    disk.path.write_text(disk.source + "\n# touched\n", encoding="utf-8")
+    reloaded = type(project).scan(project.root)
+
+    cache = SummaryCache(cache_dir)
+    QAEngine(cache=cache).collect(reloaded)
+    assert cache.stats.analyzed_modules == ["repro/store/disk.py"]
+    assert cache.stats.reused == len(reloaded.modules) - 1
+
+
+def test_corrupt_cache_entry_is_a_miss_not_an_error(make_project, tmp_path):
+    project = make_project(TREE)
+    cache_dir = tmp_path / "qa-cache"
+    cold = QAEngine(cache=SummaryCache(cache_dir)).collect(project)
+
+    for entry in cache_dir.iterdir():
+        entry.write_text("{not json", encoding="utf-8")
+
+    cache = SummaryCache(cache_dir)
+    warm = QAEngine(cache=cache).collect(project)
+    assert cache.stats.reused == 0
+    assert cache.stats.analyzed == len(project.modules)
+    assert _findings_payload(warm) == _findings_payload(cold)
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_parallel_jobs_findings_identical_to_serial(make_project, jobs):
+    project = make_project(TREE)
+    serial = QAEngine(jobs=1).collect(project)
+    parallel = QAEngine(jobs=jobs).collect(project)
+    assert _findings_payload(parallel) == _findings_payload(serial)
+    assert [f.render() for f in parallel] == [f.render() for f in serial]
+
+
+def test_parallel_jobs_fill_the_cache_like_serial(make_project, tmp_path):
+    project = make_project(TREE)
+    serial_dir = tmp_path / "serial-cache"
+    parallel_dir = tmp_path / "parallel-cache"
+
+    QAEngine(cache=SummaryCache(serial_dir), jobs=1).collect(project)
+    QAEngine(cache=SummaryCache(parallel_dir), jobs=4).collect(project)
+
+    serial_entries = {p.name: p.read_text() for p in serial_dir.iterdir()}
+    parallel_entries = {p.name: p.read_text() for p in parallel_dir.iterdir()}
+    assert serial_entries == parallel_entries
+
+    # And a warm run over the parallel-filled cache is fully reused.
+    cache = SummaryCache(parallel_dir)
+    QAEngine(cache=cache, jobs=1).collect(project)
+    assert cache.stats.analyzed == 0

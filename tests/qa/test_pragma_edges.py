@@ -1,0 +1,103 @@
+"""Pragma edge cases: multi-id lists, decorated defs, interprocedural sinks."""
+
+from __future__ import annotations
+
+from repro.qa import QAEngine
+from repro.qa.rules.qa001_determinism import DeterminismRule
+from repro.qa.rules.qa004_units import UnitDisciplineRule
+from repro.qa.rules.qa005_api import PublicApiRule
+from repro.qa.rules.qa008_async_blocking import AsyncBlockingRule
+
+
+def _run(make_project, rules, files):
+    project = make_project(files)
+    return QAEngine(rules=rules).run(project)
+
+
+def test_multi_rule_id_pragma_suppresses_each_listed_rule(make_project):
+    report = _run(
+        make_project,
+        [DeterminismRule(), UnitDisciplineRule()],
+        {
+            "repro/signal/mix.py": """
+                import numpy as np
+
+                def f():
+                    return np.random.rand(3), 48_000.0  # qa: ignore[QA001, QA004]
+                """,
+        },
+    )
+    assert report.findings == []
+    assert {f.rule for f in report.pragma_suppressed} == {"QA001", "QA004"}
+
+
+def test_multi_id_pragma_does_not_suppress_unlisted_rule(make_project):
+    report = _run(
+        make_project,
+        [DeterminismRule(), UnitDisciplineRule()],
+        {
+            "repro/signal/mix.py": """
+                import numpy as np
+
+                def f():
+                    return np.random.rand(3), 48_000.0  # qa: ignore[QA004]
+                """,
+        },
+    )
+    assert [f.rule for f in report.findings] == ["QA001"]
+    assert [f.rule for f in report.pragma_suppressed] == ["QA004"]
+
+
+def test_pragma_on_decorated_def_line_suppresses(make_project):
+    # The finding anchors at the ``def`` line (not the decorator), so
+    # that is where the pragma belongs.
+    files = {
+        "repro/core/api.py": """
+            import functools
+
+            __all__ = ["helper"]
+
+            def _wrap(fn):
+                return fn
+
+            @_wrap
+            @functools.lru_cache
+            def helper(x):  # qa: ignore[QA005]
+                return x
+            """,
+    }
+    report = _run(make_project, [PublicApiRule()], files)
+    assert report.findings == []
+    assert {f.rule for f in report.pragma_suppressed} == {"QA005"}
+
+    # Without the pragma the same tree is flagged, proving the pragma
+    # (not the decorators) is what suppressed it.
+    bare = {k: v.replace("  # qa: ignore[QA005]", "") for k, v in files.items()}
+    report = _run(make_project, [PublicApiRule()], bare)
+    assert {f.rule for f in report.findings} == {"QA005"}
+
+
+def test_interprocedural_finding_suppressed_at_sink_site(make_project):
+    files = {
+        "repro/serve/loop.py": """
+            from ..store.disk import persist
+
+            async def flush():
+                persist("x")
+            """,
+        "repro/store/disk.py": """
+            def persist(payload):
+                with open("out.json", "w") as fh:  # qa: ignore[QA008]
+                    fh.write(payload)
+            """,
+    }
+    report = _run(make_project, [AsyncBlockingRule()], files)
+    assert report.findings == []
+    assert [f.rule for f in report.pragma_suppressed] == ["QA008"]
+    # The suppressed finding is anchored in the *sink* file, two modules
+    # away from the coroutine that made it reachable.
+    assert report.pragma_suppressed[0].path == "repro/store/disk.py"
+
+    bare = {k: v.replace("  # qa: ignore[QA008]", "") for k, v in files.items()}
+    report = _run(make_project, [AsyncBlockingRule()], bare)
+    assert [f.rule for f in report.findings] == ["QA008"]

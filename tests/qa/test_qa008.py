@@ -1,0 +1,175 @@
+"""QA008 fixtures: blocking primitives reachable from serve coroutines."""
+
+from __future__ import annotations
+
+from repro.qa.rules.qa008_async_blocking import AsyncBlockingRule
+
+
+def _qa008(findings):
+    return [f for f in findings if f.rule == "QA008"]
+
+
+def test_direct_blocking_in_async_def_flagged(findings_of):
+    findings = _qa008(
+        findings_of(
+            AsyncBlockingRule,
+            {
+                "repro/serve/loop.py": """
+                    import time
+
+                    async def tick():
+                        time.sleep(0.5)
+                    """,
+            },
+        )
+    )
+    assert len(findings) == 1
+    (finding,) = findings
+    assert finding.path == "repro/serve/loop.py"
+    assert finding.line == 4
+    assert "time.sleep" in finding.message
+
+
+def test_cross_file_blocking_callee_flagged_at_sink(findings_of):
+    findings = _qa008(
+        findings_of(
+            AsyncBlockingRule,
+            {
+                "repro/serve/loop.py": """
+                    from ..store.disk import persist
+
+                    async def flush():
+                        persist("x")
+                    """,
+                "repro/store/disk.py": """
+                    def persist(payload):
+                        with open("out.json", "w") as fh:
+                            fh.write(payload)
+                    """,
+            },
+        )
+    )
+    assert len(findings) == 1
+    (finding,) = findings
+    # Anchored at the sink: the blocking call's own file and line.
+    assert finding.path == "repro/store/disk.py"
+    assert finding.line == 2
+    assert "repro.serve.loop.flush" in finding.message
+    assert "repro.store.disk.persist" in finding.message
+
+
+def test_two_hop_chain_via_method_call(findings_of):
+    findings = _qa008(
+        findings_of(
+            AsyncBlockingRule,
+            {
+                "repro/serve/svc.py": """
+                    from .workers import Runner
+
+                    class Service:
+                        def __init__(self):
+                            self.runner = Runner()
+
+                        async def go(self):
+                            self.runner.run()
+                    """,
+                "repro/serve/workers.py": """
+                    import subprocess
+
+                    class Runner:
+                        def run(self):
+                            subprocess.run(["ls"])
+                    """,
+            },
+        )
+    )
+    assert len(findings) == 1
+    (finding,) = findings
+    assert finding.path == "repro/serve/workers.py"
+    assert finding.line == 5
+    assert "subprocess.run" in finding.message
+
+
+def test_clock_boundary_module_is_sanctioned(findings_of):
+    findings = _qa008(
+        findings_of(
+            AsyncBlockingRule,
+            {
+                "repro/serve/clock.py": """
+                    import time
+
+                    async def sleep(duration):
+                        time.sleep(duration)
+                    """,
+                "repro/serve/loop.py": """
+                    from .clock import sleep
+
+                    async def tick():
+                        await sleep(0.5)
+                    """,
+            },
+        )
+    )
+    assert findings == []
+
+
+def test_main_entry_point_coroutines_exempt(findings_of):
+    findings = _qa008(
+        findings_of(
+            AsyncBlockingRule,
+            {
+                "repro/serve/__main__.py": """
+                    async def pump(path):
+                        return open(path).read()
+                    """,
+            },
+        )
+    )
+    assert findings == []
+
+
+def test_lock_acquisition_reachable_from_coroutine_flagged(findings_of):
+    findings = _qa008(
+        findings_of(
+            AsyncBlockingRule,
+            {
+                "repro/serve/svc.py": """
+                    from ..runtime.state import bump
+
+                    async def handle():
+                        bump()
+                    """,
+                "repro/runtime/state.py": """
+                    import threading
+
+                    _LOCK = threading.Lock()
+
+                    def bump():
+                        with _LOCK:
+                            return 1
+                    """,
+            },
+        )
+    )
+    assert len(findings) == 1
+    (finding,) = findings
+    assert finding.path == "repro/runtime/state.py"
+    assert finding.line == 6
+    assert "lock" in finding.message
+
+
+def test_sync_only_code_is_not_flagged(findings_of):
+    findings = _qa008(
+        findings_of(
+            AsyncBlockingRule,
+            {
+                "repro/serve/svc.py": """
+                    import time
+
+                    def warmup():
+                        time.sleep(1)
+                    """,
+            },
+        )
+    )
+    assert findings == []

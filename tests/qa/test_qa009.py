@@ -1,0 +1,205 @@
+"""QA009 fixtures: lock-order inversions and pool-global rebinds."""
+
+from __future__ import annotations
+
+from repro.qa.rules.qa009_lock_discipline import LockDisciplineRule
+
+
+def _qa009(findings):
+    return [f for f in findings if f.rule == "QA009"]
+
+
+def test_lexical_lock_order_inversion_flagged(findings_of):
+    findings = _qa009(
+        findings_of(
+            LockDisciplineRule,
+            {
+                "repro/runtime/sync.py": """
+                    import threading
+
+                    A_LOCK = threading.Lock()
+                    B_LOCK = threading.Lock()
+
+                    def forward_one():
+                        with A_LOCK:
+                            with B_LOCK:
+                                return 1
+
+                    def forward_two():
+                        with A_LOCK:
+                            with B_LOCK:
+                                return 2
+
+                    def inverted():
+                        with B_LOCK:
+                            with A_LOCK:
+                                return 3
+                    """,
+            },
+        )
+    )
+    assert len(findings) == 1
+    (finding,) = findings
+    # The minority direction (B before A, one site) is the violation.
+    assert finding.path == "repro/runtime/sync.py"
+    assert finding.line == 18
+    assert "repro.runtime.sync.A_LOCK" in finding.message
+    assert "inverted" in finding.message
+
+
+def test_cross_file_inversion_through_call_graph(findings_of):
+    findings = _qa009(
+        findings_of(
+            LockDisciplineRule,
+            {
+                "repro/runtime/outer.py": """
+                    import threading
+                    from .inner import take_b, take_a
+
+                    A_LOCK = threading.Lock()
+
+                    def forward_one():
+                        with A_LOCK:
+                            take_b()
+
+                    def forward_two():
+                        with A_LOCK:
+                            take_b()
+                    """,
+                "repro/runtime/inner.py": """
+                    import threading
+
+                    B_LOCK = threading.Lock()
+
+                    def take_b():
+                        with B_LOCK:
+                            return 1
+
+                    def take_a():
+                        return None
+
+                    def inverted():
+                        from .outer import forward_one
+                        with B_LOCK:
+                            _helper()
+
+                    def _helper():
+                        from . import outer
+                        with outer.A_LOCK:
+                            return 2
+                    """,
+            },
+        )
+    )
+    # forward_one/forward_two establish A->B (majority, via the call
+    # graph); inverted->_helper establishes B->A at the call site.
+    assert len(findings) == 1
+    (finding,) = findings
+    assert finding.path == "repro/runtime/inner.py"
+    assert "repro.runtime.outer.A_LOCK" in finding.message
+    assert "repro.runtime.inner.B_LOCK" in finding.message
+
+
+def test_consistent_order_everywhere_is_clean(findings_of):
+    findings = _qa009(
+        findings_of(
+            LockDisciplineRule,
+            {
+                "repro/runtime/sync.py": """
+                    import threading
+
+                    A_LOCK = threading.Lock()
+                    B_LOCK = threading.Lock()
+
+                    def one():
+                        with A_LOCK:
+                            with B_LOCK:
+                                return 1
+
+                    def two():
+                        with A_LOCK:
+                            with B_LOCK:
+                                return 2
+                    """,
+            },
+        )
+    )
+    assert findings == []
+
+
+def test_pool_global_rebind_flagged_transitively(findings_of):
+    findings = _qa009(
+        findings_of(
+            LockDisciplineRule,
+            {
+                "repro/runtime/executor.py": """
+                    def dispatch(pool, items):
+                        return list(pool.map(work, items))
+                    """,
+                "repro/runtime/worker.py": """
+                    _COUNT = 0
+
+                    def helper():
+                        global _COUNT
+                        _COUNT = _COUNT + 1
+                    """,
+            },
+        )
+    )
+    # `work` is unresolvable here, so nothing is reachable -> clean.
+    assert findings == []
+
+    findings = _qa009(
+        findings_of(
+            LockDisciplineRule,
+            {
+                "repro/runtime/executor.py": """
+                    from .worker import work
+
+                    def dispatch(pool, items):
+                        return list(pool.map(work, items))
+                    """,
+                "repro/runtime/worker.py": """
+                    _COUNT = 0
+
+                    def work(item):
+                        helper()
+                        return item
+
+                    def helper():
+                        global _COUNT
+                        _COUNT = _COUNT + 1
+                    """,
+            },
+        )
+    )
+    assert len(findings) == 1
+    (finding,) = findings
+    assert finding.path == "repro/runtime/worker.py"
+    assert finding.line == 9
+    assert "_COUNT" in finding.message
+    assert "pool workers" in finding.message
+
+
+def test_container_mutation_in_pool_code_not_flagged(findings_of):
+    findings = _qa009(
+        findings_of(
+            LockDisciplineRule,
+            {
+                "repro/runtime/executor.py": """
+                    from .worker import work
+
+                    def dispatch(pool, items):
+                        return list(pool.map(work, items))
+                    """,
+                "repro/runtime/worker.py": """
+                    _CACHE = {}
+
+                    def work(item):
+                        _CACHE[item] = item
+                        return item
+                    """,
+            },
+        )
+    )
+    assert findings == []
