@@ -17,7 +17,11 @@ clock-free and deterministic under QA001.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import platform
+import subprocess
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -30,11 +34,15 @@ __all__ = [
     "BenchResult",
     "time_op",
     "compare_ops",
+    "git_sha",
+    "machine_fingerprint",
     "write_report",
 ]
 
 #: Bumped whenever the JSON layout changes shape incompatibly.
-SCHEMA_VERSION = 1
+#: v2: reports hold a ``runs`` list keyed by (git_sha, seed, quick,
+#: machine) instead of a single clobber-on-write result set.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -94,6 +102,69 @@ def compare_ops(
     )
 
 
+def git_sha() -> str:
+    """HEAD commit of the enclosing repo, or ``"unknown"`` outside one."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if sha else "unknown"
+
+
+def machine_fingerprint() -> str:
+    """Short stable digest of the benchmarking host.
+
+    Timings are only comparable on the same machine class, so every
+    run/trajectory entry is stamped with a hash of the CPU architecture,
+    OS, core count, and Python/NumPy versions; the regression gate only
+    compares entries whose fingerprints match.
+    """
+    identity = "|".join(
+        (
+            platform.machine(),
+            platform.system(),
+            str(os.cpu_count() or 0),
+            platform.python_version(),
+            np.__version__,
+        )
+    )
+    return hashlib.sha256(identity.encode("utf-8")).hexdigest()[:12]
+
+
+def _load_runs(path: Path) -> list[dict]:
+    """Existing runs in ``path``, migrating v1 single-run payloads."""
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    if not isinstance(payload, dict):
+        return []
+    if payload.get("schema_version") == 1:
+        # v1 wrote one anonymous result set at the top level; keep it
+        # as a run with an unknown SHA rather than dropping history.
+        return [
+            {
+                "git_sha": "unknown",
+                "seed": payload.get("seed"),
+                "quick": payload.get("quick"),
+                "machine": "unknown",
+                "config_fingerprint": None,
+                "results": payload.get("results", []),
+            }
+        ]
+    runs = payload.get("runs", [])
+    return runs if isinstance(runs, list) else []
+
+
 def write_report(
     path: Path,
     results: list[BenchResult],
@@ -101,14 +172,46 @@ def write_report(
     label: str,
     quick: bool,
     seed: int,
+    sha: str | None = None,
+    machine: str | None = None,
+    config_fingerprint: str | None = None,
 ) -> Path:
-    """Serialise ``results`` to ``path`` with schema/run metadata."""
+    """Record ``results`` in ``path`` without clobbering other commits.
+
+    The report is multi-run: each run is keyed by ``(git_sha, seed,
+    quick, machine)``.  Re-benchmarking the same commit on the same
+    machine replaces that run in place; a run from a *different* commit
+    is appended, never overwritten, so a report file accumulates the
+    perf trajectory across the stacked PRs instead of erasing it on
+    every invocation.
+    """
+    sha = sha if sha is not None else git_sha()
+    machine = machine if machine is not None else machine_fingerprint()
+    run = {
+        "git_sha": sha,
+        "seed": seed,
+        "quick": quick,
+        "machine": machine,
+        "config_fingerprint": config_fingerprint,
+        "results": [asdict(r) for r in results],
+    }
+    key = (sha, seed, quick, machine)
+    runs = _load_runs(path)
+    for i, existing in enumerate(runs):
+        if (
+            existing.get("git_sha"),
+            existing.get("seed"),
+            existing.get("quick"),
+            existing.get("machine"),
+        ) == key:
+            runs[i] = run
+            break
+    else:
+        runs.append(run)
     payload = {
         "schema_version": SCHEMA_VERSION,
         "label": label,
-        "quick": quick,
-        "seed": seed,
-        "results": [asdict(r) for r in results],
+        "runs": runs,
     }
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return path

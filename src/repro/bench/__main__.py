@@ -15,7 +15,215 @@ from pathlib import Path
 
 import numpy as np
 
-from . import BenchResult, compare_ops, write_report
+from . import BenchResult, compare_ops, git_sha, machine_fingerprint, write_report
+from .trajectory import append_entry, check_gate
+
+
+def _backend_suite(
+    rng: np.random.Generator, quick: bool, repeats: int
+) -> list[BenchResult]:
+    """The float32 fast lane vs the float64 reference lane, per hot op.
+
+    ``speedup`` reads as ``float64_p50 / float32_p50`` — how much the
+    dispatched lane (autotuned candidates, fused float32 recipes,
+    zoom-DFT, optional JIT epilogues) buys over the bit-exact default.
+    The float64 side *is* the planned kernel of the previous perf
+    round, so these numbers are the additional trajectory on top of it.
+    """
+    from ..core.config import EarSonarConfig
+    from ..core.pipeline import EarSonarPipeline
+    from ..features.laplacian import laplacian_scores
+    from ..kernels import backends
+    from ..kernels.mfcc import mfcc_batched
+    from ..kernels.chirp import chirp_train_planned, matched_filter_batched
+    from ..kernels.spectral import welch_periodograms
+    from ..signal.chirp import ChirpDesign
+    from ..signal.correlation import correlation_matrix
+    from ..signal.mfcc import MfccConfig
+    from ..simulation.participant import sample_participant
+    from ..simulation.session import SessionConfig, record_session
+
+    results: list[BenchResult] = []
+    design = ChirpDesign()
+    fs = design.sample_rate
+    backends.ensure_ready()
+
+    def lanes(
+        op: str, shape: str, run, arr64: np.ndarray
+    ) -> BenchResult:
+        arr32 = arr64.astype(np.float32)
+        return compare_ops(
+            op, shape, lambda: run(arr32), lambda: run(arr64), repeats=repeats
+        )
+
+    n = 16_384 if quick else 96_000
+    x = rng.standard_normal(n)
+    results.append(
+        lanes(
+            "f32.welch_power",
+            f"n={n},segment=256,overlap=0.5",
+            lambda a: welch_periodograms(a, fs, segment_length=256, overlap=0.5),
+            x,
+        )
+    )
+
+    captures, k = (8, 4_096) if quick else (16, 16_384)
+    sig = rng.standard_normal((captures, k))
+    results.append(
+        lanes(
+            "f32.matched_filter_rows",
+            f"batch={captures},n={k}",
+            lambda a: matched_filter_batched(a, design),
+            sig,
+        )
+    )
+
+    mfcc_cfg = MfccConfig(
+        sample_rate=384_000.0,
+        frame_length=256,
+        frame_hop=128,
+        nfft=1024,
+        num_filters=20,
+        num_coefficients=17,
+        low_hz=15_000.0,
+        high_hz=21_000.0,
+    )
+    segs, m = (8, 2_048) if quick else (16, 8_192)
+    segments = rng.standard_normal((segs, m))
+    results.append(
+        lanes(
+            "f32.mfcc",
+            f"batch={segs},n={m},nfft=1024",
+            lambda a: mfcc_batched(a, mfcc_cfg),
+            segments,
+        )
+    )
+
+    chirps = 200 if quick else 1_000
+    results.append(
+        compare_ops(
+            "f32.chirp_train",
+            f"chirps={chirps}",
+            lambda: chirp_train_planned(design, chirps, dtype=np.float32),
+            lambda: chirp_train_planned(design, chirps),
+            repeats=repeats,
+        )
+    )
+
+    sessions, bins = (64, 128) if quick else (1_024, 2_048)
+    curves = rng.standard_normal((sessions, bins))
+    results.append(
+        lanes(
+            "f32.correlation_matrix",
+            f"sessions={sessions},bins={bins}",
+            correlation_matrix,
+            curves,
+        )
+    )
+
+    samples, feats = (240, 105) if quick else (960, 105)
+    table = rng.standard_normal((samples, feats))
+    results.append(
+        lanes(
+            "f32.laplacian_scores",
+            f"samples={samples},features={feats}",
+            laplacian_scores,
+            table,
+        )
+    )
+
+    # The hottest op of the whole screening path: absorption curves for
+    # every extracted eardrum echo of one real capture, float32 pipeline
+    # (zoom-DFT lane) vs the bit-exact float64 default.
+    participant = sample_participant(rng, "BENCH32")
+    session_cfg = SessionConfig(duration_s=0.2 if quick else 1.0)
+    recording = record_session(participant, 0.0, session_cfg, rng)
+    pipe64 = EarSonarPipeline(EarSonarConfig())
+    pipe32 = EarSonarPipeline(EarSonarConfig(precision="float32"))
+    filtered = pipe64.preprocess(recording.waveform)
+    echoes = pipe64.extract_echoes(filtered)
+    if echoes:
+        results.append(
+            compare_ops(
+                "f32.absorption_curves",
+                f"echoes={len(echoes)},nfft=8192",
+                lambda: pipe32.absorption_curves(echoes),
+                lambda: pipe64.absorption_curves(echoes),
+                repeats=repeats,
+            )
+        )
+    return results
+
+
+def _runtime_suite(seed: int, quick: bool, repeats: int) -> list[BenchResult]:
+    """Dispatch-overhead pair: shared-memory handoff vs pickled dispatch.
+
+    Times exactly the bytes-moving half of pool dispatch for one chunk
+    of real recordings, with the DSP excluded.  The shm side is the
+    arena round-trip the executor runs (pack into a recycled segment,
+    worker-side attach + zero-copy view rebuild, release); the baseline
+    is what pickled dispatch actually pays — the chunk pickled through a
+    real ``multiprocessing`` pipe and unpickled on the far end, which is
+    the transport ``ProcessPoolExecutor`` uses.  ``speedup`` reads as
+    ``pickled_p50 / shm_p50``; the acceptance bar (>= 30% lower
+    overhead) corresponds to speedup >= 1.43.
+    """
+    import multiprocessing
+    import threading
+
+    from ..runtime import shm
+    from ..runtime.metrics import RuntimeMetrics
+    from ..simulation.participant import sample_participant
+    from ..simulation.session import SessionConfig, record_session
+
+    setup_rng = np.random.default_rng(seed)
+    participant = sample_participant(setup_rng, "BENCH")
+    session_cfg = SessionConfig(duration_s=0.1 if quick else 1.0)
+    chunk = [
+        record_session(participant, 0.5 * day, session_cfg, setup_rng)
+        for day in range(4 if quick else 16)
+    ]
+    total_bytes = sum(int(r.waveform.nbytes) for r in chunk)
+    if not shm.shared_memory_available():
+        return []
+    metrics = RuntimeMetrics()
+    arena = shm.WaveformArena(metrics)
+    send_end, recv_end = multiprocessing.Pipe()
+
+    def shm_handoff() -> int:
+        payload, segment = arena.share_chunk(chunk)
+        rebuilt = shm.materialize_chunk(payload)
+        count = len(rebuilt)
+        rebuilt = None
+        shm.release_attachments()
+        arena.release(segment)
+        return count
+
+    def pickled_handoff() -> int:
+        # Reader thread drains the pipe concurrently, exactly like the
+        # pool's worker end; sending 6 MB into an undrained pipe would
+        # deadlock on the OS buffer instead of measuring transport cost.
+        received: list = []
+        reader = threading.Thread(target=lambda: received.append(recv_end.recv()))
+        reader.start()
+        send_end.send(chunk)
+        reader.join()
+        return len(received[0])
+
+    try:
+        return [
+            compare_ops(
+                "runtime.waveform_handoff",
+                f"recordings={len(chunk)},bytes={total_bytes}",
+                shm_handoff,
+                pickled_handoff,
+                repeats=repeats,
+            )
+        ]
+    finally:
+        arena.close()
+        send_end.close()
+        recv_end.close()
 
 
 def _kernel_suite(rng: np.random.Generator, quick: bool, repeats: int) -> list[BenchResult]:
@@ -350,45 +558,118 @@ def main(argv: list[str] | None = None) -> int:
         help="exit 1 if tracing-enabled batch p50 exceeds the disabled "
         "path by more than this percent",
     )
+    parser.add_argument(
+        "--trajectory",
+        type=Path,
+        default=None,
+        help="append this run's per-op numbers to the given "
+        "BENCH_trajectory.json (append-only perf history)",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="after appending, fail if any op regressed past "
+        "--gate-tolerance on both p50 and speedup vs the previous "
+        "same-machine trajectory entry",
+    )
+    parser.add_argument(
+        "--gate-tolerance",
+        type=float,
+        default=0.20,
+        help="fractional slowdown the gate tolerates on each signal "
+        "(default 0.20)",
+    )
     args = parser.parse_args(argv)
 
     repeats = args.repeats if args.repeats is not None else (3 if args.quick else 7)
     rng = np.random.default_rng(args.seed)
 
     kernel_results = _kernel_suite(rng, args.quick, repeats)
+    backend_results = _backend_suite(rng, args.quick, repeats)
     pipeline_results = _pipeline_suite(args.seed, args.quick, repeats)
+    runtime_results = _runtime_suite(args.seed, args.quick, repeats)
     obs_results = _obs_suite(args.seed, args.quick, repeats, args.trace_dir)
 
+    from ..core.config import EarSonarConfig
+
+    sha = git_sha()
+    machine = machine_fingerprint()
+    fingerprint = EarSonarConfig().fingerprint()
+    stamp = {
+        "quick": args.quick,
+        "seed": args.seed,
+        "sha": sha,
+        "machine": machine,
+        "config_fingerprint": fingerprint,
+    }
     args.output_dir.mkdir(parents=True, exist_ok=True)
     kernels_path = write_report(
-        args.output_dir / "BENCH_kernels.json",
-        kernel_results,
-        label="kernels",
-        quick=args.quick,
-        seed=args.seed,
+        args.output_dir / "BENCH_kernels.json", kernel_results, label="kernels", **stamp
+    )
+    backends_path = write_report(
+        args.output_dir / "BENCH_backends.json",
+        backend_results,
+        label="backends",
+        **stamp,
     )
     pipeline_path = write_report(
         args.output_dir / "BENCH_pipeline.json",
         pipeline_results,
         label="pipeline",
-        quick=args.quick,
-        seed=args.seed,
+        **stamp,
+    )
+    runtime_path = write_report(
+        args.output_dir / "BENCH_runtime.json", runtime_results, label="runtime", **stamp
     )
     obs_path = write_report(
-        args.output_dir / "BENCH_obs.json",
-        obs_results,
-        label="obs",
-        quick=args.quick,
-        seed=args.seed,
+        args.output_dir / "BENCH_obs.json", obs_results, label="obs", **stamp
     )
 
     _print_table("kernel micro-benchmarks (batched vs serial oracle)", kernel_results)
+    _print_table("backend lanes (float32 fast lane vs float64 reference)", backend_results)
     _print_table("pipeline stages (batched vs serial oracle)", pipeline_results)
+    if runtime_results:
+        _print_table("runtime dispatch (zero-copy shm vs pickled handoff)", runtime_results)
     _print_table("observability overhead (traced vs disabled)", obs_results)
     overhead = overhead_pct(obs_results[0])
     if overhead is not None:
         print(f"\ntracing overhead: {overhead:+.2f}% on batch p50")
-    print(f"wrote {kernels_path}, {pipeline_path} and {obs_path}")
+    print(
+        f"wrote {kernels_path}, {backends_path}, {pipeline_path}, "
+        f"{runtime_path} and {obs_path}"
+    )
+
+    failed = False
+    if args.trajectory is not None:
+        trajectory_results = kernel_results + backend_results + runtime_results
+        append_entry(
+            args.trajectory,
+            trajectory_results,
+            seed=args.seed,
+            quick=args.quick,
+            sha=sha,
+            machine=machine,
+        )
+        print(f"appended trajectory entry ({len(trajectory_results)} ops) to {args.trajectory}")
+        if args.gate:
+            regressions, detail = check_gate(
+                args.trajectory, tolerance=args.gate_tolerance
+            )
+            print(f"bench-gate: {detail}")
+            for reg in regressions:
+                speedup_note = ""
+                if reg.baseline_speedup is not None and reg.current_speedup is not None:
+                    speedup_note = (
+                        f", speedup {reg.baseline_speedup:.2f}x -> "
+                        f"{reg.current_speedup:.2f}x"
+                    )
+                print(
+                    f"FAIL: {reg.op} regressed {reg.ratio:.2f}x "
+                    f"({reg.baseline_p50_ms:.3f} ms -> "
+                    f"{reg.current_p50_ms:.3f} ms{speedup_note})"
+                )
+            failed = failed or bool(regressions)
+
     if (
         args.fail_overhead_pct is not None
         and overhead is not None
@@ -398,8 +679,8 @@ def main(argv: list[str] | None = None) -> int:
             f"FAIL: tracing overhead {overhead:+.2f}% exceeds "
             f"{args.fail_overhead_pct:g}% budget"
         )
-        return 1
-    return 0
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

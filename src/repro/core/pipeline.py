@@ -55,6 +55,13 @@ class EarSonarPipeline:
         self._grid = cfg.features.frequency_grid()
         self._nfft = 8192
         self._tx_reference = self._reference_spectrum()
+        # Numeric lane of the spectral/feature half (config.precision).
+        # Pre-DSP stages and the quality gate always run float64; the
+        # float32 lane starts at the absorption/MFCC boundary below.
+        self._dtype = np.dtype(
+            np.float32 if cfg.precision == "float32" else np.float64
+        )
+        self._tx_reference32 = self._tx_reference.astype(np.float32)
 
     # ------------------------------------------------------------------
     # Stage implementations
@@ -136,6 +143,8 @@ class EarSonarPipeline:
         """
         if not echoes:
             raise NoEchoFoundError("cannot average zero echoes")
+        if self._dtype == np.float32:
+            return self._absorption_curves32(echoes)
         from ..kernels.spectral import batched_amplitude_spectrum
 
         curves = np.empty((len(echoes), self._grid.size))
@@ -150,6 +159,41 @@ class EarSonarPipeline:
             for row, i in enumerate(idx):
                 interped = np.interp(self._grid, band_freqs, values[row][mask])
                 curves[i] = interped / self._tx_reference
+        return curves
+
+    def _absorption_curves32(self, echoes: list[EardrumEcho]) -> np.ndarray:
+        """float32-lane absorption curves via the band-zoom DFT kernel.
+
+        Instead of a full ``nfft``-point FFT per echo group followed by
+        interpolation onto the band grid, the dispatched
+        ``band_zoom_amplitude`` op evaluates the spectrum only at the
+        ~1% of bins inside the probe band (one complex64 matmul) and
+        interpolates with the plan's precomputed weights — the same
+        clamped linear interpolation ``np.interp`` performs.
+        """
+        from ..kernels import backends
+        from ..kernels.plan import band_zoom_plan
+        from ..kernels.spectral import batched_amplitude_spectrum
+
+        curves = np.empty((len(echoes), self._grid.size), dtype=np.float32)
+        lengths = np.array([e.segment.size for e in echoes])
+        rates = np.array([e.sample_rate for e in echoes])
+        for key in {(int(n), float(r)) for n, r in zip(lengths, rates)}:
+            idx = np.flatnonzero((lengths == key[0]) & (rates == key[1]))
+            stack = np.stack([echoes[i].segment for i in idx]).astype(np.float32)
+            zoom = band_zoom_plan(key[0], self._nfft, key[1], self._grid)
+            if zoom is None:  # degenerate band: fewer than 2 bins inside
+                freqs, values = batched_amplitude_spectrum(
+                    stack, key[1], nfft=self._nfft
+                )
+                mask = (freqs >= self._grid[0]) & (freqs <= self._grid[-1] + 1.0)
+                band_freqs = freqs[mask]
+                for row, i in enumerate(idx):
+                    interped = np.interp(self._grid, band_freqs, values[row][mask])
+                    curves[i] = interped / self._tx_reference32
+                continue
+            band = backends.run_op("band_zoom_amplitude", stack, zoom, self._nfft)
+            curves[idx] = band / self._tx_reference32
         return curves
 
     def mean_absorption_curve(self, echoes: list[EardrumEcho]) -> np.ndarray:
@@ -235,7 +279,7 @@ class EarSonarPipeline:
         mean_segment = segments.mean(axis=0)
         rate = echoes[0].sample_rate
         with tracer.span(obs_names.SPAN_STAGE_FEATURES):
-            features = self._builder.build(curve, mean_segment, rate)
+            features = self._builder.build(curve, mean_segment, rate, dtype=self._dtype)
         t2 = time.perf_counter()
         if nonfinite_fraction > 0.0:
             reasons.append("non_finite")
@@ -247,7 +291,9 @@ class EarSonarPipeline:
         ) * (1.0 - nonfinite_fraction)
         processed = ProcessedRecording(
             features=features,
-            curve=curve,
+            # The result contract is float64 regardless of lane; for the
+            # default lane this asarray is the identity.
+            curve=np.asarray(curve, dtype=np.float64),
             mean_segment=mean_segment,
             segment_rate=rate,
             num_events=len(events),

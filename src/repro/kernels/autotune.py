@@ -1,0 +1,104 @@
+"""Plan autotuner: measure candidate kernels once, pin the winner.
+
+Whether a float32 recipe beats its ``via_float64`` round trip depends
+on the BLAS/pocketfft build, the CPU, and the exact ``(shape, dtype)``
+— the numbers that motivated the candidate ordering in
+:mod:`repro.kernels.backends.numpy_backend` were measured on one
+machine and will not hold everywhere.  Rather than hard-code the
+choice, :func:`decide` times every offered candidate **on the real
+arguments of the first call** and pins the fastest name in the plan
+cache under ``("autotune", op, shape, dtype, candidate-set)``; every
+later call with the same signature reuses the decision for free (and
+pool workers, which import this module fresh, re-measure once per
+process on their own cores).
+
+The measurement is deliberately tiny — :data:`_TIMING_ROUNDS` timed
+calls per candidate after one warm-up — because the candidates it
+ranks differ by integer factors, not percents.  Each decision is
+announced through the ``kernels.autotune_decided`` event with the
+per-candidate timings, so a surprising choice is visible in the event
+log instead of buried in process state.
+
+``EARSONAR_AUTOTUNE=off`` (checked by the dispatch layer, not here)
+skips the measurement entirely and pins the first registered
+candidate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from ..obs import names as obs_names
+from ..obs.events import current_event_log
+from .plan import cached_plan
+
+__all__ = ["decide", "signature_key"]
+
+#: Timed calls per candidate (after one untimed warm-up call).
+_TIMING_ROUNDS = 2
+
+
+def signature_key(op: str, args: Sequence[object]) -> tuple[Hashable, ...]:
+    """The ``(op, shape, dtype)`` cache key of one dispatch call.
+
+    Array arguments contribute their shape and dtype; scalars and plan
+    objects contribute nothing (they are determined by the shapes for
+    every dispatchable op).
+    """
+    parts: list[Hashable] = ["autotune", op]
+    for arg in args:
+        if isinstance(arg, np.ndarray):
+            parts.append(arg.shape)
+            parts.append(arg.dtype.str)
+    return tuple(parts)
+
+
+def _measure(candidates: dict[str, Callable], args: Sequence[object]) -> dict[str, float]:
+    """Best-of-N wall time per candidate, in milliseconds."""
+    timings: dict[str, float] = {}
+    for name, fn in candidates.items():
+        fn(*args)  # warm-up: plan building, allocator, FFT twiddles
+        best = float("inf")
+        for _ in range(_TIMING_ROUNDS):
+            start = time.perf_counter()
+            fn(*args)
+            best = min(best, time.perf_counter() - start)
+        timings[name] = best * 1e3
+    return timings
+
+
+def decide(
+    op: str,
+    candidates: dict[str, Callable],
+    args: Sequence[object],
+) -> str:
+    """The candidate name to use for ``op`` on arguments like ``args``.
+
+    First call per ``(op, shape, dtype, candidate-set)`` measures and
+    pins; later calls return the pinned name from the plan cache.
+    """
+    key = signature_key(op, args) + (tuple(sorted(candidates)),)
+
+    def _build() -> str:
+        timings = _measure(candidates, args)
+        choice = min(timings, key=timings.__getitem__)
+        shapes = [
+            "x".join(str(dim) for dim in arg.shape)
+            for arg in args
+            if isinstance(arg, np.ndarray)
+        ]
+        dtypes = [arg.dtype.name for arg in args if isinstance(arg, np.ndarray)]
+        current_event_log().emit(
+            obs_names.EVENT_KERNEL_AUTOTUNE_DECIDED,
+            op=op,
+            shape=",".join(shapes),
+            dtype=",".join(dict.fromkeys(dtypes)),
+            choice=choice,
+            **{f"ms_{name}": round(ms, 4) for name, ms in timings.items()},
+        )
+        return choice
+
+    return cached_plan(key, _build)

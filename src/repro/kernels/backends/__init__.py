@@ -1,0 +1,196 @@
+"""Backend dispatch for the float32 kernel lane.
+
+The kernels package runs two numeric lanes (see
+:mod:`repro.kernels.dtypes`).  The **float64 lane never reaches this
+package**: its implementations are pinned inline in the kernels,
+bit-identical to the serial references.  The **float32 lane** routes
+every dispatchable op through :func:`run_op`, which assembles the
+registered *candidates* — the pure-NumPy reference recipes
+(:mod:`.numpy_backend`) plus, when numba is importable, the jitted
+epilogues (:mod:`.jit_backend`) — and picks one:
+
+* ``EARSONAR_KERNEL_BACKEND=numpy`` (or :func:`select_backend`) pins
+  the NumPy candidates; ``=jit`` pins the jitted ones where an op has
+  any, with a once-per-process ``kernels.backend_fallback`` WARNING
+  event when numba is absent; ``=auto`` (the default) offers both.
+* within the offered set, the autotuner
+  (:mod:`repro.kernels.autotune`) times the candidates on the first
+  real call per ``(op, shape, dtype)`` and pins the winner in the plan
+  cache; ``EARSONAR_AUTOTUNE=off`` skips the measurement and pins the
+  first registered candidate (the measured-best default).
+
+The resolved backend is announced once per process via the
+``kernels.backend_selected`` event, and :func:`ensure_ready` front-loads
+the numba compilation cost (reported through the executor's
+``kernels.jit_compile_ms`` histogram) so it never lands on the first
+recording of a batch.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ...obs import names as obs_names
+from ...obs.events import EventLevel, current_event_log
+from . import jit_backend, numpy_backend
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "BACKEND_ENV_VAR",
+    "AUTOTUNE_ENV_VAR",
+    "requested_backend",
+    "active_backend",
+    "select_backend",
+    "use_backend",
+    "ensure_ready",
+    "candidates_for",
+    "run_op",
+    "reset_announcements",
+]
+
+#: Recognized values of :data:`BACKEND_ENV_VAR` / :func:`select_backend`.
+BACKEND_CHOICES = ("auto", "numpy", "jit")
+
+#: Environment variable that forces a backend for the whole process.
+BACKEND_ENV_VAR = "EARSONAR_KERNEL_BACKEND"
+
+#: Set to ``off`` to disable autotuning (first candidate always wins).
+AUTOTUNE_ENV_VAR = "EARSONAR_AUTOTUNE"
+
+#: Programmatic override (tests, benchmarks); beats the environment.
+_SELECTED: str | None = None
+
+#: Once-per-process latches for the selection/fallback events.
+_ANNOUNCED = False
+_FALLBACK_WARNED = False
+
+
+def requested_backend() -> str:
+    """The backend the caller asked for, before availability checks.
+
+    :func:`select_backend` overrides take precedence; otherwise the
+    :data:`BACKEND_ENV_VAR` environment variable is consulted, with
+    unrecognized values treated as ``auto``.
+    """
+    if _SELECTED is not None:
+        return _SELECTED
+    value = os.environ.get(BACKEND_ENV_VAR, "auto").strip().lower()
+    return value if value in BACKEND_CHOICES else "auto"
+
+
+def active_backend() -> str:
+    """The backend actually in effect: ``numpy``, ``jit``, or ``auto``.
+
+    ``jit`` degrades to ``numpy`` (with a single WARNING event) when
+    numba cannot be imported; ``auto`` stays ``auto`` — it is not a
+    backend but an instruction to offer every available candidate to
+    the autotuner.
+    """
+    global _ANNOUNCED, _FALLBACK_WARNED
+    requested = requested_backend()
+    resolved = requested
+    if requested == "jit" and not jit_backend.available():
+        resolved = "numpy"
+        if not _FALLBACK_WARNED:
+            _FALLBACK_WARNED = True  # qa: ignore[QA009]  once-per-process latch
+            current_event_log().emit(
+                obs_names.EVENT_KERNEL_BACKEND_FALLBACK,
+                level=EventLevel.WARNING,
+                requested=requested,
+                reason="numba is not importable",
+            )
+    if not _ANNOUNCED:
+        _ANNOUNCED = True  # qa: ignore[QA009]  once-per-process latch
+        current_event_log().emit(
+            obs_names.EVENT_KERNEL_BACKEND_SELECTED,
+            backend=resolved,
+            requested=requested,
+            jit_available=jit_backend.available(),
+        )
+    return resolved
+
+
+def select_backend(name: str | None) -> None:
+    """Force a backend programmatically (``None`` restores env/auto)."""
+    global _SELECTED
+    if name is not None and name not in BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; choose from {BACKEND_CHOICES}"
+        )
+    _SELECTED = name  # qa: ignore[QA009]  explicit process-wide override
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Scope a forced backend to a ``with`` block (tests, benchmarks)."""
+    previous = _SELECTED
+    select_backend(name)
+    try:
+        yield
+    finally:
+        select_backend(previous)
+
+
+def reset_announcements() -> None:
+    """Re-arm the once-per-process selection/fallback events (tests)."""
+    global _ANNOUNCED, _FALLBACK_WARNED
+    _ANNOUNCED = False  # qa: ignore[QA009]  test isolation hook
+    _FALLBACK_WARNED = False  # qa: ignore[QA009]  test isolation hook
+
+
+def ensure_ready() -> float:
+    """Warm the active backend; returns one-time compile cost in ms.
+
+    With the NumPy backend (or numba absent) there is nothing to
+    compile and the cost is 0.0.  With the jitted candidates in play
+    the numba compilation runs here, once, instead of inside the first
+    recording of the first batch.
+    """
+    if active_backend() == "numpy":
+        return 0.0
+    return jit_backend.warmup()
+
+
+def candidates_for(op: str) -> dict[str, Callable]:
+    """The ordered candidate set of ``op`` under the active backend.
+
+    Always non-empty: the NumPy reference candidates exist for every
+    dispatchable op, and a forced ``jit`` backend falls back to them
+    for ops numba does not cover (or when numba is absent).
+    """
+    backend = active_backend()
+    reference = numpy_backend.candidates_for(op)
+    if backend == "numpy":
+        return reference
+    jitted = jit_backend.candidates_for(op)
+    if backend == "jit":
+        return jitted or reference
+    merged = dict(reference)
+    merged.update(jitted)
+    return merged
+
+
+def _autotune_enabled() -> bool:
+    return os.environ.get(AUTOTUNE_ENV_VAR, "on").strip().lower() != "off"
+
+
+def run_op(op: str, *args: object) -> np.ndarray:
+    """Execute one dispatchable float32-lane op on ``args``.
+
+    The candidate is chosen per ``(op, shape, dtype)`` — by the
+    autotuner on the first call (the decision is pinned in the plan
+    cache for the rest of the process), or the first registered
+    candidate when autotuning is off or only one candidate exists.
+    """
+    candidates = candidates_for(op)
+    if len(candidates) == 1 or not _autotune_enabled():
+        chosen = next(iter(candidates.values()))
+        return chosen(*args)
+    from .. import autotune
+
+    name = autotune.decide(op, candidates, args)
+    return candidates[name](*args)

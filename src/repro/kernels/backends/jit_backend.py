@@ -1,0 +1,142 @@
+"""Optional numba ``@njit`` backend: lazy import, graceful absence.
+
+numba is an *optional* accelerator, never a dependency: this module
+imports it lazily on first use, and every entry point degrades to
+"unavailable" when the import fails — the dispatch layer then emits a
+single ``kernels.backend_fallback`` warning event and routes every op
+to the NumPy candidates.
+
+What gets jitted: the post-FFT inner loops (fused magnitude-square with
+one-sided scaling, and the band-to-grid linear interpolation).  The
+FFTs themselves stay in NumPy — numba has no FFT, and pocketfft is
+already within a few percent of peak — so a jitted candidate is a
+NumPy FFT feeding an ``@njit(cache=True)`` epilogue that skips the
+intermediate temporaries the pure-NumPy expression allocates.
+
+Compilation cost is paid once per process at :func:`warmup` (called by
+``backends.ensure_ready()``), measured with ``perf_counter`` and
+reported through the ``kernels.jit_compile_ms`` histogram so the
+trade is visible in telemetry rather than folded into the first
+recording's latency.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["available", "candidates_for", "warmup"]
+
+#: Lazy import state: ``None`` = not yet attempted, ``False`` = numba
+#: missing, module object = importable.
+_NUMBA: object | bool | None = None
+
+#: Compiled op table, built once per process by :func:`_compiled`.
+_OPS: dict[str, dict[str, Callable]] | None = None
+
+
+def _numba() -> object | bool:
+    """The numba module, or ``False`` when it cannot be imported."""
+    global _NUMBA
+    if _NUMBA is None:
+        try:
+            import numba  # noqa: F401  (optional accelerator)
+
+            _NUMBA = numba  # qa: ignore[QA009]  one-shot lazy import cache
+        except ImportError:
+            _NUMBA = False  # qa: ignore[QA009]  one-shot lazy import cache
+    return _NUMBA
+
+
+def available() -> bool:
+    """Whether the numba backend can run in this environment."""
+    return bool(_numba())
+
+
+def _compiled() -> dict[str, dict[str, Callable]]:
+    """Compile (once per process) and return the jitted op table."""
+    global _OPS
+    if _OPS is not None:
+        return _OPS
+    numba = _numba()
+    if not numba:
+        _OPS = {}  # qa: ignore[QA009]  one-shot compile cache
+        return _OPS
+    njit = numba.njit  # type: ignore[union-attr]
+
+    @njit(cache=True, fastmath=False)
+    def _fused_power_scale(real, imag, scale, even):  # pragma: no cover - needs numba
+        out = np.empty_like(real)
+        rows, bins = real.shape
+        for r in range(rows):
+            for b in range(bins):
+                value = (real[r, b] * real[r, b] + imag[r, b] * imag[r, b]) * scale
+                if b > 0:
+                    value *= 2.0
+                out[r, b] = value
+            if even and bins > 1:
+                out[r, bins - 1] /= 2.0
+        return out
+
+    @njit(cache=True, fastmath=False)
+    def _lerp_rows(band, lo, hi, weight):  # pragma: no cover - needs numba
+        rows = band.shape[0]
+        cols = lo.shape[0]
+        out = np.empty((rows, cols), dtype=band.dtype)
+        for r in range(rows):
+            for c in range(cols):
+                w = weight[c]
+                out[r, c] = band[r, lo[c]] * (1.0 - w) + band[r, hi[c]] * w
+        return out
+
+    def welch_power_jit(frames, window, scale):
+        spectra = np.fft.rfft(frames * window, axis=-1)
+        return _fused_power_scale(
+            np.ascontiguousarray(spectra.real),
+            np.ascontiguousarray(spectra.imag),
+            np.float32(scale),
+            window.size % 2 == 0,
+        )
+
+    def band_zoom_jit(stack, zoom, nfft):
+        band = np.abs(stack @ zoom.matrix) * zoom.inv_n
+        return _lerp_rows(band, zoom.lo, zoom.hi, zoom.weight)
+
+    _OPS = {  # qa: ignore[QA009]  one-shot compile cache
+        "welch_power": {"jit_fused": welch_power_jit},
+        "band_zoom_amplitude": {"jit_zoom": band_zoom_jit},
+    }
+    return _OPS
+
+
+def candidates_for(op: str) -> dict[str, Callable]:
+    """Jitted candidates of ``op``; empty when numba is unavailable."""
+    return dict(_compiled().get(op, {}))
+
+
+def warmup() -> float:
+    """Compile every jitted op on tiny inputs; returns elapsed ms.
+
+    Returns 0.0 when numba is unavailable (nothing to compile).  The
+    tiny-shape calls force nopython compilation so the first real
+    batch never pays the compiler; ``cache=True`` persists the
+    machine code across processes when numba's cache directory is
+    writable.
+    """
+    if not available():
+        return 0.0
+    t0 = time.perf_counter()
+    ops = _compiled()
+    frames = np.zeros((2, 8), dtype=np.float32)
+    window = np.ones(8, dtype=np.float32)
+    for fn in ops.get("welch_power", {}).values():
+        fn(frames, window, 1.0)
+    from ..plan import band_zoom_plan
+
+    zoom = band_zoom_plan(8, 16, 16.0, np.asarray([2.0, 3.0, 4.0]))
+    if zoom is not None:
+        for fn in ops.get("band_zoom_amplitude", {}).values():
+            fn(frames, zoom, 16)
+    return (time.perf_counter() - t0) * 1e3

@@ -1,0 +1,163 @@
+"""Pure-NumPy implementation candidates for the dispatchable kernel ops.
+
+This module is the reference backend.  For every dispatchable op it
+registers one or more *candidates* — interchangeable implementations of
+the same computation whose outputs agree within the float32 tolerance
+budget.  The dispatch layer (:mod:`repro.kernels.backends`) picks among
+them: the first registered candidate is the measured-best default, and
+the autotuner may override that choice per ``(op, shape, dtype)``.
+
+Only the **float32 lane** is dispatched.  The float64 lane never
+reaches this module: its implementations live inline in the kernels and
+are pinned bit-identical to the serial references, a contract no
+alternative candidate could honour.
+
+Two recurring candidate shapes:
+
+* ``*_via_float64`` — upcast to float64, run the legacy double
+  expression, cast the result back.  NumPy's real-input FFT is often
+  *faster* in float64 than float32 for 2-D stacks (pocketfft picks
+  different kernels), so the round trip frequently wins despite the two
+  casts; the autotuner measures rather than assumes.
+* fused / zoom variants — float32-native recipes that restructure the
+  math (``re**2 + im**2`` instead of ``abs()**2``, band-limited direct
+  DFT instead of a full ``rfft``) so the narrow lane does less work,
+  not just cheaper work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..plan import BandZoomPlan, matched_filter_spectrum
+
+__all__ = ["CANDIDATES", "candidates_for"]
+
+
+def _welch_power_via_float64(
+    frames: np.ndarray, window: np.ndarray, scale: float
+) -> np.ndarray:
+    """Legacy double-precision Welch periodograms, cast back to f32."""
+    frames64 = frames.astype(np.float64)  # qa: ignore[QA011]  deliberate f64 round trip
+    windowed = frames64 * window.astype(np.float64)  # qa: ignore[QA011]
+    periodograms = (np.abs(np.fft.rfft(windowed, axis=-1)) ** 2) * scale
+    _one_sided(periodograms, window.size)
+    return periodograms.astype(np.float32)
+
+
+def _welch_power_fused32(
+    frames: np.ndarray, window: np.ndarray, scale: float
+) -> np.ndarray:
+    """float32-native Welch periodograms with a fused magnitude square."""
+    spectra = np.fft.rfft(frames * window, axis=-1)
+    periodograms = (spectra.real**2 + spectra.imag**2) * np.float32(scale)
+    _one_sided(periodograms, window.size)
+    return periodograms
+
+
+def _one_sided(periodograms: np.ndarray, segment_length: int) -> None:
+    """In-place one-sided doubling with Nyquist correction."""
+    if periodograms.shape[-1] > 1:
+        periodograms[..., 1:] *= 2.0
+        if segment_length % 2 == 0:
+            periodograms[..., -1] /= 2.0
+
+
+def _power_rows_via_float64(frames: np.ndarray, nfft: int) -> np.ndarray:
+    """Double-precision frame power spectra, cast back to f32."""
+    frames64 = frames.astype(np.float64)  # qa: ignore[QA011]  deliberate f64 round trip
+    power = np.abs(np.fft.rfft(frames64, nfft, axis=-1)) ** 2
+    return power.astype(np.float32)
+
+
+def _power_rows_fused32(frames: np.ndarray, nfft: int) -> np.ndarray:
+    """float32-native frame power spectra (fused magnitude square)."""
+    spectra = np.fft.rfft(frames, nfft, axis=-1)
+    return spectra.real**2 + spectra.imag**2
+
+
+def _amplitude_rows_via_float64(signals: np.ndarray, nfft: int) -> np.ndarray:
+    """Double-precision amplitude rows, cast back to f32."""
+    signals64 = signals.astype(np.float64)  # qa: ignore[QA011]  deliberate f64 round trip
+    values = np.abs(np.fft.rfft(signals64, nfft, axis=-1)) / signals.shape[-1]
+    return values.astype(np.float32)
+
+
+def _amplitude_rows_float32(signals: np.ndarray, nfft: int) -> np.ndarray:
+    """float32-native amplitude rows."""
+    spectra = np.fft.rfft(signals, nfft, axis=-1)
+    return np.sqrt(spectra.real**2 + spectra.imag**2) * np.float32(
+        1.0 / signals.shape[-1]
+    )
+
+
+def _matched_filter_rows_via_float64(signals: np.ndarray, design) -> np.ndarray:
+    """Double-precision matched filter against the f64 template, cast back."""
+    signals64 = signals.astype(np.float64)  # qa: ignore[QA011]  deliberate f64 round trip
+    pulse_size = design.samples_per_chirp
+    n = signals64.shape[-1] + pulse_size - 1
+    nfft = 1 << (n - 1).bit_length()
+    spec = np.fft.rfft(signals64, nfft, axis=-1) * matched_filter_spectrum(design, nfft)
+    corr = np.roll(np.fft.irfft(spec, nfft, axis=-1), pulse_size - 1, axis=-1)[..., :n]
+    start = pulse_size - 1
+    return np.abs(corr[..., start : start + signals.shape[-1]]).astype(np.float32)
+
+
+def _matched_filter_rows_float32(signals: np.ndarray, design) -> np.ndarray:
+    """float32-native matched filter against the complex64 template."""
+    pulse_size = design.samples_per_chirp
+    n = signals.shape[-1] + pulse_size - 1
+    nfft = 1 << (n - 1).bit_length()
+    template = matched_filter_spectrum(design, nfft, dtype=np.complex64)
+    spec = np.fft.rfft(signals, nfft, axis=-1).astype(np.complex64) * template
+    corr = np.roll(np.fft.irfft(spec, nfft, axis=-1), pulse_size - 1, axis=-1)[..., :n]
+    start = pulse_size - 1
+    return np.abs(corr[..., start : start + signals.shape[-1]])
+
+
+def _band_zoom_matmul(stack: np.ndarray, zoom: BandZoomPlan, nfft: int) -> np.ndarray:
+    """Band-limited direct DFT: one complex matmul at the band bins only."""
+    band = np.abs(stack @ zoom.matrix) * zoom.inv_n
+    return band[:, zoom.lo] * (np.float32(1.0) - zoom.weight) + band[:, zoom.hi] * zoom.weight
+
+
+def _band_zoom_full_rfft(stack: np.ndarray, zoom: BandZoomPlan, nfft: int) -> np.ndarray:
+    """Full double-precision ``rfft`` with the same band interpolation."""
+    stack64 = stack.astype(np.float64)  # qa: ignore[QA011]  deliberate f64 round trip
+    amplitude = np.abs(np.fft.rfft(stack64, nfft, axis=-1)) / stack.shape[-1]
+    band = amplitude[:, zoom.bins].astype(np.float32)
+    return band[:, zoom.lo] * (np.float32(1.0) - zoom.weight) + band[:, zoom.hi] * zoom.weight
+
+
+#: Candidate registries per op.  Order matters: the first entry is the
+#: measured-best default on the reference machine and the choice the
+#: autotune kill switch (``EARSONAR_AUTOTUNE=off``) pins.
+CANDIDATES: dict[str, dict[str, Callable]] = {
+    "welch_power": {
+        "fused_float32": _welch_power_fused32,
+        "via_float64": _welch_power_via_float64,
+    },
+    "power_rows": {
+        "fused_float32": _power_rows_fused32,
+        "via_float64": _power_rows_via_float64,
+    },
+    "amplitude_rows": {
+        "via_float64": _amplitude_rows_via_float64,
+        "float32_native": _amplitude_rows_float32,
+    },
+    "matched_filter_rows": {
+        "via_float64": _matched_filter_rows_via_float64,
+        "float32_native": _matched_filter_rows_float32,
+    },
+    "band_zoom_amplitude": {
+        "zoom_matmul": _band_zoom_matmul,
+        "full_rfft": _band_zoom_full_rfft,
+    },
+}
+
+
+def candidates_for(op: str) -> dict[str, Callable]:
+    """The NumPy candidates of ``op`` (insertion order = preference)."""
+    return dict(CANDIDATES[op])

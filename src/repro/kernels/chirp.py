@@ -14,13 +14,19 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..signal.chirp import ChirpDesign
+from . import backends
+from .dtypes import as_float_array
 from .plan import chirp_pulse, matched_filter_spectrum
 
 __all__ = ["chirp_train_planned", "matched_filter_planned", "matched_filter_batched"]
 
 
 def chirp_train_planned(
-    design: ChirpDesign, num_chirps: int, *, total_samples: int | None = None
+    design: ChirpDesign,
+    num_chirps: int,
+    *,
+    total_samples: int | None = None,
+    dtype: np.dtype | type = np.float64,
 ) -> np.ndarray:
     """Vectorized chirp-train synthesis (one placement, no Python loop).
 
@@ -28,11 +34,12 @@ def chirp_train_planned(
     (``interval >= duration`` is validated at construction), pulses
     never overlap and the train is a strided placement of the cached
     pulse into a ``(num_chirps, hop)`` buffer — exactly the samples the
-    serial per-chirp loop wrote.
+    serial per-chirp loop wrote.  ``dtype=np.float32`` places the
+    float32 pulse variant instead (tolerance lane).
     """
     if num_chirps <= 0:
         raise ConfigurationError(f"num_chirps must be positive, got {num_chirps}")
-    pulse = chirp_pulse(design)
+    pulse = chirp_pulse(design, dtype=dtype)
     hop = design.samples_per_interval
     needed = (num_chirps - 1) * hop + design.samples_per_chirp
     default_len = num_chirps * hop
@@ -41,12 +48,12 @@ def chirp_train_planned(
         raise ConfigurationError(
             f"total_samples={length} cannot contain {num_chirps} chirps (need >= {needed})"
         )
-    grid = np.zeros((num_chirps, hop))
+    grid = np.zeros((num_chirps, hop), dtype=pulse.dtype)
     grid[:, : pulse.size] = pulse
     flat = grid.ravel()
     if length <= flat.size:
         return flat[:length].copy()
-    train = np.zeros(length)
+    train = np.zeros(length, dtype=pulse.dtype)
     train[: flat.size] = flat
     return train
 
@@ -59,9 +66,11 @@ def matched_filter_planned(signal: np.ndarray, design: ChirpDesign) -> np.ndarra
     roll/slice alignment) but the template synthesis and its FFT are
     plan-cache hits after the first call per ``(design, nfft)``.
     """
-    signal = np.asarray(signal, dtype=float)
+    signal = as_float_array(signal)
     if signal.size == 0:
         raise ValueError("cross_correlate requires non-empty inputs")
+    if signal.dtype == np.float32:
+        return backends.run_op("matched_filter_rows", signal[None, :], design)[0]
     pulse = chirp_pulse(design)
     n = signal.size + pulse.size - 1
     nfft = 1 << (n - 1).bit_length()
@@ -77,9 +86,11 @@ def matched_filter_batched(signals: np.ndarray, design: ChirpDesign) -> np.ndarr
     One 2-D FFT round trip against the cached template spectrum;
     row ``k`` equals ``matched_filter(signals[k], design)``.
     """
-    signals = np.atleast_2d(np.asarray(signals, dtype=float))
+    signals = np.atleast_2d(as_float_array(signals))
     if signals.shape[-1] == 0:
         raise ValueError("cross_correlate requires non-empty inputs")
+    if signals.dtype == np.float32:
+        return backends.run_op("matched_filter_rows", signals, design)
     pulse = chirp_pulse(design)
     n = signals.shape[-1] + pulse.size - 1
     nfft = 1 << (n - 1).bit_length()

@@ -1,0 +1,62 @@
+"""Precision policy helpers: float32-preserving coercion for kernels.
+
+The kernels package has two numeric lanes:
+
+* **float64 (default)** — the scientific contract.  Outputs are
+  bit-identical to the serial references; every golden suite pins this
+  lane.
+* **float32 (opt-in)** — the performance lane selected by
+  ``EarSonarConfig.precision = "float32"``.  Outputs are equivalent
+  within the documented tolerance budget (see DESIGN.md, "Precision
+  policy"), never bit-identical.
+
+The historical kernels coerced every input with
+``np.asarray(x, dtype=float)``, which silently upcasts float32 input
+to float64 and destroys the fast lane three lines into the pipeline.
+:func:`as_float_array` is the sanctioned coercion: float32 stays
+float32, everything else (float64, ints, lists) becomes float64 —
+exactly the old behaviour for every historical caller.  The QA011 lint
+rule bans the old idiom inside ``repro/kernels`` so the discipline
+cannot regress silently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_float_array",
+    "result_dtype",
+    "complex_dtype",
+    "match_scalar",
+]
+
+
+def as_float_array(values: object) -> np.ndarray:
+    """Coerce ``values`` to a float array without silently upcasting.
+
+    float32 input is returned as-is (zero-copy); float64 input is
+    returned as-is; every other dtype (ints, bools, object lists) is
+    converted to float64, matching the historical
+    ``np.asarray(x, dtype=float)`` behaviour for non-float32 callers.
+    """
+    array = np.asarray(values)
+    if array.dtype == np.float32 or array.dtype == np.float64:
+        return array
+    # Only non-float dtypes reach this line; the promotion is the point.
+    return array.astype(np.float64)  # qa: ignore[QA011]
+
+
+def result_dtype(array: np.ndarray) -> np.dtype:
+    """The float lane an input array selects: float32 or float64."""
+    return np.dtype(np.float32 if array.dtype == np.float32 else np.float64)
+
+
+def complex_dtype(dtype: np.dtype | type) -> np.dtype:
+    """Complex companion of a float lane: c64 for f32, c128 for f64."""
+    return np.dtype(np.complex64 if np.dtype(dtype) == np.float32 else np.complex128)
+
+
+def match_scalar(value: float, dtype: np.dtype | type) -> np.floating:
+    """Cast a Python float to the lane's scalar type (f32 or f64)."""
+    return np.dtype(dtype).type(value)

@@ -50,7 +50,10 @@ __all__ = [
     "welch_plan",
     "MfccPlan",
     "mfcc_plan",
+    "mfcc_plan32",
     "device_transfer",
+    "BandZoomPlan",
+    "band_zoom_plan",
 ]
 
 #: Soft capacity of the plan cache.  Plans are small (windows, filter
@@ -153,33 +156,63 @@ def hamming_window(length: int, *, periodic: bool = False) -> np.ndarray:
 # ---------------------------------------------------------------------------
 
 
-def chirp_pulse(design: "ChirpDesign") -> np.ndarray:
-    """Cached synthesised pulse for ``design`` (one per design, not per call)."""
+def chirp_pulse(design: "ChirpDesign", *, dtype: np.dtype | type = np.float64) -> np.ndarray:
+    """Cached synthesised pulse for ``design`` (one per design, not per call).
+
+    ``dtype=float32`` returns a cached single-precision copy of the
+    float64 pulse (cast once, not re-synthesised), for the float32 lane.
+    """
 
     def build() -> np.ndarray:
         from ..signal.chirp import linear_chirp
 
         return _freeze(linear_chirp(design))
 
-    return cached_plan(("chirp_pulse", design), build)
+    pulse = cached_plan(("chirp_pulse", design), build)
+    if np.dtype(dtype) == np.float64:
+        return pulse
+    return cached_plan(
+        ("chirp_pulse", design, np.dtype(dtype).name),
+        lambda: _freeze(pulse.astype(dtype)),
+    )
 
 
-def chirp_spectrum(design: "ChirpDesign", nfft: int) -> np.ndarray:
-    """Cached ``rfft`` of the design's pulse at FFT size ``nfft``."""
+def chirp_spectrum(
+    design: "ChirpDesign", nfft: int, *, dtype: np.dtype | type = np.complex128
+) -> np.ndarray:
+    """Cached ``rfft`` of the design's pulse at FFT size ``nfft``.
+
+    ``dtype=complex64`` returns a cached single-precision cast of the
+    double-precision spectrum for the float32 synthesis lane.
+    """
 
     def build() -> np.ndarray:
         return _freeze(np.fft.rfft(chirp_pulse(design), nfft))
 
-    return cached_plan(("chirp_spectrum", design, int(nfft)), build)
+    spectrum = cached_plan(("chirp_spectrum", design, int(nfft)), build)
+    if np.dtype(dtype) == np.complex128:
+        return spectrum
+    return cached_plan(
+        ("chirp_spectrum", design, int(nfft), np.dtype(dtype).name),
+        lambda: _freeze(spectrum.astype(dtype)),
+    )
 
 
-def matched_filter_spectrum(design: "ChirpDesign", nfft: int) -> np.ndarray:
+def matched_filter_spectrum(
+    design: "ChirpDesign", nfft: int, *, dtype: np.dtype | type = np.complex128
+) -> np.ndarray:
     """Cached conjugate pulse spectrum used by the matched filter."""
 
     def build() -> np.ndarray:
         return _freeze(np.conj(np.fft.rfft(chirp_pulse(design), nfft)))
 
-    return cached_plan(("matched_filter_spectrum", design, int(nfft)), build)
+    spectrum = cached_plan(("matched_filter_spectrum", design, int(nfft)), build)
+    if np.dtype(dtype) == np.complex128:
+        return spectrum
+    return cached_plan(
+        ("matched_filter_spectrum", design, int(nfft), np.dtype(dtype).name),
+        lambda: _freeze(spectrum.astype(dtype)),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -206,8 +239,15 @@ class WelchPlan:
     frequencies: np.ndarray
 
 
-def welch_plan(segment_length: int, sample_rate: float) -> WelchPlan:
-    """Cached :class:`WelchPlan` for the given segment length and rate."""
+def welch_plan(
+    segment_length: int, sample_rate: float, *, dtype: np.dtype | type = np.float64
+) -> WelchPlan:
+    """Cached :class:`WelchPlan` for the given segment length and rate.
+
+    ``dtype=float32`` returns a variant whose window is a cached
+    single-precision cast of the float64 window (the frequency grid
+    stays float64 — it is metadata, not a hot operand).
+    """
 
     def build() -> WelchPlan:
         window = hann_window(segment_length, periodic=True)
@@ -218,7 +258,21 @@ def welch_plan(segment_length: int, sample_rate: float) -> WelchPlan:
             frequencies=rfft_freqs(segment_length, sample_rate),
         )
 
-    return cached_plan(("welch", int(segment_length), float(sample_rate)), build)
+    plan = cached_plan(("welch", int(segment_length), float(sample_rate)), build)
+    if np.dtype(dtype) == np.float64:
+        return plan
+
+    def build32() -> WelchPlan:
+        return WelchPlan(
+            window=_freeze(plan.window.astype(dtype)),
+            scale=plan.scale,
+            frequencies=plan.frequencies,
+        )
+
+    return cached_plan(
+        ("welch", int(segment_length), float(sample_rate), np.dtype(dtype).name),
+        build32,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -279,6 +333,26 @@ def mfcc_plan(config: "MfccConfig") -> MfccPlan:
     return cached_plan(("mfcc", config), build)
 
 
+def mfcc_plan32(config: "MfccConfig") -> MfccPlan:
+    """Single-precision variant of :func:`mfcc_plan` for the float32 lane.
+
+    Every matrix is a cached cast of the float64 plan's, so the two
+    lanes share one construction pass and differ only in storage
+    precision.
+    """
+    plan = mfcc_plan(config)
+
+    def build() -> MfccPlan:
+        return MfccPlan(
+            window=_freeze(plan.window.astype(np.float32)),
+            filterbank=_freeze(plan.filterbank.astype(np.float32)),
+            dct_basis=_freeze(plan.dct_basis.astype(np.float32)),
+            dct_scale=_freeze(plan.dct_scale.astype(np.float32)),
+        )
+
+    return cached_plan(("mfcc", config, "float32"), build)
+
+
 # ---------------------------------------------------------------------------
 # Device plans
 # ---------------------------------------------------------------------------
@@ -292,3 +366,97 @@ def device_transfer(earphone: "EarphoneModel", nfft: int, sample_rate: float) ->
         return _freeze(earphone.transfer(freqs))
 
     return cached_plan(("device", earphone, int(nfft), float(sample_rate)), build)
+
+
+# ---------------------------------------------------------------------------
+# Band-limited zoom-DFT plans (float32 absorption lane)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BandZoomPlan:
+    """Precomputed zoom-DFT + interpolation for band-limited spectra.
+
+    The absorption analysis needs only the ~85 FFT bins inside the
+    probe band out of ``nfft//2 + 1`` (4097 at the default sizes), so
+    evaluating a direct DFT at exactly those bins — one
+    ``(samples, band_bins)`` complex matmul — beats a full ``rfft`` by
+    an order of magnitude.  The plan also bakes in the band-to-grid
+    linear interpolation as gather indices plus clamped weights with
+    ``np.interp``'s exact edge semantics (outside-band grid points
+    clamp to the edge bins).
+
+    Attributes
+    ----------
+    matrix:
+        ``exp(-2j*pi*f_b*t/rate)`` of shape ``(samples, band_bins)``.
+    inv_n:
+        Amplitude normalisation ``1 / samples`` as a lane scalar.
+    lo, hi:
+        Gather indices into the band bins for each grid point.
+    weight:
+        Interpolation weight of ``hi`` per grid point, clamped to
+        ``[0, 1]`` so edge grid points clamp instead of extrapolating.
+    """
+
+    matrix: np.ndarray
+    inv_n: np.floating
+    bins: np.ndarray
+    lo: np.ndarray
+    hi: np.ndarray
+    weight: np.ndarray
+
+
+def band_zoom_plan(
+    num_samples: int,
+    nfft: int,
+    sample_rate: float,
+    grid: np.ndarray,
+    *,
+    dtype: np.dtype | type = np.float32,
+) -> BandZoomPlan | None:
+    """Cached :class:`BandZoomPlan`, or ``None`` if the band degenerates.
+
+    The grid is assumed uniform (it comes from
+    ``FeatureVectorConfig.frequency_grid``), so the cache key only
+    needs its endpoints and size.  Returns ``None`` when fewer than two
+    FFT bins fall inside ``[grid[0], grid[-1] + 1]`` — callers fall
+    back to the full-FFT path.
+    """
+    grid = np.asarray(grid)
+    key = (
+        "band_zoom",
+        int(num_samples),
+        int(nfft),
+        float(sample_rate),
+        int(grid.size),
+        float(grid[0]),
+        float(grid[-1]),
+        np.dtype(dtype).name,
+    )
+
+    def build() -> BandZoomPlan | None:
+        freqs = rfft_freqs(nfft, sample_rate)
+        mask = (freqs >= grid[0]) & (freqs <= grid[-1] + 1.0)
+        band = freqs[mask]
+        if band.size < 2:
+            return None
+        cdtype = np.complex64 if np.dtype(dtype) == np.float32 else np.complex128
+        t = np.arange(num_samples)[:, None]
+        matrix = np.exp((-2j * np.pi / sample_rate) * t * band[None, :]).astype(cdtype)
+        # np.interp semantics: right-bisect, then clamp both the cell
+        # index and the in-cell weight so out-of-band grid points take
+        # the edge bin's value instead of extrapolating.
+        hi = np.clip(np.searchsorted(band, grid, side="right"), 1, band.size - 1)
+        lo = hi - 1
+        weight = np.clip((grid - band[lo]) / (band[hi] - band[lo]), 0.0, 1.0)
+        return BandZoomPlan(
+            matrix=_freeze(matrix),
+            inv_n=np.dtype(dtype).type(1.0 / num_samples),
+            bins=_freeze(np.flatnonzero(mask).astype(np.intp)),
+            lo=_freeze(lo.astype(np.intp)),
+            hi=_freeze(hi.astype(np.intp)),
+            weight=_freeze(weight.astype(dtype)),
+        )
+
+    return cached_plan(key, build)

@@ -7,17 +7,21 @@ kernels here frame with a strided view and run **one** batched
 shape-dependent state (window, density scale, frequency grid) coming
 from the :mod:`repro.kernels.plan` cache.
 
-Numerical contract: outputs match the serial reference implementations
-bit-for-bit — each row of a batched ``rfft`` is the same transform the
-serial loop ran, and the windowing/scaling multiplies are performed in
-the same order.  The golden suite in ``tests/kernels`` enforces a
-``<= 1e-10`` max-abs-diff bound across randomized shapes.
+Numerical contract, per lane (see :mod:`repro.kernels.dtypes`):
+float64 input runs the pinned inline expressions and matches the
+serial reference implementations bit-for-bit — the golden suite in
+``tests/kernels`` enforces a ``<= 1e-10`` max-abs-diff bound across
+randomized shapes.  float32 input dispatches through
+:mod:`repro.kernels.backends` and matches within the documented
+tolerance budget instead.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from . import backends
+from .dtypes import as_float_array
 from .framing import frames_dropping_tail
 from .plan import welch_plan
 
@@ -37,9 +41,10 @@ def welch_periodograms(
     shape ``(num_segments, segment_length // 2 + 1)``; the caller
     averages over axis 0 (this split keeps the kernel reusable for
     spectrogram-style consumers).  Validation mirrors
-    :func:`repro.signal.spectral.welch_psd`.
+    :func:`repro.signal.spectral.welch_psd`.  float32 input stays
+    float32 (``frequencies`` are always float64).
     """
-    signal = np.asarray(signal, dtype=float)
+    signal = as_float_array(signal)
     if signal.size == 0:
         raise ValueError("welch_psd requires a non-empty signal")
     if not 0.0 <= overlap < 1.0:
@@ -49,8 +54,13 @@ def welch_periodograms(
         raise ValueError(f"segment_length must be positive, got {segment_length}")
     if signal.size < segment_length:
         segment_length = signal.size
-    plan = welch_plan(segment_length, float(sample_rate))
     hop = max(1, int(round(segment_length * (1.0 - overlap))))
+    if signal.dtype == np.float32:
+        plan = welch_plan(segment_length, float(sample_rate), dtype=np.float32)
+        frames = frames_dropping_tail(signal, segment_length, hop)
+        periodograms = backends.run_op("welch_power", frames, plan.window, plan.scale)
+        return plan.frequencies, periodograms
+    plan = welch_plan(segment_length, float(sample_rate))
     frames = frames_dropping_tail(signal, segment_length, hop) * plan.window
     periodograms = (np.abs(np.fft.rfft(frames, axis=-1)) ** 2) * plan.scale
     if periodograms.shape[1] > 1:
@@ -68,21 +78,28 @@ def batched_amplitude_spectrum(
     Equivalent to calling
     :func:`repro.signal.spectral.amplitude_spectrum` on every row, but
     with a single 2-D ``rfft``.  Returns ``(frequencies, values)`` with
-    ``values`` of shape ``(batch, n_bins)``.
+    ``values`` of shape ``(batch, n_bins)``; float32 input yields
+    float32 values.
     """
-    signals = np.atleast_2d(np.asarray(signals, dtype=float))
+    signals = np.atleast_2d(as_float_array(signals))
     if signals.shape[-1] == 0:
         raise ValueError("amplitude_spectrum requires non-empty signals")
     n = signals.shape[-1] if nfft is None else int(nfft)
     from .plan import rfft_freqs
 
+    if signals.dtype == np.float32:
+        return rfft_freqs(n, float(sample_rate)), backends.run_op(
+            "amplitude_rows", signals, n
+        )
     values = np.abs(np.fft.rfft(signals, n, axis=-1)) / signals.shape[-1]
     return rfft_freqs(n, float(sample_rate)), values
 
 
 def batched_power_rows(frames: np.ndarray, nfft: int) -> np.ndarray:
     """Power spectra ``|rfft(frames, nfft)|**2`` of a 2-D frame stack."""
-    frames = np.asarray(frames, dtype=float)
+    frames = as_float_array(frames)
     if frames.ndim != 2:
         raise ValueError(f"frames must be 2-D, got shape {frames.shape}")
+    if frames.dtype == np.float32:
+        return backends.run_op("power_rows", frames, int(nfft))
     return np.abs(np.fft.rfft(frames, int(nfft), axis=-1)) ** 2

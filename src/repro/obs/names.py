@@ -51,6 +51,10 @@ __all__ = [
     "EVENT_SERIAL_FALLBACK",
     "EVENT_EXPERIMENT_STARTED",
     "EVENT_EXPERIMENT_FINISHED",
+    "EVENT_KERNEL_BACKEND_SELECTED",
+    "EVENT_KERNEL_BACKEND_FALLBACK",
+    "EVENT_KERNEL_AUTOTUNE_DECIDED",
+    "EVENT_SHM_FALLBACK",
     "EVENT_NAMES",
     "METRIC_RECORDINGS_SUBMITTED",
     "METRIC_RECORDINGS_OK",
@@ -68,12 +72,20 @@ __all__ = [
     "METRIC_BREAKER_OPENED",
     "METRIC_QUALITY_DEGRADED",
     "METRIC_QUALITY_REJECTED",
+    "METRIC_SHM_SEGMENTS_CREATED",
+    "METRIC_SHM_SEGMENTS_RELEASED",
+    "METRIC_SHM_BYTES_SAVED",
+    "METRIC_SHM_FALLBACKS",
+    "METRIC_SHM_ORPHANS_CLEANED",
     "HIST_RECORDING_MS",
     "HIST_STAGE_BANDPASS_MS",
     "HIST_STAGE_FEATURES_MS",
     "HIST_BATCH_MS",
+    "HIST_SHM_HANDOFF_MS",
+    "HIST_JIT_COMPILE_MS",
     "CANONICAL_COUNTERS",
     "CANONICAL_HISTOGRAMS",
+    "SHM_DEGRADED_COUNTERS",
     "SPAN_SERVE_ADMISSION",
     "SPAN_SERVE_BATCH",
     "EVENT_SERVE_STARTED",
@@ -177,6 +189,20 @@ EVENT_SERIAL_FALLBACK = "executor.serial_fallback"
 EVENT_EXPERIMENT_STARTED = "experiment.started"
 #: An experiments-CLI run finished (fields: experiment, seconds).
 EVENT_EXPERIMENT_FINISHED = "experiment.finished"
+#: A kernel backend was chosen for this process (fields: backend,
+#: requested, jit_available).  Announced once per process.
+EVENT_KERNEL_BACKEND_SELECTED = "kernels.backend_selected"
+#: The requested JIT backend is unavailable and the NumPy reference
+#: backend was substituted (fields: requested, reason).  Emitted at
+#: WARNING level, once per process.
+EVENT_KERNEL_BACKEND_FALLBACK = "kernels.backend_fallback"
+#: The autotuner timed the candidates of one (op, shape, dtype) and
+#: pinned a winner (fields: op, shape, dtype, choice, plus one
+#: ``ms_<candidate>`` timing per candidate).
+EVENT_KERNEL_AUTOTUNE_DECIDED = "kernels.autotune_decided"
+#: A shared-memory handoff degraded to the pickled path (fields:
+#: reason).  Emitted at WARNING level.
+EVENT_SHM_FALLBACK = "shm.fallback"
 #: The online screening service started (fields: workers, max_depth).
 EVENT_SERVE_STARTED = "serve.started"
 #: The service stopped (fields: completed, rejected, drained).
@@ -201,6 +227,10 @@ EVENT_NAMES = frozenset(
         EVENT_SERIAL_FALLBACK,
         EVENT_EXPERIMENT_STARTED,
         EVENT_EXPERIMENT_FINISHED,
+        EVENT_KERNEL_BACKEND_SELECTED,
+        EVENT_KERNEL_BACKEND_FALLBACK,
+        EVENT_KERNEL_AUTOTUNE_DECIDED,
+        EVENT_SHM_FALLBACK,
         EVENT_SERVE_STARTED,
         EVENT_SERVE_STOPPED,
         EVENT_SERVE_REJECTED,
@@ -243,6 +273,19 @@ METRIC_BREAKER_OPENED = "breaker.opened"
 METRIC_QUALITY_DEGRADED = "quality.degraded"
 #: Quality-gate REJECT verdicts.
 METRIC_QUALITY_REJECTED = "quality.rejected"
+#: Shared-memory segments created for zero-copy chunk handoff.
+METRIC_SHM_SEGMENTS_CREATED = "shm.segments_created"
+#: Shared-memory segments released (unlinked) after chunk completion.
+METRIC_SHM_SEGMENTS_RELEASED = "shm.segments_released"
+#: Waveform bytes handed to workers by reference instead of pickling.
+METRIC_SHM_BYTES_SAVED = "shm.bytes_saved"
+#: Chunk handoffs that degraded to the pickled path (shm unavailable
+#: or segment creation failed).  Conditional: only emitted in degraded
+#: environments, so it lives in :data:`SHM_DEGRADED_COUNTERS`.
+METRIC_SHM_FALLBACKS = "shm.fallbacks"
+#: Orphaned ``/dev/shm`` segments reclaimed by the cleanup sweep.
+#: Conditional: only emitted after a worker/parent crash left litter.
+METRIC_SHM_ORPHANS_CLEANED = "shm.orphans_cleaned"
 
 #: Per-recording DSP wall time (band-pass + feature extraction).
 HIST_RECORDING_MS = "recording_ms"
@@ -252,6 +295,12 @@ HIST_STAGE_BANDPASS_MS = "stage.bandpass_ms"
 HIST_STAGE_FEATURES_MS = "stage.features_ms"
 #: Whole-batch wall time per :meth:`BatchExecutor.run` call.
 HIST_BATCH_MS = "batch_ms"
+#: Parent-side cost of sharing one chunk's waveforms (copy into the
+#: shared-memory arena + descriptor construction).
+HIST_SHM_HANDOFF_MS = "shm.handoff_ms"
+#: One-time kernel-backend warm-up cost per executor (numba compile
+#: time; 0.0 when the NumPy backend is active).
+HIST_JIT_COMPILE_MS = "kernels.jit_compile_ms"
 
 #: Every counter the runtime documents; the canonical-emission test
 #: asserts each one is produced by an end-to-end batch scenario.
@@ -273,6 +322,9 @@ CANONICAL_COUNTERS = frozenset(
         METRIC_BREAKER_OPENED,
         METRIC_QUALITY_DEGRADED,
         METRIC_QUALITY_REJECTED,
+        METRIC_SHM_SEGMENTS_CREATED,
+        METRIC_SHM_SEGMENTS_RELEASED,
+        METRIC_SHM_BYTES_SAVED,
     }
 )
 
@@ -283,6 +335,20 @@ CANONICAL_HISTOGRAMS = frozenset(
         HIST_STAGE_BANDPASS_MS,
         HIST_STAGE_FEATURES_MS,
         HIST_BATCH_MS,
+        HIST_SHM_HANDOFF_MS,
+        HIST_JIT_COMPILE_MS,
+    }
+)
+
+#: Counters that only fire in *degraded* environments (shared memory
+#: unavailable, worker crash leaving orphaned segments).  They are
+#: documented names — the leak test accepts them — but the canonical
+#: emission test does not require a healthy batch run to produce them;
+#: dedicated degraded-environment tests assert their emission instead.
+SHM_DEGRADED_COUNTERS = frozenset(
+    {
+        METRIC_SHM_FALLBACKS,
+        METRIC_SHM_ORPHANS_CLEANED,
     }
 )
 
@@ -389,6 +455,7 @@ def registry() -> dict[str, tuple[str, ...]]:
         "EVENT_NAMES": tuple(sorted(EVENT_NAMES)),
         "CANONICAL_COUNTERS": tuple(sorted(CANONICAL_COUNTERS)),
         "CANONICAL_HISTOGRAMS": tuple(sorted(CANONICAL_HISTOGRAMS)),
+        "SHM_DEGRADED_COUNTERS": tuple(sorted(SHM_DEGRADED_COUNTERS)),
         "SERVE_REJECTION_COUNTERS": tuple(sorted(SERVE_REJECTION_COUNTERS.values())),
         "SERVE_CANONICAL_COUNTERS": tuple(sorted(SERVE_CANONICAL_COUNTERS)),
         "SERVE_CANONICAL_HISTOGRAMS": tuple(sorted(SERVE_CANONICAL_HISTOGRAMS)),

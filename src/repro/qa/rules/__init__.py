@@ -5,8 +5,8 @@ Importing this package registers every rule with the engine registry
 rule lives in its own module, named after its id, and documents the
 scientific invariant it protects in its module docstring.
 
-QA001–QA007 are per-file (``check_module``) rules; QA008–QA010 are
-whole-program (``check_program``) rules built on the call-graph and
+QA001–QA007 and QA011 are per-file (``check_module``) rules; QA008–QA010
+are whole-program (``check_program``) rules built on the call-graph and
 summary machinery in :mod:`repro.qa.graph`.
 """
 
@@ -21,6 +21,7 @@ from . import (  # noqa: F401  (imports register the rules)
     qa008_async_blocking,
     qa009_lock_discipline,
     qa010_telemetry_registry,
+    qa011_dtype,
 )
 from .qa001_determinism import DeterminismRule
 from .qa002_fingerprint import FingerprintCompletenessRule
@@ -32,6 +33,7 @@ from .qa007_telemetry import TelemetryDisciplineRule
 from .qa008_async_blocking import AsyncBlockingRule
 from .qa009_lock_discipline import LockDisciplineRule
 from .qa010_telemetry_registry import TelemetryRegistryRule
+from .qa011_dtype import DtypeDisciplineRule
 
 __all__ = [
     "DeterminismRule",
@@ -44,4 +46,5 @@ __all__ = [
     "AsyncBlockingRule",
     "LockDisciplineRule",
     "TelemetryRegistryRule",
+    "DtypeDisciplineRule",
 ]

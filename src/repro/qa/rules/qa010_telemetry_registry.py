@@ -45,6 +45,7 @@ KIND_REGISTRIES: dict[str, tuple[str, ...]] = {
         "CANONICAL_COUNTERS",
         "SERVE_CANONICAL_COUNTERS",
         "SERVE_REJECTION_COUNTERS",
+        "SHM_DEGRADED_COUNTERS",
     ),
     "histogram": ("CANONICAL_HISTOGRAMS", "SERVE_CANONICAL_HISTOGRAMS"),
 }

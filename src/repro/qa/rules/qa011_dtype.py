@@ -1,0 +1,127 @@
+"""QA011 — dtype discipline: kernels must not silently upcast float32.
+
+The kernel layer is two-lane: float64 inputs take the bit-identical
+reference path, float32 inputs take the dispatched fast lane.  The lane
+is carried by the *array dtype*, so one careless coercion anywhere in
+``repro.kernels`` quietly promotes the whole downstream computation to
+float64 — the float32 pipeline still produces numbers, the benchmarks
+just stop measuring what they claim to measure.  Nothing crashes;
+the speedup silently evaporates.
+
+Three patterns are flagged, inside ``repro.kernels`` only:
+
+1. **Coercing converters** — ``np.asarray`` / ``np.array`` /
+   ``np.ascontiguousarray`` called with ``dtype=float`` or
+   ``dtype=np.float64``: these rewrite a float32 input's lane.  Use
+   :func:`repro.kernels.dtypes.as_float_array` (validates but
+   preserves either lane) or thread a ``dtype`` parameter.
+2. **Upcasting casts** — ``.astype(float)`` / ``.astype(np.float64)``:
+   same silent promotion, applied post hoc.
+3. **Default-dtype allocation** — ``np.zeros`` / ``np.ones`` /
+   ``np.empty`` / ``np.full`` *without* a ``dtype`` keyword: NumPy
+   defaults to float64, so buffers meant to hold lane-dtype data
+   widen every value written into them.  Allocate with
+   ``dtype=signal.dtype`` (or an explicit lane dtype).
+
+A float64 round-trip is sometimes the *fast* recipe (NumPy's float32
+2-D FFT is slower than its float64 one); such deliberate upcasts are
+annotated ``# qa: ignore[QA011]`` at the call site, which doubles as
+documentation that the promotion was measured, not accidental.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Rule, register
+from ..findings import Finding, Severity
+from ..project import ModuleInfo, Project
+from ._helpers import ImportMap, attribute_chain, canonical_name, module_subpackage
+
+__all__ = ["DtypeDisciplineRule"]
+
+#: Converters whose ``dtype=float64`` coerces the lane (pattern 1).
+_COERCING_CONVERTERS = frozenset(
+    {"numpy.asarray", "numpy.array", "numpy.ascontiguousarray"}
+)
+
+#: Allocators that default to float64 when ``dtype`` is omitted (3).
+_DEFAULT_F64_ALLOCATORS = frozenset(
+    {"numpy.zeros", "numpy.ones", "numpy.empty", "numpy.full"}
+)
+
+
+def _is_float64_spec(expr: ast.expr, imports: ImportMap) -> bool:
+    """Whether ``expr`` is the literal ``float`` / ``np.float64`` spec."""
+    if isinstance(expr, ast.Name) and expr.id == "float":
+        return True
+    dotted = attribute_chain(expr)
+    if dotted is None:
+        return False
+    return imports.canonicalize(dotted) in ("numpy.float64", "numpy.double")
+
+
+@register
+class DtypeDisciplineRule(Rule):
+    """Forbid silent float32→float64 promotion inside repro.kernels."""
+
+    rule_id = "QA011"
+    severity = Severity.ERROR
+    description = (
+        "kernels must preserve the input lane dtype: no dtype=float64 "
+        "coercions, .astype(float64) casts, or default-dtype allocations"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterable[Finding]:
+        if module_subpackage(module) != "kernels":
+            return
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_call(module, node, imports)
+
+    def _check_call(
+        self, module: ModuleInfo, node: ast.Call, imports: ImportMap
+    ) -> Iterable[Finding]:
+        func = canonical_name(node.func, imports)
+        dtype_kwarg = next(
+            (kw.value for kw in node.keywords if kw.arg == "dtype"), None
+        )
+        if func in _COERCING_CONVERTERS:
+            if dtype_kwarg is not None and _is_float64_spec(dtype_kwarg, imports):
+                short = func.split(".")[-1]
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"{short}(..., dtype=float64) silently upcasts float32 "
+                    "inputs off the fast lane",
+                    "use repro.kernels.dtypes.as_float_array, or mark a "
+                    "measured round-trip with '# qa: ignore[QA011]'",
+                )
+            return
+        if func in _DEFAULT_F64_ALLOCATORS:
+            if dtype_kwarg is None:
+                short = func.split(".")[-1]
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"{short}(...) without dtype allocates float64 and widens "
+                    "every lane-dtype value stored into it",
+                    "pass dtype=<input>.dtype (or an explicit lane dtype)",
+                )
+            return
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+            target = dtype_kwarg if dtype_kwarg is not None else (
+                node.args[0] if node.args else None
+            )
+            if target is not None and _is_float64_spec(target, imports):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    ".astype(float64) silently promotes a float32 array to "
+                    "the slow lane",
+                    "preserve the incoming dtype, or mark a measured "
+                    "round-trip with '# qa: ignore[QA011]'",
+                )

@@ -170,8 +170,19 @@ class RuntimeMetrics:
     - ``executor.chunks_skipped`` — chunks quarantined by an open breaker
     - ``breaker.opened`` — circuit-breaker open transitions
     - ``quality.degraded`` / ``quality.rejected`` — quality-gate verdicts
+    - ``shm.segments_created`` / ``shm.segments_released`` — zero-copy
+      arena segment lifecycle (always balanced by batch end)
+    - ``shm.bytes_saved`` — waveform bytes handed off by reference
+      instead of being pickled into pool tasks
     - histograms ``recording_ms``, ``stage.bandpass_ms``,
-      ``stage.features_ms``, ``batch_ms``
+      ``stage.features_ms``, ``batch_ms``, ``shm.handoff_ms`` (arena
+      packing latency per chunk), ``kernels.jit_compile_ms`` (up-front
+      backend warm-up; 0 on the pure-NumPy backend)
+
+    Degraded-path counters (``SHM_DEGRADED_COUNTERS``) appear only when
+    shared memory misbehaves: ``shm.fallbacks`` — chunks that reverted
+    to pickled handoff; ``shm.orphans_cleaned`` — dead-owner segments
+    reclaimed from ``/dev/shm``.
     """
 
     def __init__(self, histogram_max_samples: int | None = DEFAULT_MAX_SAMPLES) -> None:

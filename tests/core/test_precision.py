@@ -1,0 +1,100 @@
+"""The two-lane precision policy at pipeline level.
+
+The contract of ``EarSonarConfig.precision``:
+
+- ``"float64"`` (the default) is the reference lane and must stay
+  bit-identical to a config that never mentions precision at all;
+- ``"float32"`` may differ numerically, but only inside the tolerance
+  budget (<= 1e-4 relative on features, measured ~7e-6 in practice),
+  and never in any *decision*: echo counts, quality-gate verdicts, and
+  screening predictions must match the float64 lane exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EarSonarConfig, EarSonarPipeline
+from repro.core.detector import MeeDetector
+from repro.simulation import SessionConfig, StudyDesign, build_cohort, simulate_study
+
+#: Relative tolerance budget of the float32 lane on feature vectors.
+FEATURE_RTOL = 1e-4
+
+
+@pytest.fixture(scope="module")
+def recordings():
+    rng = np.random.default_rng(1789)
+    cohort = build_cohort(2, rng, total_days=8)
+    design = StudyDesign(
+        total_days=8,
+        sessions_per_day=1,
+        session_config=SessionConfig(duration_s=0.1),
+    )
+    return list(simulate_study(cohort, design, rng).recordings)
+
+
+@pytest.fixture(scope="module")
+def lanes(recordings):
+    """(float64 results, float32 results), in input order."""
+    pipe64 = EarSonarPipeline(EarSonarConfig(precision="float64"))
+    pipe32 = EarSonarPipeline(EarSonarConfig(precision="float32"))
+    return (
+        [pipe64.process(r) for r in recordings],
+        [pipe32.process(r) for r in recordings],
+    )
+
+
+class TestConfig:
+    def test_default_precision_is_float64(self):
+        assert EarSonarConfig().precision == "float64"
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(Exception, match="precision"):
+            EarSonarConfig(precision="float16")
+
+
+class TestFloat64Lane:
+    def test_explicit_float64_is_bit_identical_to_default(self, recordings):
+        default = EarSonarPipeline(EarSonarConfig())
+        explicit = EarSonarPipeline(EarSonarConfig(precision="float64"))
+        for recording in recordings[:3]:
+            a = default.process(recording)
+            b = explicit.process(recording)
+            np.testing.assert_array_equal(a.features, b.features)
+            np.testing.assert_array_equal(a.curve, b.curve)
+            np.testing.assert_array_equal(a.mean_segment, b.mean_segment)
+
+    def test_float64_features_stay_float64(self, lanes):
+        for result in lanes[0]:
+            assert result.features.dtype == np.float64
+
+
+class TestFloat32Budget:
+    def test_features_inside_the_tolerance_budget(self, lanes):
+        for r64, r32 in zip(*lanes):
+            np.testing.assert_allclose(
+                r32.features, r64.features, rtol=FEATURE_RTOL, atol=1e-7
+            )
+
+    def test_feature_vectors_are_float64_on_both_lanes(self, lanes):
+        # The lane is internal: the public vector is always float64.
+        for r64, r32 in zip(*lanes):
+            assert r64.features.dtype == np.float64
+            assert r32.features.dtype == np.float64
+
+    def test_decisions_are_lane_independent(self, lanes):
+        for r64, r32 in zip(*lanes):
+            assert r32.num_events == r64.num_events
+            assert r32.num_echoes == r64.num_echoes
+            assert r32.quality_reasons == r64.quality_reasons
+            assert r32.confidence == pytest.approx(r64.confidence, rel=1e-5)
+
+    def test_screening_verdicts_match(self, recordings, lanes):
+        results64, results32 = lanes
+        states = [r.true_state for r in results64]
+        features64 = np.stack([r.features for r in results64])
+        features32 = np.stack([r.features for r in results32])
+        detector = MeeDetector().fit(features64, states)
+        assert detector.predict(features32) == detector.predict(features64)

@@ -1,0 +1,99 @@
+"""Autotuner: measure-once semantics, cache pinning, and the kill switch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import autotune, backends
+from repro.obs import EventLog, names, use_event_log
+
+
+def _counted(value: float):
+    """A candidate that tallies its own invocations."""
+    calls = {"n": 0}
+
+    def fn(arr: np.ndarray) -> np.ndarray:
+        calls["n"] += 1
+        return arr * value
+
+    return fn, calls
+
+
+class TestSignatureKey:
+    def test_arrays_contribute_shape_and_dtype(self):
+        a = np.zeros((3, 4), dtype=np.float32)
+        key = autotune.signature_key("op", (a, 7, "plan"))
+        assert key == ("autotune", "op", (3, 4), "<f4")
+
+    def test_distinct_shapes_get_distinct_keys(self):
+        a = np.zeros(8, dtype=np.float32)
+        b = np.zeros(16, dtype=np.float32)
+        assert autotune.signature_key("op", (a,)) != autotune.signature_key(
+            "op", (b,)
+        )
+
+
+class TestDecide:
+    def test_first_call_measures_then_pins(self):
+        fast, fast_calls = _counted(1.0)
+        slow, slow_calls = _counted(2.0)
+        candidates = {"fast": fast, "slow": slow}
+        arr = np.ones(32, dtype=np.float32)
+
+        first = autotune.decide("test.pin_once", candidates, (arr,))
+        assert first in candidates
+        measured = (fast_calls["n"], slow_calls["n"])
+        assert min(measured) >= 1  # every candidate was timed
+
+        second = autotune.decide("test.pin_once", candidates, (arr,))
+        assert second == first
+        # The pinned decision replays from the plan cache: no re-timing.
+        assert (fast_calls["n"], slow_calls["n"]) == measured
+
+    def test_new_shape_triggers_a_new_measurement(self):
+        fast, fast_calls = _counted(1.0)
+        candidates = {"only": fast}
+        autotune.decide("test.reshape", candidates, (np.ones(8, np.float32),))
+        before = fast_calls["n"]
+        autotune.decide("test.reshape", candidates, (np.ones(64, np.float32),))
+        assert fast_calls["n"] > before
+
+    def test_decision_event_reports_timings(self):
+        fast, _ = _counted(1.0)
+        slow, _ = _counted(2.0)
+        log = EventLog()
+        with use_event_log(log):
+            choice = autotune.decide(
+                "test.event", {"fast": fast, "slow": slow}, (np.ones(16, np.float32),)
+            )
+        decided = [
+            e for e in log.events if e.name == names.EVENT_KERNEL_AUTOTUNE_DECIDED
+        ]
+        assert len(decided) == 1
+        assert decided[0].fields["choice"] == choice
+        assert "ms_fast" in decided[0].fields and "ms_slow" in decided[0].fields
+
+
+class TestKillSwitch:
+    @pytest.fixture(autouse=True)
+    def _clean_dispatch_state(self, monkeypatch):
+        monkeypatch.delenv(backends.BACKEND_ENV_VAR, raising=False)
+        backends.select_backend(None)
+        backends.reset_announcements()
+        yield
+        backends.select_backend(None)
+        backends.reset_announcements()
+
+    def test_autotune_off_pins_first_candidate_untimed(self, monkeypatch):
+        monkeypatch.setenv(backends.AUTOTUNE_ENV_VAR, "off")
+        first, first_calls = _counted(1.0)
+        second, second_calls = _counted(2.0)
+        candidates = {"first": first, "second": second}
+        monkeypatch.setattr(
+            backends, "candidates_for", lambda op: dict(candidates)
+        )
+        out = backends.run_op("test.kill_switch", np.ones(8, np.float32))
+        np.testing.assert_array_equal(out, np.ones(8, np.float32))
+        assert first_calls["n"] == 1  # executed once, never timed
+        assert second_calls["n"] == 0  # the loser is never touched

@@ -1,0 +1,146 @@
+"""Backend dispatch: selection, fallback, candidates, and lane parity.
+
+The float64 lane never reaches the dispatch layer (it is pinned inline
+in the kernels), so everything here exercises the float32 lane: which
+backend answers, how a forced-but-absent ``jit`` degrades, and that
+every candidate of an op agrees with every other within float32
+tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import backends
+from repro.kernels.backends import jit_backend, numpy_backend
+from repro.kernels.plan import band_zoom_plan
+from repro.obs import EventLog, names, use_event_log
+
+
+@pytest.fixture(autouse=True)
+def _clean_dispatch_state(monkeypatch):
+    """Neutral env + re-armed one-shot events around every test."""
+    monkeypatch.delenv(backends.BACKEND_ENV_VAR, raising=False)
+    monkeypatch.delenv(backends.AUTOTUNE_ENV_VAR, raising=False)
+    backends.select_backend(None)
+    backends.reset_announcements()
+    yield
+    backends.select_backend(None)
+    backends.reset_announcements()
+
+
+class TestSelection:
+    def test_default_is_auto(self):
+        assert backends.requested_backend() == "auto"
+        assert backends.active_backend() == "auto"
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(backends.BACKEND_ENV_VAR, "numpy")
+        assert backends.requested_backend() == "numpy"
+        assert backends.active_backend() == "numpy"
+
+    def test_unrecognized_env_value_falls_back_to_auto(self, monkeypatch):
+        monkeypatch.setenv(backends.BACKEND_ENV_VAR, "cuda")
+        assert backends.requested_backend() == "auto"
+
+    def test_select_backend_beats_env(self, monkeypatch):
+        monkeypatch.setenv(backends.BACKEND_ENV_VAR, "numpy")
+        backends.select_backend("jit")
+        assert backends.requested_backend() == "jit"
+
+    def test_select_backend_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            backends.select_backend("fortran")
+
+    def test_use_backend_scopes_the_override(self):
+        with backends.use_backend("numpy"):
+            assert backends.requested_backend() == "numpy"
+        assert backends.requested_backend() == "auto"
+
+    def test_selection_announced_once(self):
+        log = EventLog()
+        with use_event_log(log):
+            backends.active_backend()
+            backends.active_backend()
+        selected = [
+            e for e in log.events if e.name == names.EVENT_KERNEL_BACKEND_SELECTED
+        ]
+        assert len(selected) == 1
+
+
+class TestJitFallback:
+    """Behaviour with numba forced but (as in CI) not importable."""
+
+    @pytest.fixture(autouse=True)
+    def _numba_absent(self, monkeypatch):
+        monkeypatch.setattr(jit_backend, "available", lambda: False)
+
+    def test_jit_degrades_to_numpy(self):
+        with backends.use_backend("jit"):
+            assert backends.active_backend() == "numpy"
+
+    def test_fallback_warns_exactly_once(self):
+        log = EventLog()
+        with use_event_log(log), backends.use_backend("jit"):
+            backends.active_backend()
+            backends.active_backend()
+            backends.ensure_ready()
+        warnings = [
+            e for e in log.events if e.name == names.EVENT_KERNEL_BACKEND_FALLBACK
+        ]
+        assert len(warnings) == 1
+        assert warnings[0].level == "warning"
+
+    def test_reset_announcements_rearms_the_warning(self):
+        log = EventLog()
+        with use_event_log(log), backends.use_backend("jit"):
+            backends.active_backend()
+            backends.reset_announcements()
+            backends.active_backend()
+        warnings = [
+            e for e in log.events if e.name == names.EVENT_KERNEL_BACKEND_FALLBACK
+        ]
+        assert len(warnings) == 2
+
+    def test_ensure_ready_costs_nothing_on_numpy(self):
+        with backends.use_backend("jit"):
+            assert backends.ensure_ready() == 0.0
+
+    def test_candidates_fall_back_to_reference(self):
+        with backends.use_backend("jit"):
+            offered = backends.candidates_for("band_zoom_amplitude")
+        assert offered == numpy_backend.candidates_for("band_zoom_amplitude")
+
+
+class TestCandidateParity:
+    """Every candidate of an op must agree within float32 tolerance."""
+
+    def test_band_zoom_candidates_agree(self):
+        rng = np.random.default_rng(3)
+        nfft = 2_048
+        grid = np.linspace(16_000.0, 20_000.0, 64)
+        zoom = band_zoom_plan(512, nfft, 384_000.0, grid)
+        assert zoom is not None
+        stack = rng.standard_normal((12, 512)).astype(np.float32)
+        offered = backends.candidates_for("band_zoom_amplitude")
+        outputs = {
+            name: np.asarray(fn(stack, zoom, nfft)) for name, fn in offered.items()
+        }
+        baseline = next(iter(outputs.values()))
+        for name, out in outputs.items():
+            np.testing.assert_allclose(
+                out, baseline, rtol=1e-4, atol=1e-6, err_msg=name
+            )
+
+    def test_run_op_matches_direct_candidate(self, monkeypatch):
+        monkeypatch.setenv(backends.AUTOTUNE_ENV_VAR, "off")
+        rng = np.random.default_rng(4)
+        nfft = 2_048
+        grid = np.linspace(16_000.0, 20_000.0, 64)
+        zoom = band_zoom_plan(512, nfft, 384_000.0, grid)
+        assert zoom is not None
+        stack = rng.standard_normal((6, 512)).astype(np.float32)
+        dispatched = backends.run_op("band_zoom_amplitude", stack, zoom, nfft)
+        first = next(iter(backends.candidates_for("band_zoom_amplitude").values()))
+        np.testing.assert_array_equal(dispatched, first(stack, zoom, nfft))

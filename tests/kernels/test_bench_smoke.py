@@ -32,8 +32,11 @@ def test_write_report_schema(tmp_path):
     path = write_report(tmp_path / "BENCH_toy.json", [result], label="toy", quick=True, seed=0)
     payload = json.loads(path.read_text())
     assert payload["schema_version"] == SCHEMA_VERSION
-    assert payload["label"] == "toy" and payload["quick"] is True
-    assert set(payload["results"][0]) == _RESULT_KEYS
+    assert payload["label"] == "toy"
+    (run,) = payload["runs"]
+    assert run["quick"] is True and run["seed"] == 0
+    assert run["git_sha"] and run["machine"]
+    assert set(run["results"][0]) == _RESULT_KEYS
 
 
 def test_cli_quick_run_writes_both_reports(tmp_path):
@@ -47,10 +50,11 @@ def test_cli_quick_run_writes_both_reports(tmp_path):
     ]:
         payload = json.loads((tmp_path / name).read_text())
         assert payload["schema_version"] == SCHEMA_VERSION
-        assert payload["quick"] is True and payload["seed"] == 1
-        ops = {r["op"] for r in payload["results"]}
+        (run,) = payload["runs"]
+        assert run["quick"] is True and run["seed"] == 1
+        ops = {r["op"] for r in run["results"]}
         assert expected_ops <= ops
-        for record in payload["results"]:
+        for record in run["results"]:
             assert set(record) == _RESULT_KEYS
             assert record["p50_ms"] > 0.0
             assert record["repeats"] == 1

@@ -116,7 +116,11 @@ class TestCanonicalEmission:
 
     def test_no_undocumented_counters_leak(self, exercised):
         report = exercised.report()
-        unknown = set(report["counters"]) - names.CANONICAL_COUNTERS
+        unknown = (
+            set(report["counters"])
+            - names.CANONICAL_COUNTERS
+            - names.SHM_DEGRADED_COUNTERS
+        )
         assert not unknown, f"undocumented counters: {sorted(unknown)}"
 
     def test_no_undocumented_histograms_leak(self, exercised):

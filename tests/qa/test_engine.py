@@ -47,6 +47,7 @@ def test_all_rules_registered():
         "QA008",
         "QA009",
         "QA010",
+        "QA011",
     ]
 
 

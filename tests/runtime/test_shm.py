@@ -1,0 +1,226 @@
+"""Shared-memory waveform handoff: round-trip, lifecycle, degradation.
+
+Everything here runs against real ``/dev/shm`` segments when the host
+has them (the availability probe gates the whole module), and every
+test asserts the no-litter invariant: no ``earsonar_shm_*`` segment of
+this process may survive the test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.obs import EventLog, names, use_event_log
+from repro.runtime import BatchExecutor, RuntimeMetrics
+from repro.runtime import shm
+
+pytestmark = pytest.mark.skipif(
+    not shm.shared_memory_available(), reason="no shared memory on this host"
+)
+
+
+def _own_segments() -> list[str]:
+    """Names of this process's arena segments currently in /dev/shm."""
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        return []
+    prefix = f"{shm.SEGMENT_PREFIX}{os.getpid()}_"
+    return sorted(p.name for p in root.glob(f"{prefix}*"))
+
+
+@pytest.fixture(autouse=True)
+def _no_litter():
+    assert _own_segments() == []
+    yield
+    assert _own_segments() == [], "test leaked a shared-memory segment"
+
+
+@pytest.fixture()
+def chunk(runtime_study):
+    return list(runtime_study.recordings)[:4]
+
+
+class TestRoundTrip:
+    def test_materialized_waveforms_are_byte_identical(self, chunk):
+        arena = shm.WaveformArena(RuntimeMetrics())
+        try:
+            payload, name = arena.share_chunk(chunk)
+            assert name is not None
+            rebuilt = shm.materialize_chunk(payload)
+            for original, copy in zip(chunk, rebuilt):
+                np.testing.assert_array_equal(original.waveform, copy.waveform)
+                assert copy.participant_id == original.participant_id
+                assert copy.day == original.day
+            rebuilt = None
+            shm.release_attachments()
+            arena.release(name)
+        finally:
+            arena.close()
+
+    def test_views_are_read_only(self, chunk):
+        arena = shm.WaveformArena(RuntimeMetrics())
+        try:
+            payload, name = arena.share_chunk(chunk)
+            rebuilt = shm.materialize_chunk(payload)
+            with pytest.raises(ValueError):
+                rebuilt[0].waveform[0] = 1.0
+            rebuilt = None
+            shm.release_attachments()
+            arena.release(name)
+        finally:
+            arena.close()
+
+    def test_plain_recordings_pass_through(self, chunk):
+        assert shm.materialize_chunk(chunk) == chunk
+
+    def test_shared_payload_pickles_without_the_waveform_bytes(self, chunk):
+        import pickle
+
+        arena = shm.WaveformArena(RuntimeMetrics())
+        try:
+            payload, name = arena.share_chunk(chunk)
+            pickled = len(pickle.dumps(payload))
+            baseline = len(pickle.dumps(chunk))
+            assert pickled < baseline / 50
+            arena.release(name)
+        finally:
+            arena.close()
+
+
+class TestLifecycle:
+    def test_counters_balance_and_segments_recycle(self, chunk):
+        metrics = RuntimeMetrics()
+        arena = shm.WaveformArena(metrics)
+        for _ in range(3):
+            payload, name = arena.share_chunk(chunk)
+            shm.materialize_chunk(payload)
+            shm.release_attachments()
+            arena.release(name)
+        arena.close()
+        # One physical segment served all three chunks (warm-page reuse),
+        # and it was unlinked exactly once.
+        assert metrics.counter(names.METRIC_SHM_SEGMENTS_CREATED) == 1
+        assert metrics.counter(names.METRIC_SHM_SEGMENTS_RELEASED) == 1
+        total = 3 * sum(int(r.waveform.nbytes) for r in chunk)
+        assert metrics.counter(names.METRIC_SHM_BYTES_SAVED) == total
+
+    def test_close_releases_unreleased_segments(self, chunk):
+        metrics = RuntimeMetrics()
+        arena = shm.WaveformArena(metrics)
+        arena.share_chunk(chunk)  # never released by the caller
+        arena.close()
+        assert metrics.counter(names.METRIC_SHM_SEGMENTS_RELEASED) == 1
+
+    def test_release_of_unknown_name_is_a_no_op(self):
+        arena = shm.WaveformArena(RuntimeMetrics())
+        arena.release(None)
+        arena.release("earsonar_shm_0_never_created")
+        arena.close()
+
+    def test_empty_chunk_skips_shared_memory(self):
+        arena = shm.WaveformArena(RuntimeMetrics())
+        payload, name = arena.share_chunk([])
+        assert payload == [] and name is None
+        arena.close()
+
+
+class TestDegradation:
+    def test_creation_failure_falls_back_to_pickled_chunk(self, chunk, monkeypatch):
+        def refuse(*args, **kwargs):
+            raise OSError("no space on /dev/shm")
+
+        monkeypatch.setattr(shm.shared_memory, "SharedMemory", refuse)
+        metrics = RuntimeMetrics()
+        arena = shm.WaveformArena(metrics)
+        log = EventLog()
+        with use_event_log(log):
+            payload, name = arena.share_chunk(chunk)
+        arena.close()
+        assert name is None
+        assert payload == chunk  # the pickled path gets the originals
+        assert metrics.counter(names.METRIC_SHM_FALLBACKS) == 1
+        warnings = [e for e in log.events if e.name == names.EVENT_SHM_FALLBACK]
+        assert len(warnings) == 1
+        assert warnings[0].level == "warning"
+
+    def test_cleanup_orphans_reclaims_dead_owner_segments(self):
+        # A segment whose embedded owner pid cannot exist: pid_max on
+        # Linux is < 2**22, so 2**24 is never a live process.
+        dead_name = f"{shm.SEGMENT_PREFIX}{2**24}_0"
+        segment = shared_memory.SharedMemory(create=True, size=64, name=dead_name)
+        segment.close()
+        metrics = RuntimeMetrics()
+        assert shm.cleanup_orphans(metrics) == 1
+        assert metrics.counter(names.METRIC_SHM_ORPHANS_CLEANED) == 1
+        assert not (Path("/dev/shm") / dead_name).exists()
+
+    def test_cleanup_orphans_spares_live_owners(self, chunk):
+        arena = shm.WaveformArena(RuntimeMetrics())
+        try:
+            _, name = arena.share_chunk(chunk)
+            assert shm.cleanup_orphans() == 0
+            assert (Path("/dev/shm") / name).exists()
+            arena.release(name)
+        finally:
+            arena.close()
+
+    def test_cleanup_orphans_ignores_unparseable_names(self):
+        odd = f"{shm.SEGMENT_PREFIX}notapid_x"
+        segment = shared_memory.SharedMemory(create=True, size=64, name=odd)
+        try:
+            assert shm.cleanup_orphans() == 0
+            assert (Path("/dev/shm") / odd).exists()
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+class TestExecutorIntegration:
+    def _feature_bytes(self, result):
+        return [p.features.tobytes() for p in result.processed]
+
+    def test_pool_zero_copy_matches_serial(self, runtime_pipeline, runtime_study):
+        recordings = list(runtime_study.recordings)[:8]
+        serial = BatchExecutor(runtime_pipeline, workers=1).run(recordings)
+        metrics = RuntimeMetrics()
+        pooled = BatchExecutor(
+            runtime_pipeline, workers=2, metrics=metrics, zero_copy=True
+        ).run(recordings)
+        assert self._feature_bytes(pooled) == self._feature_bytes(serial)
+        assert metrics.counter(names.METRIC_SHM_SEGMENTS_CREATED) > 0
+        assert metrics.counter(names.METRIC_SHM_SEGMENTS_CREATED) == metrics.counter(
+            names.METRIC_SHM_SEGMENTS_RELEASED
+        )
+
+    def test_pool_zero_copy_disabled_matches_serial(
+        self, runtime_pipeline, runtime_study
+    ):
+        recordings = list(runtime_study.recordings)[:8]
+        serial = BatchExecutor(runtime_pipeline, workers=1).run(recordings)
+        metrics = RuntimeMetrics()
+        pooled = BatchExecutor(
+            runtime_pipeline, workers=2, metrics=metrics, zero_copy=False
+        ).run(recordings)
+        assert self._feature_bytes(pooled) == self._feature_bytes(serial)
+        assert metrics.counter(names.METRIC_SHM_SEGMENTS_CREATED) == 0
+
+    @pytest.mark.chaos
+    def test_worker_crash_leaves_no_segments(self, runtime_pipeline, runtime_study):
+        from repro.runtime import FaultInjector
+
+        recordings = list(runtime_study.recordings)[:8]
+        executor = BatchExecutor(
+            runtime_pipeline,
+            workers=2,
+            zero_copy=True,
+            fault_injector=FaultInjector(mode="crash", indices=(0,)),
+        )
+        result = executor.run(recordings)
+        assert result.ok_count + result.failed_count == len(recordings)
+        # The autouse fixture asserts the no-litter invariant on exit.
