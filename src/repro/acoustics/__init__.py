@@ -18,6 +18,13 @@ from .impedance import (
 )
 from .media import AIR, MUCOID_FLUID, PURULENT_FLUID, SEROUS_FLUID, WATER, Medium
 from .propagation import MultipathChannel, PropagationPath
+from .reverb import (
+    ReflectionTap,
+    ReverbConfig,
+    reverb_impulse_response,
+    reverb_paths,
+    reverb_taps,
+)
 
 __all__ = [
     "EardrumReflectanceModel",
@@ -40,4 +47,9 @@ __all__ = [
     "Medium",
     "MultipathChannel",
     "PropagationPath",
+    "ReflectionTap",
+    "ReverbConfig",
+    "reverb_impulse_response",
+    "reverb_paths",
+    "reverb_taps",
 ]

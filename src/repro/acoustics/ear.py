@@ -11,12 +11,16 @@ drum bounce.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from .absorption import EardrumReflectanceModel, EffusionLoad
 from .propagation import MultipathChannel, PropagationPath
+
+if TYPE_CHECKING:  # circular-import-free annotation only
+    from .reverb import ReverbConfig
 
 __all__ = ["EarCanalGeometry", "InsertionState", "build_ear_channel"]
 
@@ -107,6 +111,7 @@ def build_ear_channel(
     insertion: InsertionState | None = None,
     *,
     sound_speed: float = CANAL_SOUND_SPEED,
+    reverb: "ReverbConfig | None" = None,
 ) -> MultipathChannel:
     """Construct the speaker-to-microphone multipath channel of one ear.
 
@@ -121,6 +126,10 @@ def build_ear_channel(
       amplitude shaped by the drum reflectance curve (the ~18 kHz dip).
     * **drum double bounce** — second-order reflection, twice the
       delay, reflectance squared.
+    * **early reflections** (optional) — the seeded reverberation comb
+      of :mod:`repro.acoustics.reverb`, appended only when ``reverb``
+      is enabled; an absent or disabled config leaves the channel (and
+      every downstream RNG draw) exactly as before.
     """
     insertion = insertion or InsertionState()
     free_len = max(geometry.length_m - insertion.depth_m, 0.005)
@@ -173,4 +182,16 @@ def build_ear_channel(
         response=drum_response_sq,
         label="eardrum-double",
     )
-    return MultipathChannel([direct, wall_a, wall_b, eardrum, double_bounce])
+    paths = [direct, wall_a, wall_b, eardrum, double_bounce]
+    if reverb is not None and reverb.enabled:
+        from .reverb import reverb_paths
+
+        paths.extend(
+            reverb_paths(
+                reverb,
+                free_len,
+                geometry.wall_reflectivity,
+                sound_speed=sound_speed,
+            )
+        )
+    return MultipathChannel(paths)

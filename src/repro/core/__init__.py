@@ -7,7 +7,13 @@ analysis, and MEE detection — plus the study-level evaluation protocol
 and the home-screening API.
 """
 
-from .config import BandpassConfig, DetectorConfig, EarSonarConfig, config_fingerprint
+from .config import (
+    BandpassConfig,
+    CalibrationConfig,
+    DetectorConfig,
+    EarSonarConfig,
+    config_fingerprint,
+)
 from .detector import MeeDetector
 from .diagnostics import QualityThresholds, RecordingQuality, diagnose
 from .evaluation import (
@@ -30,6 +36,7 @@ from .severity import RidgeRegression, SeverityEstimator
 
 __all__ = [
     "BandpassConfig",
+    "CalibrationConfig",
     "DetectorConfig",
     "EarSonarConfig",
     "config_fingerprint",

@@ -15,13 +15,20 @@ import json
 from dataclasses import dataclass, field
 from enum import Enum
 
+from ..acoustics.reverb import ReverbConfig
 from ..errors import ConfigurationError
 from ..features.vector import FeatureVectorConfig
 from ..signal.chirp import ChirpDesign
 from ..signal.events import EventDetectorConfig
 from ..signal.parity import EchoSegmenterConfig
 
-__all__ = ["BandpassConfig", "DetectorConfig", "EarSonarConfig", "config_fingerprint"]
+__all__ = [
+    "BandpassConfig",
+    "CalibrationConfig",
+    "DetectorConfig",
+    "EarSonarConfig",
+    "config_fingerprint",
+]
 
 
 def _canonicalize(value):
@@ -173,6 +180,76 @@ class RobustnessConfig:
 
 
 @dataclass(frozen=True)
+class CalibrationConfig:
+    """On-device calibration-offset estimation (à la Xu & Kollmeier).
+
+    Consumer earphones drift out of calibration over weeks of use: a
+    broadband gain error plus a spectral tilt across the probe band.
+    When enabled, the pipeline fits a dB-linear baseline (gain + tilt)
+    to the *band edges* of every per-echo absorption curve — away from
+    the diagnostic ~18 kHz notch — divides the pooled baseline out, and
+    reports the recovered gain as
+    ``ProcessedRecording.calibration_offset_db``.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch; False (the default) skips the stage entirely, so
+        disabled runs stay bit-identical to the seed pipeline.
+    edge_fraction:
+        Fraction of grid bins at *each* band edge used for the baseline
+        fit; kept small so the notch region never leaks into the fit.
+    max_offset_db:
+        Clamp on the estimated gain and tilt; estimates beyond this are
+        physically implausible (a device that far out of spec fails the
+        quality gate long before calibration matters).
+    reference_level_db:
+        Fleet-average band-edge level of a *calibrated* device on the
+        default TX reference; the reported
+        ``ProcessedRecording.calibration_offset_db`` is the fitted
+        baseline gain relative to this anchor, so a calibrated capture
+        reports ~0 dB and a drifted one reports its broadband gain
+        error (the Xu & Kollmeier deviation-from-reference estimate).
+        The anchor only shifts the *report*; the correction divides out
+        the full fitted baseline either way.
+    instability_db:
+        Ceiling on the per-echo spread (standard deviation) of the
+        fitted gain.  Beyond it the estimate is judged unstable: the
+        correction is still applied (it is the pooled median, robust to
+        a few bad echoes) but the recording's confidence is downgraded
+        and tagged ``calibration_unstable``.
+    unstable_confidence:
+        Multiplier applied to ``ProcessedRecording.confidence`` when
+        the estimate is unstable.
+    """
+
+    enabled: bool = False
+    edge_fraction: float = 0.15
+    max_offset_db: float = 12.0
+    reference_level_db: float = -1.7
+    instability_db: float = 6.0
+    unstable_confidence: float = 0.75
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.edge_fraction <= 0.4:
+            raise ConfigurationError(
+                f"edge_fraction must be in (0, 0.4], got {self.edge_fraction}"
+            )
+        if self.max_offset_db <= 0.0:
+            raise ConfigurationError(
+                f"max_offset_db must be positive, got {self.max_offset_db}"
+            )
+        if self.instability_db <= 0.0:
+            raise ConfigurationError(
+                f"instability_db must be positive, got {self.instability_db}"
+            )
+        if not 0.0 < self.unstable_confidence <= 1.0:
+            raise ConfigurationError(
+                f"unstable_confidence must be in (0, 1], got {self.unstable_confidence}"
+            )
+
+
+@dataclass(frozen=True)
 class EarSonarConfig:
     """Complete EarSonar system configuration with the paper's defaults."""
 
@@ -183,6 +260,13 @@ class EarSonarConfig:
     features: FeatureVectorConfig = field(default_factory=FeatureVectorConfig)
     detector: DetectorConfig = field(default_factory=DetectorConfig)
     robustness: RobustnessConfig = field(default_factory=RobustnessConfig)
+    #: Echo-aware separation: when ``reverb.enabled`` the pipeline runs
+    #: the rake stage that estimates and subtracts early canal
+    #: reflections before echo segmentation.  Disabled (the default) is
+    #: bit-identical to the anechoic seed pipeline.
+    reverb: ReverbConfig = field(default_factory=ReverbConfig)
+    #: On-device calibration-offset estimation; disabled by default.
+    calibration: CalibrationConfig = field(default_factory=CalibrationConfig)
     #: Minimum echoes that must be extracted for a recording to count.
     min_echoes: int = 3
     #: Numeric lane of the spectral/feature half of the pipeline:

@@ -62,6 +62,25 @@ class EarSonarPipeline:
             np.float32 if cfg.precision == "float32" else np.float64
         )
         self._tx_reference32 = self._tx_reference.astype(np.float32)
+        # Rake geometry: early reflections live strictly *before* the
+        # segmenter's eardrum-delay prior, so only delays up to the
+        # prior's lower edge (input-rate samples) may be subtracted —
+        # the drum echo itself is never touched.
+        lo_up, _ = cfg.segmenter.delay_window_samples()
+        factor = cfg.segmenter.upsample_factor
+        self._rake_protect = max(1, lo_up // factor)
+        # Calibration-offset estimation: dB-linear baseline fit over the
+        # band-edge bins of the absorption grid (away from the notch).
+        centre = 0.5 * (self._grid[0] + self._grid[-1])
+        half_span = max(0.5 * (self._grid[-1] - self._grid[0]), 1.0)
+        self._cal_x = (self._grid - centre) / half_span
+        edge = max(2, int(round(cfg.calibration.edge_fraction * self._grid.size)))
+        edge = min(edge, self._grid.size // 2)
+        self._cal_edges = np.r_[0:edge, self._grid.size - edge : self._grid.size]
+        design = np.column_stack(
+            [np.ones(self._cal_edges.size), self._cal_x[self._cal_edges]]
+        )
+        self._cal_solver = np.linalg.pinv(design)
 
     # ------------------------------------------------------------------
     # Stage implementations
@@ -124,6 +143,70 @@ class EarSonarPipeline:
             except NoEchoFoundError:
                 continue
         return echoes
+
+    def cancel_reflections(
+        self, filtered: np.ndarray, events: list[Event]
+    ) -> tuple[np.ndarray, int]:
+        """Rake-cancel early canal reflections from every chirp event.
+
+        Each event runs the orthogonal-least-squares rake (plan-cached
+        I/Q templates): reflections landing before the eardrum-delay
+        prior and above the configured amplitude threshold are jointly
+        fit and subtracted from the event.  Returns the cleaned stream
+        (the input array itself when nothing was subtracted) and the
+        total number of reflections removed.
+        """
+        from ..kernels.chirp import rake_cancel_planned
+
+        reverb = self.config.reverb
+        cleaned = filtered
+        removed_total = 0
+        for event in events:
+            segment = cleaned[event.start : event.end]
+            new_segment, removed = rake_cancel_planned(
+                segment,
+                self.config.chirp,
+                protect_from=self._rake_protect,
+                threshold=reverb.rake_threshold,
+            )
+            if removed:
+                if cleaned is filtered:
+                    cleaned = filtered.copy()
+                cleaned[event.start : event.end] = new_segment
+                removed_total += removed
+        return cleaned, removed_total
+
+    def estimate_calibration(
+        self, curves: np.ndarray
+    ) -> tuple[np.ndarray, float, bool]:
+        """Divide the pooled dB-linear device baseline out of ``curves``.
+
+        Fits gain + tilt (in dB, over the normalized band coordinate)
+        to the band-edge bins of every per-echo curve, pools the fits
+        with a median, and divides the pooled baseline out of every
+        row.  Returns the corrected curves, the gain relative to
+        ``calibration.reference_level_db`` (clamped to
+        ``calibration.max_offset_db``), and whether the per-echo
+        estimates were stable (spread within
+        ``calibration.instability_db``).
+        """
+        cal = self.config.calibration
+        edges = np.asarray(curves, dtype=np.float64)[:, self._cal_edges]
+        edges_db = 20.0 * np.log10(np.maximum(edges, 1e-12))
+        theta = self._cal_solver @ edges_db.T
+        offset = float(
+            np.clip(
+                np.median(theta[0]) - cal.reference_level_db,
+                -cal.max_offset_db,
+                cal.max_offset_db,
+            )
+        )
+        gain = cal.reference_level_db + offset
+        tilt = float(np.clip(np.median(theta[1]), -cal.max_offset_db, cal.max_offset_db))
+        stable = bool(np.std(theta[0]) <= cal.instability_db)
+        baseline = 10.0 ** ((gain + tilt * self._cal_x) / 20.0)
+        corrected = curves / baseline.astype(curves.dtype)
+        return corrected, offset, stable
 
     def absorption_curve(self, echo: EardrumEcho) -> np.ndarray:
         """TX-deconvolved band spectrum of one echo on the uniform grid."""
@@ -231,11 +314,20 @@ class EarSonarPipeline:
         with tracer.span(obs_names.SPAN_STAGE_EVENTS) as span:
             events = self.detect_chirp_events(filtered)
             span.set("events", len(events))
+        reflections_removed = 0
+        if self.config.reverb.enabled:
+            with tracer.span(obs_names.SPAN_STAGE_RAKE) as span:
+                filtered, reflections_removed = self.cancel_reflections(
+                    filtered, events
+                )
+                span.set("removed", reflections_removed)
         with tracer.span(obs_names.SPAN_STAGE_PARITY) as span:
             echoes = self.extract_echoes(filtered, events)
             span.set("echoes", len(echoes))
         num_extracted = len(echoes)
         dropped = 0
+        calibration_offset_db = 0.0
+        calibration_stable = True
         reasons: list[str] = []
         if rb.drop_corrupted_chirps:
             survivors = [
@@ -270,6 +362,15 @@ class EarSonarPipeline:
                     reasons.append("corrupt_chirps")
                 curves = curves[idx]
                 echoes = [echoes[i] for i in idx]
+            if self.config.calibration.enabled:
+                with tracer.span(obs_names.SPAN_STAGE_CALIBRATION) as span:
+                    curves, calibration_offset_db, calibration_stable = (
+                        self.estimate_calibration(curves)
+                    )
+                    span.set("offset_db", calibration_offset_db)
+                    span.set("stable", calibration_stable)
+                if not calibration_stable:
+                    reasons.append("calibration_unstable")
             mean_curve = curves.mean(axis=0)
             peak = mean_curve.max()
             if peak <= 0.0:
@@ -289,6 +390,8 @@ class EarSonarPipeline:
         confidence = (
             len(echoes) / num_extracted if num_extracted else 0.0
         ) * (1.0 - nonfinite_fraction)
+        if not calibration_stable:
+            confidence *= self.config.calibration.unstable_confidence
         processed = ProcessedRecording(
             features=features,
             # The result contract is float64 regardless of lane; for the
@@ -304,6 +407,8 @@ class EarSonarPipeline:
             confidence=confidence,
             num_chirps_dropped=dropped,
             quality_reasons=tuple(reasons),
+            calibration_offset_db=calibration_offset_db,
+            num_reflections_removed=reflections_removed,
         )
         latencies = StageLatencies(
             bandpass_ms=(t1 - t0) * 1e3,

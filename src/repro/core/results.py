@@ -55,6 +55,14 @@ class ProcessedRecording:
         Corrupted chirps removed from the train before averaging.
     quality_reasons:
         Reason codes explaining any degradation (empty when clean).
+    calibration_offset_db:
+        Estimated per-device broadband gain error divided out of the
+        absorption curves, in dB; 0.0 when the calibration stage is
+        disabled (or estimated nothing).
+    num_reflections_removed:
+        Early canal reflections subtracted by the rake stage across
+        all chirp events; 0 when the rake is disabled or the capture
+        is anechoic.
     """
 
     features: np.ndarray
@@ -69,6 +77,8 @@ class ProcessedRecording:
     confidence: float = 1.0
     num_chirps_dropped: int = 0
     quality_reasons: tuple[str, ...] = ()
+    calibration_offset_db: float = 0.0
+    num_reflections_removed: int = 0
 
     @property
     def echo_yield(self) -> float:

@@ -9,6 +9,7 @@ modules; ``benchmarks/`` wraps them for ``pytest-benchmark``.
 from . import (
     ablations,
     baseline_comparison,
+    calibration_drift,
     conditions,
     label_noise,
     fig02_feasibility,
@@ -34,6 +35,7 @@ from .common import (
 __all__ = [
     "ablations",
     "baseline_comparison",
+    "calibration_drift",
     "conditions",
     "label_noise",
     "fig02_feasibility",

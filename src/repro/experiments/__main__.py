@@ -37,6 +37,7 @@ from ..obs.export import write_run_record
 from . import (
     ablations,
     baseline_comparison,
+    calibration_drift,
     label_noise,
     fig02_feasibility,
     fig07_08_signals,
@@ -70,6 +71,7 @@ _EXPERIMENTS = {
     "ablations": (ablations, True),
     "labelnoise": (label_noise, True),
     "robustness": (robustness_curves, True),
+    "calibdrift": (calibration_drift, True),
 }
 
 
@@ -89,6 +91,7 @@ def _run_one(name: str) -> None:
             "ablations": ablations.AblationConfig,
             "labelnoise": label_noise.LabelNoiseConfig,
             "robustness": robustness_curves.RobustnessCurvesConfig,
+            "calibdrift": calibration_drift.CalibrationDriftExperimentConfig,
         }
         result = module.run(config_types[name](scale=scale))
     else:

@@ -69,6 +69,8 @@ class RobustnessCurvesConfig:
         "dc_drift",
         "truncation",
         "nonfinite",
+        "reverb_tail",
+        "calibration_drift",
     )
     sessions_per_state: int = 1
     artifact_dir: str | None = "artifacts/robustness"

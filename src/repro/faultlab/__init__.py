@@ -31,12 +31,14 @@ Quick use::
 """
 
 from .models import (
+    CalibrationDriftFault,
     Clipping,
     DCClockDrift,
     DropoutBursts,
     FaultChain,
     FaultModel,
     NonFiniteCorruption,
+    ReverbTailFault,
     SealLeak,
     TransientBursts,
     Truncation,
@@ -53,6 +55,8 @@ __all__ = [
     "DCClockDrift",
     "Truncation",
     "NonFiniteCorruption",
+    "ReverbTailFault",
+    "CalibrationDriftFault",
     "FaultChain",
     "fault_catalog",
     "apply_to_recording",

@@ -38,6 +38,8 @@ __all__ = [
     "DCClockDrift",
     "Truncation",
     "NonFiniteCorruption",
+    "ReverbTailFault",
+    "CalibrationDriftFault",
     "FaultChain",
     "fault_catalog",
     "apply_to_recording",
@@ -347,6 +349,103 @@ class NonFiniteCorruption(FaultModel):
         return out
 
 
+#: e-folds of tap-amplitude decay across the reverb tail: the last tap
+#: of a tail is ``exp(-TAIL_DECAY_FOLDS)`` times the first.
+TAIL_DECAY_FOLDS = 2.0
+
+
+@dataclass(frozen=True)
+class ReverbTailFault(FaultModel):
+    """Late-reflection reverb tail: a narrow or occluded canal fit.
+
+    Adds ``num_taps`` delayed, attenuated copies of the capture at
+    seeded delays between ``onset_ms`` and ``tail_ms`` — reflections
+    arriving *after* the eardrum echo window, exactly the multipath the
+    rake stage and the ``echo_dominant`` quality reasoning must absorb.
+    Tap amplitude is ``gain`` times an exponential decay across the
+    tail (see :data:`TAIL_DECAY_FOLDS`) with seeded per-tap jitter.
+    """
+
+    num_taps: int = 8
+    onset_ms: float = 0.15
+    tail_ms: float = 0.9
+    gain: float = _severity_field(0.45, "scale")
+
+    def __post_init__(self) -> None:
+        if self.num_taps < 1:
+            raise ConfigurationError(f"num_taps must be >= 1, got {self.num_taps}")
+        if not 0.0 < self.onset_ms < self.tail_ms:
+            raise ConfigurationError("need 0 < onset_ms < tail_ms")
+        if self.gain < 0:
+            raise ConfigurationError(f"gain must be >= 0, got {self.gain}")
+
+    def apply(
+        self, waveform: np.ndarray, sample_rate: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Superpose seeded late reflections on a copy of ``waveform``."""
+        out = self._as_array(waveform)
+        if out.size == 0 or self.gain == 0.0:
+            return out
+        clean = out.copy()
+        first = max(1, int(round(self.onset_ms * 1e-3 * sample_rate)))
+        last = max(first + 1, int(round(self.tail_ms * 1e-3 * sample_rate)))
+        delays = np.sort(rng.integers(first, last + 1, size=self.num_taps))
+        decay = np.exp(
+            -TAIL_DECAY_FOLDS * np.arange(self.num_taps) / max(1, self.num_taps - 1)
+        )
+        amplitudes = self.gain * decay * rng.uniform(0.6, 1.0, size=self.num_taps)
+        for delay, amplitude in zip(delays, amplitudes):
+            if delay < out.size:
+                out[delay:] += amplitude * clean[: out.size - delay]
+        return out
+
+
+@dataclass(frozen=True)
+class CalibrationDriftFault(FaultModel):
+    """Uncalibrated earphone: broadband gain error plus spectral tilt.
+
+    Applies a dB-linear frequency response across the probe band
+    (``low_hz`` to ``high_hz``): a flat ``gain_db`` offset plus a
+    ``tilt_db`` ramp from the low band edge to the high one, each with
+    a seeded random sign — the signature of a device that drifted out
+    of factory calibration (cf. the drift model in
+    :mod:`repro.simulation.calibration`, which this fault mirrors as a
+    waveform-level injection).
+    """
+
+    gain_db: float = _severity_field(3.0, "scale")
+    tilt_db: float = _severity_field(4.0, "scale")
+    low_hz: float = 15_000.0
+    high_hz: float = 21_000.0
+
+    def __post_init__(self) -> None:
+        if self.gain_db < 0:
+            raise ConfigurationError(f"gain_db must be >= 0, got {self.gain_db}")
+        if self.tilt_db < 0:
+            raise ConfigurationError(f"tilt_db must be >= 0, got {self.tilt_db}")
+        if not 0.0 < self.low_hz < self.high_hz:
+            raise ConfigurationError("need 0 < low_hz < high_hz")
+
+    def apply(
+        self, waveform: np.ndarray, sample_rate: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Reshape a copy of ``waveform`` with a seeded gain/tilt response."""
+        out = self._as_array(waveform)
+        if out.size == 0 or (self.gain_db == 0.0 and self.tilt_db == 0.0):
+            return out
+        # Signs are drawn unconditionally so the RNG stream, and hence
+        # any chained fault, is stable across severity settings.
+        gain_sign = 1.0 if rng.random() < 0.5 else -1.0
+        tilt_sign = 1.0 if rng.random() < 0.5 else -1.0
+        freqs = np.fft.rfftfreq(out.size, d=1.0 / sample_rate)
+        centre = 0.5 * (self.low_hz + self.high_hz)
+        half_band = 0.5 * (self.high_hz - self.low_hz)
+        shape = np.clip((freqs - centre) / half_band, -1.0, 1.0)
+        level_db = gain_sign * self.gain_db + tilt_sign * self.tilt_db * shape
+        response = 10.0 ** (level_db / 20.0)
+        return np.fft.irfft(np.fft.rfft(out) * response, n=out.size)
+
+
 @dataclass(frozen=True)
 class FaultChain(FaultModel):
     """Sequential composition of fault models (applied left to right).
@@ -401,6 +500,8 @@ def fault_catalog(severity: float = 1.0) -> "dict[str, FaultModel]":
         "dc_drift": DCClockDrift(),
         "truncation": Truncation(),
         "nonfinite": NonFiniteCorruption(),
+        "reverb_tail": ReverbTailFault(),
+        "calibration_drift": CalibrationDriftFault(),
     }
     return {name: model.at_severity(severity) for name, model in base.items()}
 

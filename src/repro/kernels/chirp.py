@@ -16,9 +16,14 @@ from ..errors import ConfigurationError
 from ..signal.chirp import ChirpDesign
 from . import backends
 from .dtypes import as_float_array
-from .plan import chirp_pulse, matched_filter_spectrum
+from .plan import chirp_pulse, matched_filter_spectrum, rake_plan
 
-__all__ = ["chirp_train_planned", "matched_filter_planned", "matched_filter_batched"]
+__all__ = [
+    "chirp_train_planned",
+    "matched_filter_planned",
+    "matched_filter_batched",
+    "rake_cancel_planned",
+]
 
 
 def chirp_train_planned(
@@ -78,6 +83,34 @@ def matched_filter_planned(signal: np.ndarray, design: ChirpDesign) -> np.ndarra
     corr = np.roll(np.fft.irfft(spec, nfft), pulse.size - 1)[:n]
     start = pulse.size - 1
     return np.abs(corr[start : start + signal.size])
+
+
+def rake_cancel_planned(
+    segment: np.ndarray,
+    design: ChirpDesign,
+    *,
+    protect_from: int,
+    threshold: float,
+) -> tuple[np.ndarray, int]:
+    """Early-reflection cancellation with plan-cached templates.
+
+    Equivalent to
+    :func:`repro.signal.correlation.cancel_early_reflections` with the
+    same arguments, but the I/Q template pair and its Gram inverse come
+    from the plan cache, so per-event work is the onset search plus a
+    few dot products per candidate delay.
+    """
+    from ..signal.correlation import cancel_early_reflections
+
+    plan = rake_plan(design)
+    return cancel_early_reflections(
+        segment,
+        plan.pulse,
+        plan.quad,
+        protect_from=protect_from,
+        threshold=threshold,
+        gram_inv=plan.gram_inv,
+    )
 
 
 def matched_filter_batched(signals: np.ndarray, design: ChirpDesign) -> np.ndarray:

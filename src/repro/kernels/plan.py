@@ -54,6 +54,8 @@ __all__ = [
     "device_transfer",
     "BandZoomPlan",
     "band_zoom_plan",
+    "RakePlan",
+    "rake_plan",
 ]
 
 #: Soft capacity of the plan cache.  Plans are small (windows, filter
@@ -351,6 +353,48 @@ def mfcc_plan32(config: "MfccConfig") -> MfccPlan:
         )
 
     return cached_plan(("mfcc", config, "float32"), build)
+
+
+# ---------------------------------------------------------------------------
+# Rake plans (early-reflection cancellation)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RakePlan:
+    """Precomputed templates of the orthogonal-least-squares rake.
+
+    The I/Q template pair and its 2x2 Gram inverse depend only on the
+    chirp design — none of the per-event data — so the per-event cost
+    collapses to the onset search plus a handful of length-``pulse``
+    dot products per candidate delay.
+
+    Attributes
+    ----------
+    pulse, quad:
+        The template pulse and its discrete Hilbert quadrature.
+    gram_inv:
+        Inverse 2x2 Gram matrix of the pair (see
+        :func:`repro.signal.correlation.rake_gram_inverse`).
+    """
+
+    pulse: np.ndarray
+    quad: np.ndarray
+    gram_inv: np.ndarray
+
+
+def rake_plan(design: "ChirpDesign") -> RakePlan:
+    """Cached :class:`RakePlan` for ``design``."""
+
+    def build() -> RakePlan:
+        from ..signal.correlation import quadrature_pulse, rake_gram_inverse
+
+        pulse = chirp_pulse(design)
+        quad = _freeze(quadrature_pulse(pulse))
+        gram_inv = _freeze(rake_gram_inverse(pulse, quad))
+        return RakePlan(pulse=pulse, quad=quad, gram_inv=gram_inv)
+
+    return cached_plan(("rake", design), build)
 
 
 # ---------------------------------------------------------------------------

@@ -41,6 +41,8 @@ __all__ = [
     "SPAN_STAGE_SPECTRUM",
     "SPAN_STAGE_FEATURES",
     "SPAN_STAGE_MFCC",
+    "SPAN_STAGE_RAKE",
+    "SPAN_STAGE_CALIBRATION",
     "SPAN_NAMES",
     "STAGE_SPAN_NAMES",
     "EVENT_BATCH_STARTED",
@@ -77,15 +79,19 @@ __all__ = [
     "METRIC_SHM_BYTES_SAVED",
     "METRIC_SHM_FALLBACKS",
     "METRIC_SHM_ORPHANS_CLEANED",
+    "METRIC_REVERB_TAPS_REMOVED",
+    "METRIC_QUALITY_ECHO_DOMINANT",
     "HIST_RECORDING_MS",
     "HIST_STAGE_BANDPASS_MS",
     "HIST_STAGE_FEATURES_MS",
     "HIST_BATCH_MS",
     "HIST_SHM_HANDOFF_MS",
     "HIST_JIT_COMPILE_MS",
+    "HIST_CALIB_OFFSET_DB",
     "CANONICAL_COUNTERS",
     "CANONICAL_HISTOGRAMS",
     "SHM_DEGRADED_COUNTERS",
+    "ECHO_CONDITIONAL_COUNTERS",
     "SPAN_SERVE_ADMISSION",
     "SPAN_SERVE_BATCH",
     "EVENT_SERVE_STARTED",
@@ -141,6 +147,13 @@ SPAN_STAGE_SPECTRUM = "stage.spectrum"
 SPAN_STAGE_FEATURES = "stage.features"
 #: MFCC extraction of the mean echo segment (child of stage.features).
 SPAN_STAGE_MFCC = "stage.mfcc"
+#: Rake cancellation of early canal reflections (attr: removed).
+#: Conditional: opened only when ``EarSonarConfig.reverb`` is enabled.
+SPAN_STAGE_RAKE = "stage.rake"
+#: Calibration-offset estimation over the per-echo curves (attrs:
+#: offset_db, stable).  Conditional: opened only when
+#: ``EarSonarConfig.calibration`` is enabled.
+SPAN_STAGE_CALIBRATION = "stage.calibration"
 
 #: Admission decision for one service request (attrs: tenant, outcome).
 SPAN_SERVE_ADMISSION = "serve.admission"
@@ -167,6 +180,8 @@ SPAN_NAMES = frozenset(
         SPAN_CHUNK,
         SPAN_SERVE_ADMISSION,
         SPAN_SERVE_BATCH,
+        SPAN_STAGE_RAKE,
+        SPAN_STAGE_CALIBRATION,
         *STAGE_SPAN_NAMES,
     }
 )
@@ -286,6 +301,15 @@ METRIC_SHM_FALLBACKS = "shm.fallbacks"
 #: Orphaned ``/dev/shm`` segments reclaimed by the cleanup sweep.
 #: Conditional: only emitted after a worker/parent crash left litter.
 METRIC_SHM_ORPHANS_CLEANED = "shm.orphans_cleaned"
+#: Early reflections subtracted by the rake stage.  Conditional: only
+#: emitted when ``EarSonarConfig.reverb`` is enabled and the rake
+#: removed at least one tap, so it lives in
+#: :data:`ECHO_CONDITIONAL_COUNTERS`.
+METRIC_REVERB_TAPS_REMOVED = "reverb.taps_removed"
+#: Recordings whose quality report carries the ``echo_dominant``
+#: reason (rejected as unusable multipath, or degraded-but-rescued
+#: reverberant captures).  Conditional: healthy batches never emit it.
+METRIC_QUALITY_ECHO_DOMINANT = "quality.echo_dominant"
 
 #: Per-recording DSP wall time (band-pass + feature extraction).
 HIST_RECORDING_MS = "recording_ms"
@@ -301,6 +325,9 @@ HIST_SHM_HANDOFF_MS = "shm.handoff_ms"
 #: One-time kernel-backend warm-up cost per executor (numba compile
 #: time; 0.0 when the NumPy backend is active).
 HIST_JIT_COMPILE_MS = "kernels.jit_compile_ms"
+#: Per-recording calibration offset estimate in dB (0.0 when the
+#: estimation stage is disabled).
+HIST_CALIB_OFFSET_DB = "calib.offset_db"
 
 #: Every counter the runtime documents; the canonical-emission test
 #: asserts each one is produced by an end-to-end batch scenario.
@@ -337,6 +364,7 @@ CANONICAL_HISTOGRAMS = frozenset(
         HIST_BATCH_MS,
         HIST_SHM_HANDOFF_MS,
         HIST_JIT_COMPILE_MS,
+        HIST_CALIB_OFFSET_DB,
     }
 )
 
@@ -349,6 +377,18 @@ SHM_DEGRADED_COUNTERS = frozenset(
     {
         METRIC_SHM_FALLBACKS,
         METRIC_SHM_ORPHANS_CLEANED,
+    }
+)
+
+#: Counters that only fire on *reverberant or miscalibrated* inputs
+#: (the rake subtracted a reflection, or the quality gate saw
+#: echo-dominant multipath).  Documented names — the leak test accepts
+#: them — but a healthy anechoic batch run is not required to produce
+#: them; the echo-robustness tests assert their emission instead.
+ECHO_CONDITIONAL_COUNTERS = frozenset(
+    {
+        METRIC_REVERB_TAPS_REMOVED,
+        METRIC_QUALITY_ECHO_DOMINANT,
     }
 )
 
@@ -456,6 +496,7 @@ def registry() -> dict[str, tuple[str, ...]]:
         "CANONICAL_COUNTERS": tuple(sorted(CANONICAL_COUNTERS)),
         "CANONICAL_HISTOGRAMS": tuple(sorted(CANONICAL_HISTOGRAMS)),
         "SHM_DEGRADED_COUNTERS": tuple(sorted(SHM_DEGRADED_COUNTERS)),
+        "ECHO_CONDITIONAL_COUNTERS": tuple(sorted(ECHO_CONDITIONAL_COUNTERS)),
         "SERVE_REJECTION_COUNTERS": tuple(sorted(SERVE_REJECTION_COUNTERS.values())),
         "SERVE_CANONICAL_COUNTERS": tuple(sorted(SERVE_CANONICAL_COUNTERS)),
         "SERVE_CANONICAL_HISTOGRAMS": tuple(sorted(SERVE_CANONICAL_HISTOGRAMS)),

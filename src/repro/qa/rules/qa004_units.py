@@ -74,6 +74,11 @@ _DSP_SUBPACKAGES = (
     "serve",
 )
 
+#: Individual modules outside those subpackages held to the same bar:
+#: physics-adjacent simulator code the analysis pipeline calibrates
+#: against, where a magic rate corrupts *both* sides of an experiment.
+_EXTRA_MODULES = ("repro.simulation.calibration",)
+
 
 @register
 class UnitDisciplineRule(Rule):
@@ -88,7 +93,10 @@ class UnitDisciplineRule(Rule):
     )
 
     def check_module(self, module: ModuleInfo, project: Project) -> Iterable[Finding]:
-        if module_subpackage(module) not in _DSP_SUBPACKAGES:
+        if (
+            module_subpackage(module) not in _DSP_SUBPACKAGES
+            and module.name not in _EXTRA_MODULES
+        ):
             return
         if module.name.rsplit(".", 1)[-1] == "__main__":
             return

@@ -46,6 +46,7 @@ KIND_REGISTRIES: dict[str, tuple[str, ...]] = {
         "SERVE_CANONICAL_COUNTERS",
         "SERVE_REJECTION_COUNTERS",
         "SHM_DEGRADED_COUNTERS",
+        "ECHO_CONDITIONAL_COUNTERS",
     ),
     "histogram": ("CANONICAL_HISTOGRAMS", "SERVE_CANONICAL_HISTOGRAMS"),
 }

@@ -52,6 +52,13 @@ class QualityConfig:
     reject_duration_ratio: float = 0.2
     #: Above this NaN/Inf fraction the capture is beyond salvage.
     reject_nonfinite_fraction: float = 0.02
+    #: Echo-spread thresholds (fraction of matched-filter energy
+    #: outside the per-interval peak window; see ``_echo_spread``).
+    #: Clean captures sit near 0.35, dense multipath at 0.55-0.7.
+    #: Both only apply when the in-band SNR clears ``degrade_snr_db``,
+    #: so a quiet or noisy capture is never mislabelled echo-dominant.
+    degrade_echo_spread: float = 0.5
+    reject_echo_spread: float = 0.65
 
     def __post_init__(self) -> None:
         if not 0.0 < self.clip_band <= 1.0:
@@ -66,6 +73,7 @@ class QualityConfig:
             (self.reject_snr_db, self.degrade_snr_db),
             (self.reject_chirp_presence, self.degrade_chirp_presence),
             (self.reject_duration_ratio, self.degrade_duration_ratio),
+            (self.degrade_echo_spread, self.reject_echo_spread),
         ]
         for lo, hi in pairs:
             if lo > hi:
@@ -110,6 +118,41 @@ def _chirp_presence(waveform: np.ndarray, chirp: ChirpDesign) -> float:
     if background <= 0.0:
         return float(np.inf)
     return peak / background
+
+
+def _echo_spread(waveform: np.ndarray, chirp: ChirpDesign) -> float:
+    """Fraction of matched-filter energy outside the per-interval peak.
+
+    The envelope is cut into chirp-interval frames; within each frame
+    the chirp-length window around the correlation peak holds the
+    direct arrival plus the eardrum echo (whose round trip is shorter
+    than one chirp).  Energy outside that window is either the noise
+    floor (small for any capture worth processing) or multipath smear
+    filling the inter-chirp gap — so the mean outside-fraction rises
+    from ~0.35 on clean captures toward ~0.7 under dense reverberation.
+    """
+    from ..kernels.chirp import matched_filter_planned
+
+    envelope = matched_filter_planned(waveform, chirp) ** 2
+    hop = chirp.samples_per_interval
+    num_frames = envelope.size // hop
+    if num_frames == 0:
+        return 0.0
+    frames = envelope[: num_frames * hop].reshape(num_frames, hop)
+    cumulative = np.concatenate(
+        [np.zeros((num_frames, 1)), np.cumsum(frames, axis=1)], axis=1
+    )
+    peaks = np.argmax(frames, axis=1)
+    half = chirp.samples_per_chirp
+    lo = np.clip(peaks - half, 0, hop)
+    hi = np.clip(peaks + half + 1, 0, hop)
+    rows = np.arange(num_frames)
+    in_window = cumulative[rows, hi] - cumulative[rows, lo]
+    total = cumulative[:, -1]
+    usable = total > 0.0
+    if not usable.any():
+        return 0.0
+    return float(1.0 - np.mean(in_window[usable] / total[usable]))
 
 
 def _inband_snr_db(waveform: np.ndarray, sample_rate: float, chirp: ChirpDesign) -> float:
@@ -194,6 +237,7 @@ def assess_waveform(
     chirp_presence = _chirp_presence(waveform, chirp)
     snr_db = _inband_snr_db(waveform, sample_rate, chirp)
     duration_ratio = _duration_ratio(waveform, sample_rate, expected_duration_s)
+    echo_spread = _echo_spread(waveform, chirp)
 
     def grade(value: float, degrade_at: float, reject_at: float, code: ReasonCode,
               *, low_is_bad: bool) -> None:
@@ -220,6 +264,25 @@ def assess_waveform(
         grade(duration_ratio, config.degrade_duration_ratio,
               config.reject_duration_ratio, ReasonCode.TRUNCATED, low_is_bad=True)
 
+    # Multipath post-processing.  Only enter the echo-dominant regime
+    # when the band demonstrably carries chirp energy AND that energy is
+    # temporally smeared: a reverberant canal raises the in-band SNR (it
+    # adds in-band reflections) while collapsing the matched-filter
+    # presence ratio (the inter-chirp gap fills, raising the envelope
+    # median).  A genuinely weak or noise-buried chirp fails the SNR
+    # gate instead, so those verdicts are untouched.
+    if snr_db >= config.degrade_snr_db and echo_spread >= config.degrade_echo_spread:
+        if ReasonCode.WEAK_CHIRP in reject:
+            reject.remove(ReasonCode.WEAK_CHIRP)
+            if echo_spread >= config.reject_echo_spread:
+                # Diffuse beyond recovery: no peak to anchor the rake.
+                reject.append(ReasonCode.ECHO_DOMINANT)
+            else:
+                # Reverberant but recoverable: process, tagged.
+                degrade.append(ReasonCode.WEAK_CHIRP)
+        if ReasonCode.ECHO_DOMINANT not in reject:
+            degrade.append(ReasonCode.ECHO_DOMINANT)
+
     if reject:
         verdict = Verdict.REJECT
     elif degrade:
@@ -236,6 +299,7 @@ def assess_waveform(
         dropout_map=dropout_map,
         nonfinite_fraction=nonfinite_fraction,
         duration_ratio=duration_ratio,
+        echo_spread=echo_spread,
     )
 
 

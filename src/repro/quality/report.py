@@ -41,6 +41,12 @@ class ReasonCode(Enum):
     WEAK_CHIRP = "weak_chirp"
     #: Capture shorter than the expected session duration.
     TRUNCATED = "truncated"
+    #: Multipath/reverberation dominates the capture: in-band energy is
+    #: present but temporally smeared across the inter-chirp gap.  As a
+    #: degrade reason the smear is recoverable (the rake stage can
+    #: separate it); as a reject reason the capture is diffuse beyond
+    #: recovery — no chirp peak survives to anchor segmentation.
+    ECHO_DOMINANT = "echo_dominant"
 
 
 @dataclass(frozen=True)
@@ -69,6 +75,12 @@ class QualityReport:
         Fraction of NaN/Inf samples.
     duration_ratio:
         Actual over expected duration (1.0 when no expectation given).
+    echo_spread:
+        Fraction of matched-filter envelope energy falling *outside*
+        the chirp-length window around each interval's correlation
+        peak.  ~0.35 for clean captures (noise floor plus eardrum
+        echo), rising toward ~0.7 as multipath smears chirp energy
+        across the inter-chirp gap.
     """
 
     verdict: Verdict
@@ -80,6 +92,7 @@ class QualityReport:
     dropout_map: tuple[tuple[int, int], ...]
     nonfinite_fraction: float
     duration_ratio: float = 1.0
+    echo_spread: float = 0.0
 
     @property
     def accepted(self) -> bool:
@@ -108,4 +121,5 @@ class QualityReport:
             "num_dropouts": len(self.dropout_map),
             "nonfinite_fraction": self.nonfinite_fraction,
             "duration_ratio": self.duration_ratio,
+            "echo_spread": self.echo_spread,
         }

@@ -435,6 +435,8 @@ class BatchExecutor:
         if isinstance(outcome, FailedRecording):
             if outcome.error_type == "QualityRejectedError":
                 self.metrics.increment(obs_names.METRIC_QUALITY_REJECTED)
+                if "echo_dominant" in outcome.message:
+                    self.metrics.increment(obs_names.METRIC_QUALITY_ECHO_DOMINANT)
             current_event_log().emit(
                 obs_names.EVENT_RECORDING_QUARANTINED,
                 level=EventLevel.WARNING,
@@ -446,6 +448,16 @@ class BatchExecutor:
         if isinstance(outcome, ProcessedRecording):
             if outcome.quality_reasons:
                 self.metrics.increment(obs_names.METRIC_QUALITY_DEGRADED)
+                if "echo_dominant" in outcome.quality_reasons:
+                    self.metrics.increment(obs_names.METRIC_QUALITY_ECHO_DOMINANT)
+            self.metrics.observe(
+                obs_names.HIST_CALIB_OFFSET_DB, outcome.calibration_offset_db
+            )
+            if outcome.num_reflections_removed > 0:
+                self.metrics.increment(
+                    obs_names.METRIC_REVERB_TAPS_REMOVED,
+                    outcome.num_reflections_removed,
+                )
             self._cache_store(recording, outcome)
             if latencies is not None:
                 self.metrics.observe(obs_names.HIST_STAGE_BANDPASS_MS, latencies.bandpass_ms)

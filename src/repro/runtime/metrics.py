@@ -177,12 +177,20 @@ class RuntimeMetrics:
     - histograms ``recording_ms``, ``stage.bandpass_ms``,
       ``stage.features_ms``, ``batch_ms``, ``shm.handoff_ms`` (arena
       packing latency per chunk), ``kernels.jit_compile_ms`` (up-front
-      backend warm-up; 0 on the pure-NumPy backend)
+      backend warm-up; 0 on the pure-NumPy backend),
+      ``calib.offset_db`` (per-recording calibration offset estimate;
+      0.0 whenever the calibration stage is disabled)
 
     Degraded-path counters (``SHM_DEGRADED_COUNTERS``) appear only when
     shared memory misbehaves: ``shm.fallbacks`` — chunks that reverted
     to pickled handoff; ``shm.orphans_cleaned`` — dead-owner segments
     reclaimed from ``/dev/shm``.
+
+    Echo-conditional counters (``ECHO_CONDITIONAL_COUNTERS``) appear
+    only on reverberant or miscalibrated inputs: ``reverb.taps_removed``
+    — early reflections subtracted by the rake stage;
+    ``quality.echo_dominant`` — gate outcomes carrying the
+    ``echo_dominant`` reason.
     """
 
     def __init__(self, histogram_max_samples: int | None = DEFAULT_MAX_SAMPLES) -> None:

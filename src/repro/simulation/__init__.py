@@ -9,6 +9,14 @@ artifacts, and a longitudinal study driver producing ground-truth
 labelled recordings.
 """
 
+from .calibration import (
+    CalibrationDriftConfig,
+    CalibrationState,
+    DeviceProfile,
+    apply_calibration,
+    calibration_state,
+    device_fleet,
+)
 from .cohort import StudyDataset, StudyDesign, build_cohort, simulate_study
 from .earphone import (
     ATH_CKS550XIS,
@@ -35,6 +43,12 @@ from .waveio import read_wav, write_wav
 from .session import Recording, SessionConfig, record_session
 
 __all__ = [
+    "CalibrationDriftConfig",
+    "CalibrationState",
+    "DeviceProfile",
+    "apply_calibration",
+    "calibration_state",
+    "device_fleet",
     "StudyDataset",
     "StudyDesign",
     "build_cohort",

@@ -19,8 +19,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..acoustics.ear import InsertionState, build_ear_channel
+from ..acoustics.reverb import ReverbConfig
 from ..errors import ConfigurationError
 from ..signal.chirp import ChirpDesign
+from .calibration import (
+    CalibrationDriftConfig,
+    DeviceProfile,
+    apply_calibration,
+    calibration_state,
+)
 from .earphone import PROTOTYPE, EarphoneModel
 from .effusion import MeeState
 from .motion import MOVEMENT_PROFILES, Movement, motion_artifact
@@ -55,6 +62,17 @@ class SessionConfig:
     #: incoherent echo magnitude rather than one frozen interference
     #: pattern — matching the stable averaged spectra of Fig. 9.
     path_jitter_s: float = 2.0e-6
+    #: Early-reflection model of the canal; disabled by default, in
+    #: which case the channel (and the whole RNG stream) is exactly the
+    #: anechoic seed behaviour.
+    reverb: ReverbConfig = field(default_factory=ReverbConfig)
+    #: Longitudinal device-calibration drift; disabled by default, in
+    #: which case the capture is bit-identical to the pre-drift seed.
+    calibration: CalibrationDriftConfig = field(default_factory=CalibrationDriftConfig)
+    #: Which physical unit of ``earphone`` records this session; only
+    #: meaningful when ``calibration`` is enabled (each unit drifts
+    #: along its own seeded walk).
+    device_unit: int = 0
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -68,6 +86,10 @@ class SessionConfig:
         if self.path_jitter_s < 0:
             raise ConfigurationError(
                 f"path_jitter_s must be >= 0, got {self.path_jitter_s}"
+            )
+        if self.device_unit < 0:
+            raise ConfigurationError(
+                f"device_unit must be >= 0, got {self.device_unit}"
             )
 
     @property
@@ -226,11 +248,24 @@ def record_session(
     )
     load = participant.load_on(day, rng)
     channel = build_ear_channel(
-        participant.geometry, participant.drum_model, load, insertion
+        participant.geometry,
+        participant.drum_model,
+        load,
+        insertion,
+        reverb=config.reverb,
     )
 
     rx = _synthesize_train(channel, config, rng)
     rx = _apply_device(rx, config.earphone, fs)
+    if config.calibration.enabled:
+        # The drift walk advances per study day: the fleet miscalibrates
+        # over the longitudinal protocol, not within one capture.
+        state = calibration_state(
+            DeviceProfile(model=config.earphone, unit_id=config.device_unit),
+            config.calibration,
+            int(day),
+        )
+        rx = apply_calibration(rx, state, fs, config.chirp)
 
     target_len = int(round(config.duration_s * fs))
     if rx.size < target_len:

@@ -10,7 +10,7 @@ class TestCli:
         expected = {
             "fig02", "fig07", "fig08", "fig09", "fig10", "fig11", "fig13",
             "fig14", "fig15", "table1", "table2", "table3", "baseline",
-            "ablations", "labelnoise", "robustness",
+            "ablations", "labelnoise", "robustness", "calibdrift",
         }
         assert set(_EXPERIMENTS) == expected
 

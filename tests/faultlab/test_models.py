@@ -220,6 +220,8 @@ class TestCatalog:
             "dc_drift",
             "truncation",
             "nonfinite",
+            "reverb_tail",
+            "calibration_drift",
         }
 
     def test_severity_is_applied(self):

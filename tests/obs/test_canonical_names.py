@@ -120,6 +120,7 @@ class TestCanonicalEmission:
             set(report["counters"])
             - names.CANONICAL_COUNTERS
             - names.SHM_DEGRADED_COUNTERS
+            - names.ECHO_CONDITIONAL_COUNTERS
         )
         assert not unknown, f"undocumented counters: {sorted(unknown)}"
 

@@ -23,6 +23,8 @@ CONFIG_TREE_FILES = [
     "repro/errors.py",
     "repro/core/__init__.py",
     "repro/core/config.py",
+    "repro/acoustics/__init__.py",
+    "repro/acoustics/reverb.py",
     "repro/signal/__init__.py",
     "repro/signal/chirp.py",
     "repro/signal/events.py",

@@ -374,6 +374,34 @@ class TestUnitDiscipline:
         )
         assert findings == []
 
+    def test_simulation_calibration_module_is_in_scope(self, findings_of):
+        # The drift simulator is physics the analysis side calibrates
+        # against, so it is held to DSP unit discipline even though the
+        # rest of repro.simulation is exempt.
+        findings = findings_of(
+            UnitDisciplineRule,
+            {
+                "repro/simulation/calibration.py": """
+                    def drift_rate():
+                        rate = 48_000
+                        return rate
+                    """
+            },
+        )
+        assert pairs(findings) == [("QA004", 2)]
+
+    def test_acoustics_reverb_module_is_in_scope(self, findings_of):
+        findings = findings_of(
+            UnitDisciplineRule,
+            {
+                "repro/acoustics/reverb.py": """
+                    def tail(x):
+                        return x / 44100.0
+                    """
+            },
+        )
+        assert pairs(findings) == [("QA004", 2)]
+
 
 # ---------------------------------------------------------------------------
 # QA005 — public-API hygiene

@@ -1,0 +1,163 @@
+"""Echo-awareness of the quality gate.
+
+The robustness contract: reverberant-but-recoverable captures must
+reach the pipeline (the rake is downstream of the gate), the gate must
+name what it sees (``echo_dominant``), and only a capture so diffuse
+the rake has no peak to anchor on may be quarantined.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acoustics.reverb import ReverbConfig
+from repro.core import EarSonarConfig
+from repro.errors import ConfigurationError
+from repro.quality import (
+    QualityConfig,
+    ReasonCode,
+    Verdict,
+    assess_recording,
+    assess_waveform,
+)
+from repro.simulation import sample_participant
+from repro.simulation.calibration import CalibrationDriftConfig
+from repro.simulation.session import SessionConfig, record_session
+
+CHIRP = EarSonarConfig().chirp
+
+
+@pytest.fixture(scope="module")
+def module_participant():
+    return sample_participant(np.random.default_rng(202), "P777")
+
+
+@pytest.fixture(scope="module")
+def base_recording(module_participant):
+    return record_session(
+        module_participant,
+        0.5,
+        SessionConfig(duration_s=0.1),
+        np.random.default_rng(11),
+    )
+
+
+def diffuse_smear(waveform: np.ndarray, gain: float) -> np.ndarray:
+    """Superpose many delayed copies across the full inter-chirp gap.
+
+    Short-delay reflections (the canal reverb model, the faultlab tail)
+    land inside the per-interval peak window and barely move the
+    spread; filling the 240-sample gap is what drives the capture into
+    the echo-dominant regime.
+    """
+    rng = np.random.default_rng(9)
+    out = waveform.copy()
+    delays = rng.integers(30, 220, size=40)
+    amps = gain * rng.uniform(0.5, 1.0, size=40) / np.sqrt(40)
+    for delay, amp in zip(delays, amps):
+        out[delay:] += amp * waveform[: waveform.size - delay]
+    return out
+
+
+class TestReverberantCapturesPass:
+    @pytest.mark.parametrize("strength", [1.0, 2.0, 3.0])
+    def test_canal_reverb_never_rejected_at_default_thresholds(
+        self, module_participant, strength
+    ):
+        config = SessionConfig(
+            duration_s=0.1,
+            reverb=ReverbConfig(enabled=True, strength=strength),
+        )
+        recording = record_session(
+            module_participant, 0.5, config, np.random.default_rng(11)
+        )
+        report = assess_recording(recording, CHIRP)
+        assert report.verdict is not Verdict.REJECT
+        assert ReasonCode.WEAK_CHIRP not in report.reasons
+        assert ReasonCode.LOW_SNR not in report.reasons
+
+    def test_drifted_device_capture_accepts(self, module_participant):
+        drift = CalibrationDriftConfig(
+            enabled=True, gain_drift_db=6.0, tilt_drift_db=3.0, horizon_sessions=1
+        )
+        config = SessionConfig(
+            duration_s=0.1, calibration=drift, device_unit=3
+        )
+        recording = record_session(
+            module_participant, 10.0, config, np.random.default_rng(11)
+        )
+        report = assess_recording(recording, CHIRP)
+        assert report.verdict is Verdict.ACCEPT
+
+    def test_clean_capture_sits_below_the_spread_threshold(
+        self, base_recording
+    ):
+        report = assess_recording(base_recording, CHIRP)
+        assert report.echo_spread < QualityConfig().degrade_echo_spread
+
+
+class TestEchoDominantRegime:
+    def test_gap_filling_smear_degrades_as_echo_dominant(self, base_recording):
+        smeared = diffuse_smear(base_recording.waveform, 1.0)
+        report = assess_waveform(smeared, base_recording.sample_rate, CHIRP)
+        assert report.verdict is Verdict.DEGRADE
+        assert ReasonCode.ECHO_DOMINANT in report.reasons
+        assert report.echo_spread > QualityConfig().degrade_echo_spread
+
+    def test_smear_rescues_a_weak_chirp_reject(self, base_recording):
+        # The raised presence floor would quarantine this capture as
+        # WEAK_CHIRP, but the band carries smeared chirp energy the rake
+        # can recover — the gate demotes the reject to a tagged DEGRADE.
+        smeared = diffuse_smear(base_recording.waveform, 2.0)
+        config = QualityConfig(
+            degrade_chirp_presence=30.0,
+            reject_chirp_presence=20.0,
+            reject_echo_spread=0.8,
+        )
+        report = assess_waveform(
+            smeared, base_recording.sample_rate, CHIRP, config
+        )
+        assert report.chirp_presence < config.reject_chirp_presence
+        assert report.verdict is Verdict.DEGRADE
+        assert ReasonCode.WEAK_CHIRP in report.reasons
+        assert ReasonCode.ECHO_DOMINANT in report.reasons
+
+    def test_diffuse_beyond_recovery_rejects_as_echo_dominant(
+        self, base_recording
+    ):
+        # Same capture, but the spread crosses the reject bound: there
+        # is no correlation peak left to anchor the rake, so the gate
+        # names the true failure instead of the misleading WEAK_CHIRP.
+        smeared = diffuse_smear(base_recording.waveform, 2.0)
+        config = QualityConfig(
+            degrade_chirp_presence=30.0, reject_chirp_presence=20.0
+        )
+        report = assess_waveform(
+            smeared, base_recording.sample_rate, CHIRP, config
+        )
+        assert report.echo_spread > config.reject_echo_spread
+        assert report.verdict is Verdict.REJECT
+        assert ReasonCode.ECHO_DOMINANT in report.reasons
+        assert ReasonCode.WEAK_CHIRP not in report.reasons
+
+    def test_noise_never_labelled_echo_dominant(self, base_recording):
+        # A flat envelope has a huge outside-the-peak fraction, but the
+        # SNR gate keeps chirpless noise out of the echo regime: it
+        # fails as LOW_SNR / WEAK_CHIRP, which is what it actually is.
+        noise = np.random.default_rng(5).standard_normal(
+            base_recording.waveform.size
+        )
+        report = assess_waveform(noise, base_recording.sample_rate, CHIRP)
+        assert ReasonCode.ECHO_DOMINANT not in report.reasons
+        assert ReasonCode.LOW_SNR in report.reasons
+
+
+class TestSpreadThresholdValidation:
+    def test_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            QualityConfig(degrade_echo_spread=0.7, reject_echo_spread=0.5)
+
+    def test_spread_reported_on_the_report(self, base_recording):
+        report = assess_recording(base_recording, CHIRP)
+        assert 0.0 <= report.echo_spread <= 1.0
