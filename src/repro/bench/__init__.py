@@ -33,6 +33,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "BenchResult",
     "time_op",
+    "time_ops_interleaved",
     "compare_ops",
     "git_sha",
     "machine_fingerprint",
@@ -76,6 +77,39 @@ def time_op(fn: Callable[[], Any], repeats: int) -> tuple[float, float]:
     return float(np.percentile(samples, 50)), float(np.percentile(samples, 95))
 
 
+def time_ops_interleaved(
+    a: Callable[[], Any], b: Callable[[], Any], repeats: int
+) -> tuple[tuple[float, float], tuple[float, float]]:
+    """Paired ``((a_p50, a_p95), (b_p50, b_p95))`` from alternating calls.
+
+    :func:`time_op` times each side as one contiguous block, so clock
+    drift (frequency scaling, thermal throttle, background load) lands
+    wholesale on whichever side ran second.  That bias is invisible
+    next to a 10x kernel speedup but dominates near-1.0 comparisons
+    like the tracing-overhead gate, where a few percent of drift reads
+    as a regression.  Alternating A,B,A,B spreads any drift evenly
+    across both sample sets, so their p50 ratio isolates the real
+    difference between the two paths.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    a()  # warmups stay untimed, mirroring time_op
+    b()
+    sa = np.empty(repeats)
+    sb = np.empty(repeats)
+    for i in range(repeats):
+        t0 = time.perf_counter()
+        a()
+        sa[i] = (time.perf_counter() - t0) * 1e3
+        t0 = time.perf_counter()
+        b()
+        sb[i] = (time.perf_counter() - t0) * 1e3
+    return (
+        (float(np.percentile(sa, 50)), float(np.percentile(sa, 95))),
+        (float(np.percentile(sb, 50)), float(np.percentile(sb, 95))),
+    )
+
+
 def compare_ops(
     op: str,
     shape: str,
@@ -83,8 +117,27 @@ def compare_ops(
     serial: Callable[[], Any] | None = None,
     *,
     repeats: int = 7,
+    interleave: bool = False,
 ) -> BenchResult:
-    """Time ``batched`` (and optionally ``serial``) and build the record."""
+    """Time ``batched`` (and optionally ``serial``) and build the record.
+
+    ``interleave=True`` alternates the two sides call-by-call (see
+    :func:`time_ops_interleaved`) — use it when the expected ratio is
+    near 1.0 and block-order drift would swamp the signal.
+    """
+    if interleave and serial is not None:
+        (p50, p95), (s50, s95) = time_ops_interleaved(batched, serial, repeats)
+        speedup = s50 / p50 if p50 > 0.0 else float("inf")
+        return BenchResult(
+            op=op,
+            shape=shape,
+            repeats=repeats,
+            p50_ms=p50,
+            p95_ms=p95,
+            serial_p50_ms=s50,
+            serial_p95_ms=s95,
+            speedup=speedup,
+        )
     p50, p95 = time_op(batched, repeats)
     if serial is None:
         return BenchResult(op=op, shape=shape, repeats=repeats, p50_ms=p50, p95_ms=p95)

@@ -11,6 +11,7 @@ so the reported speedups are the ones users see.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 from pathlib import Path
 
 import numpy as np
@@ -498,6 +499,9 @@ def _obs_suite(
         run_traced,
         lambda: untraced_exec.run(recordings),
         repeats=repeats,
+        # The expected ratio is ~1.0, so block-ordered timing would let
+        # clock drift masquerade as tracing overhead; interleave pairs.
+        interleave=True,
     )
     if trace_dir is not None:
         write_run_record(
@@ -641,7 +645,16 @@ def main(argv: list[str] | None = None) -> int:
 
     failed = False
     if args.trajectory is not None:
-        trajectory_results = kernel_results + backend_results + runtime_results
+        # The obs op is namespaced like the f32./runtime. suites so the
+        # ratchet tracks tracing overhead per entry: its speedup is
+        # untraced/traced p50, so a drop past tolerance (more overhead)
+        # plus a p50 rise fails the gate like any kernel regression.
+        trajectory_results = (
+            kernel_results
+            + backend_results
+            + runtime_results
+            + [dataclasses.replace(r, op=f"obs.{r.op}") for r in obs_results]
+        )
         append_entry(
             args.trajectory,
             trajectory_results,

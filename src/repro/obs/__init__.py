@@ -18,6 +18,10 @@ other layer but owned here:
   (Perfetto flamegraphs), Prometheus text exposition.
 - :mod:`~repro.obs.summary` — per-stage percentiles, critical paths,
   and run-to-run diffs.
+- :mod:`~repro.obs.health` — fleet-health aggregation: mergeable
+  sliding windows, bounded-label rollups, and SLO burn-rate alerting
+  over the injected clock (``python -m repro.obs health`` renders the
+  dashboard).
 
 Quick use::
 
@@ -45,6 +49,17 @@ from .events import (
     use_event_log,
 )
 from .export import RunRecord, chrome_trace, load_run_record, prometheus_text, write_run_record
+from .health import (
+    NULL_HEALTH,
+    HealthConfig,
+    HealthContext,
+    HealthMonitor,
+    NullHealthMonitor,
+    SloConfig,
+    activate_health_from_context,
+    current_health,
+    use_health,
+)
 from .manifest import RunManifest, capture_manifest, git_revision
 from .summary import StageStats, critical_path, diff_stages, slowest_recordings, stage_stats
 from .tracer import (
@@ -90,4 +105,13 @@ __all__ = [
     "slowest_recordings",
     "critical_path",
     "diff_stages",
+    "HealthMonitor",
+    "NullHealthMonitor",
+    "NULL_HEALTH",
+    "HealthConfig",
+    "HealthContext",
+    "SloConfig",
+    "current_health",
+    "use_health",
+    "activate_health_from_context",
 ]

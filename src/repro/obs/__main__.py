@@ -9,17 +9,28 @@ experiments, and bench CLIs (``--trace-dir``)::
     python -m repro.obs tree runs/trace.json --recording 3
     python -m repro.obs diff base/trace.json new/trace.json  # regressions
     python -m repro.obs diff a.json b.json --fail-above 5    # CI gate
+    python -m repro.obs health soak/health.jsonl             # fleet dashboard
+    python -m repro.obs health soak/health.jsonl --fail-on-fired
 
 ``tree`` marks the critical path (the longest-child chain) with ``*``;
 ``diff`` exits 1 when any stage's p50 regressed beyond
 ``--fail-above`` percent, so it can gate CI.
+
+``health`` renders the fleet dashboard from a health-snapshot JSONL
+(written live by ``python -m repro.serve loadgen --health-interval-s``
+or replayed from a soak artifact — the file is the replay).  It exits
+3 when the final snapshot still has active alerts, and with
+``--fail-on-fired`` also when *any* alert fired during the trajectory,
+so the same command gates CI.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
+from typing import Any
 
 from .export import load_run_record
 from .summary import (
@@ -105,6 +116,93 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_snapshots(path: Path) -> list[dict[str, Any]]:
+    """Read a health-snapshot JSONL trajectory (one snapshot per line)."""
+    snapshots = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if "series" in data and "slos" in data:
+                snapshots.append(data)
+    return snapshots
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    return " ".join(f"{k}={v or '-'}" for k, v in labels.items()) or "(all)"
+
+
+def _render_health(snapshot: dict[str, Any], count: int, path: Path) -> None:
+    print(
+        f"fleet health — snapshot {snapshot['seq']} @ {snapshot['at_s']:.1f}s  "
+        f"({path.name}: {count} snapshot(s))\n"
+    )
+    for name in sorted(snapshot["series"]):
+        rows = snapshot["series"][name]
+        print(name)
+        for row in rows:
+            label = _render_labels(row["labels"])
+            cells = f"  {label:<42} n={row['count']:<7} rate={row['rate_per_s']:.3f}/s"
+            quantiles = row.get("quantiles")
+            if quantiles:
+                cells += "  " + "  ".join(
+                    f"{q}={v:.2f}" for q, v in quantiles.items()
+                )
+                cells += f"  max={row['max']:.2f}"
+            print(cells)
+    print("\nslos")
+    for slo in snapshot["slos"]:
+        target = f"{slo['target'] * 100:g}%"
+        status = "FIRING" if slo["firing"] else "ok"
+        print(f"  {slo['objective']:<26} target {target:<8} {status}")
+        for rule in slo["rules"]:
+            marker = "!" if rule["firing"] else " "
+            print(
+                f"    {marker} {rule['severity']:<7} {rule['rule']:<14} "
+                f"burn {rule['burn_long']:.2f}/{rule['burn_short']:.2f} "
+                f"(x{rule['factor']:g}, n={rule['events_long']})"
+            )
+    alerts = snapshot["alerts_active"]
+    if alerts:
+        print(f"\nalerts: {len(alerts)} ACTIVE")
+        for alert in alerts:
+            print(f"  {alert['severity']:<7} {alert['slo']} ({alert['rule']})")
+    else:
+        print("\nalerts: none")
+    transitions = snapshot.get("transitions", [])
+    if transitions:
+        print("transitions")
+        for t in transitions:
+            print(
+                f"  {t['at_s']:>10.1f}s  {t['state']:<9} {t['severity']:<7} "
+                f"{t['slo']} ({t['rule']}) burn {t['burn_long']:.2f}"
+            )
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    snapshots = _load_snapshots(args.trajectory)
+    if not snapshots:
+        print(f"no health snapshots in {args.trajectory}", file=sys.stderr)
+        return 2
+    final = snapshots[-1]
+    _render_health(final, len(snapshots), args.trajectory)
+    fired = [
+        t for t in final.get("transitions", []) if t["state"] == "fired"
+    ]
+    if final["alerts_active"]:
+        print(f"\nFAIL: {len(final['alerts_active'])} alert(s) still active")
+        return 3
+    if args.fail_on_fired and fired:
+        print(
+            f"\nFAIL: {len(fired)} alert(s) fired during the run "
+            "(all since resolved)"
+        )
+        return 3
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch to a subcommand."""
     parser = argparse.ArgumentParser(
@@ -138,6 +236,19 @@ def main(argv: list[str] | None = None) -> int:
         help="exit 1 if any stage p50 regresses beyond this percent",
     )
     p_diff.set_defaults(func=_cmd_diff)
+
+    p_health = sub.add_parser(
+        "health", help="render the fleet-health dashboard from a snapshot JSONL"
+    )
+    p_health.add_argument(
+        "trajectory", type=Path, help="health-snapshot JSONL (serve --health-out)"
+    )
+    p_health.add_argument(
+        "--fail-on-fired",
+        action="store_true",
+        help="also exit 3 when any alert fired during the run, even if resolved",
+    )
+    p_health.set_defaults(func=_cmd_health)
 
     args = parser.parse_args(argv)
     return int(args.func(args))

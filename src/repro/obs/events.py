@@ -45,6 +45,11 @@ class EventLevel(IntEnum):
     ERROR = 40
 
 
+#: Serialized lowercase names, precomputed so the emit hot path does
+#: not re-derive ``EventLevel(level).name.lower()`` per event.
+_LEVEL_NAMES = {level: level.name.lower() for level in EventLevel}
+
+
 @dataclass(frozen=True)
 class LogEvent:
     """One immutable entry of the event log.
@@ -129,7 +134,7 @@ class EventLog:
             return
         event = LogEvent(
             seq=len(self.events),
-            level=EventLevel(level).name.lower(),
+            level=_LEVEL_NAMES.get(level) or EventLevel(level).name.lower(),
             name=name,
             elapsed_ms=(self._clock() - self._epoch) * 1e3,
             fields=fields,

@@ -1,0 +1,500 @@
+"""The fleet-health monitor: ambient, mergeable, zero-cost when off.
+
+:class:`HealthMonitor` is the live counterpart of the tracer: hooks in
+the executor, the pipeline, and the serve loop feed it observations;
+it aggregates them into bounded-label rollups over mergeable sliding
+windows, evaluates the configured SLOs, and renders snapshots as JSON
+and Prometheus text.
+
+The ambient pattern mirrors :mod:`repro.obs.tracer` exactly:
+
+- :func:`current_health` returns the shared :data:`NULL_HEALTH`
+  unless a run opted in with :func:`use_health`, so permanently
+  compiled-in hooks cost one contextvar read and a no-op call;
+- pool workers cannot share the parent's monitor, so the parent ships
+  a picklable :class:`HealthContext` and each worker records into a
+  local monitor whose exported state travels home with the chunk
+  results for :meth:`HealthMonitor.merge_state` — the trace-adoption
+  pattern, applied to aggregates.
+
+Workers observe against the context's *capture-time* clock reading:
+a worker has no view of the parent's monotonic epoch (and must never
+read its own wall clock into the shared time axis), so its
+observations land in the bucket that was current at dispatch.  Batch
+dispatch is short next to the bucket width, and the placement is a
+pure function of the injected clock — worker-merged windows stay
+bit-identical run to run.
+
+Every ``now`` ultimately comes from an injected clock (the serve
+tier passes ``Clock.now``), so snapshots, burn rates, and alert
+transitions are deterministic under
+:class:`~repro.serve.clock.VirtualClock`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Union
+
+from ...errors import ConfigurationError
+from .. import names as obs_names
+from ..tracer import current_tracer
+from .rollup import RollupSeries
+from .slo import SloConfig, SloTracker
+from .window import WindowConfig
+
+__all__ = [
+    "SeriesSpec",
+    "HealthConfig",
+    "HealthMonitor",
+    "NullHealthMonitor",
+    "NULL_HEALTH",
+    "HealthContext",
+    "DEFAULT_SERIES",
+    "DEFAULT_SLOS",
+    "current_health",
+    "use_health",
+    "activate_health_from_context",
+]
+
+
+@dataclass(frozen=True)
+class SeriesSpec:
+    """Declaration of one health series: name, dimensions, kind."""
+
+    name: str
+    labels: tuple[str, ...] = ()
+    kind: str = "counter"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("counter", "distribution"):
+            raise ConfigurationError(
+                f"kind must be 'counter' or 'distribution', got {self.kind!r}"
+            )
+
+
+#: The canonical series set; names and label tuples match the
+#: registry documentation in :mod:`repro.obs.names`.
+DEFAULT_SERIES = (
+    SeriesSpec(obs_names.HEALTH_SCREENINGS, ("verdict", "reason"), "counter"),
+    SeriesSpec(obs_names.HEALTH_REQUESTS, ("tenant", "outcome"), "counter"),
+    SeriesSpec(obs_names.HEALTH_RAKE_TAPS, ("device_model",), "counter"),
+    SeriesSpec(obs_names.HEALTH_RECORDING_MS, ("lane",), "distribution"),
+    SeriesSpec(obs_names.HEALTH_REQUEST_MS, ("tenant",), "distribution"),
+    SeriesSpec(obs_names.HEALTH_CALIB_OFFSET_DB, ("device_model",), "distribution"),
+)
+
+#: Default objectives: three nines of availability, 95% of requests
+#: under 30 s, 90% of screenings accepted.  Deployments tighten these
+#: per tenant class; the soak gate overrides the latency threshold.
+DEFAULT_SLOS = (
+    SloConfig(objective=obs_names.SLO_AVAILABILITY, target=0.999),
+    SloConfig(objective=obs_names.SLO_LATENCY, target=0.95, threshold_ms=30_000.0),
+    SloConfig(objective=obs_names.SLO_QUALITY, target=0.9),
+)
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Everything a monitor (or a worker-side replica) needs."""
+
+    window: WindowConfig = field(default_factory=WindowConfig)
+    series: tuple[SeriesSpec, ...] = DEFAULT_SERIES
+    slos: tuple[SloConfig, ...] = DEFAULT_SLOS
+    max_values_per_key: int = 16
+    quantiles: tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class HealthContext:
+    """Picklable health-propagation marker shipped to pool workers.
+
+    ``frozen_now`` pins the worker's time axis to the parent clock at
+    capture; see the module docstring for why.
+    """
+
+    config: HealthConfig
+    frozen_now: float
+
+    @classmethod
+    def capture(cls) -> "HealthContext | None":
+        """Context for the ambient monitor; ``None`` when disabled.
+
+        ``None`` keeps the disabled path's pickled task payload
+        byte-identical to pre-health builds, like ``TraceContext``.
+        """
+        health = current_health()
+        if not health.enabled:
+            return None
+        assert isinstance(health, HealthMonitor)
+        return cls(config=health.config, frozen_now=health.now())
+
+
+class HealthMonitor:
+    """Aggregates health observations; renders snapshots; tracks SLOs."""
+
+    #: Real monitors record; the null monitor reports ``False`` so hook
+    #: code can skip building label dicts when nobody is watching.
+    enabled: bool = True
+
+    def __init__(
+        self,
+        config: HealthConfig | None = None,
+        *,
+        now: Callable[[], float] | None = None,
+    ) -> None:
+        self.config = config or HealthConfig()
+        self.now: Callable[[], float] = now if now is not None else time.monotonic
+        self._series: dict[str, RollupSeries] = {}
+        for spec in self.config.series:
+            if spec.name in self._series:
+                raise ConfigurationError(f"duplicate series {spec.name!r}")
+            self._series[spec.name] = RollupSeries(
+                spec.name,
+                spec.labels,
+                self.config.window,
+                track_values=spec.kind == "distribution",
+                max_values_per_key=self.config.max_values_per_key,
+            )
+        self._kinds = {spec.name: spec.kind for spec in self.config.series}
+        self._slos: dict[str, SloTracker] = {}
+        for slo in self.config.slos:
+            if slo.objective in self._slos:
+                raise ConfigurationError(f"duplicate SLO {slo.objective!r}")
+            self._slos[slo.objective] = SloTracker(slo, self.config.window)
+        self._seq = 0
+
+    # -- recording ------------------------------------------------------
+
+    def _resolve(self, name: str, kind: str) -> RollupSeries | None:
+        """The series behind ``name``, or ``None`` when not collected.
+
+        Hooks feed unconditionally; the *config* decides which series
+        are collected (e.g. the virtual-clock loadgen drops the
+        wall-time ``health.recording_ms`` series so replays stay
+        bit-identical).  A name of the wrong kind is still a
+        configuration error — that's a code bug, not a config choice.
+        """
+        series = self._series.get(name)
+        if series is None:
+            return None
+        if self._kinds[name] != kind:
+            raise ConfigurationError(
+                f"series {name!r} is a {self._kinds[name]}, not a {kind}"
+            )
+        return series
+
+    def increment(
+        self,
+        name: str,
+        value: int = 1,
+        *,
+        labels: Mapping[str, str] | None = None,
+        now: float | None = None,
+    ) -> None:
+        """Bump a counter series by ``value`` under ``labels``."""
+        series = self._resolve(name, "counter")
+        if series is None:
+            return
+        series.observe(
+            1.0,
+            self.now() if now is None else now,
+            labels=labels,
+            weight=int(value),
+        )
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        *,
+        labels: Mapping[str, str] | None = None,
+        now: float | None = None,
+    ) -> None:
+        """Record one sample into a distribution series."""
+        series = self._resolve(name, "distribution")
+        if series is None:
+            return
+        series.observe(value, self.now() if now is None else now, labels=labels)
+
+    def slo_sample(
+        self,
+        objective: str,
+        *,
+        good: bool | None = None,
+        value_ms: float | None = None,
+        now: float | None = None,
+    ) -> None:
+        """Feed one good/bad event to an objective.
+
+        Explicit ``good`` wins; otherwise the objective's
+        ``threshold_ms`` classifies ``value_ms``.  Objectives absent
+        from the config are ignored — hooks feed unconditionally.
+        """
+        tracker = self._slos.get(objective)
+        if tracker is None:
+            return
+        if good is None:
+            threshold = tracker.config.threshold_ms
+            if threshold is None or value_ms is None:
+                raise ConfigurationError(
+                    f"SLO {objective!r} needs an explicit good= verdict "
+                    "(no threshold_ms configured)"
+                )
+            good = value_ms <= threshold
+        tracker.sample(good, self.now() if now is None else now)
+
+    # -- worker propagation ---------------------------------------------
+
+    def capture_context(self) -> HealthContext | None:
+        """Shippable context for pool workers (see :class:`HealthContext`)."""
+        return HealthContext(config=self.config, frozen_now=self.now())
+
+    def export_state(self) -> dict[str, Any]:
+        """JSON-safe series state for the trip back to the parent."""
+        return {
+            "series": {
+                name: series.export_state()
+                for name, series in sorted(self._series.items())
+            },
+        }
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        """Fold a worker monitor's exported series into this one."""
+        for name, payload in state["series"].items():
+            series = self._series.get(name)
+            if series is not None:
+                series.merge_state(payload)
+
+    # -- evaluation / rendering -----------------------------------------
+
+    def evaluate(self, now: float | None = None) -> list[dict[str, Any]]:
+        """Evaluate every SLO; returns per-objective gauge dicts."""
+        at = self.now() if now is None else now
+        out = []
+        for objective in sorted(self._slos):
+            tracker = self._slos[objective]
+            out.append(
+                {
+                    "objective": objective,
+                    "target": tracker.config.target,
+                    "threshold_ms": tracker.config.threshold_ms,
+                    "rules": tracker.evaluate(at),
+                    "firing": tracker.firing,
+                }
+            )
+        return out
+
+    @property
+    def transitions(self) -> list[dict[str, Any]]:
+        """Every alert transition so far, in evaluation order."""
+        out: list[dict[str, Any]] = []
+        for objective in sorted(self._slos):
+            out.extend(self._slos[objective].transitions)
+        out.sort(key=lambda t: (t["at_s"], t["slo"], t["rule"]))
+        return out
+
+    def active_alerts(self) -> list[dict[str, str]]:
+        """Currently firing (slo, severity, rule) triples."""
+        alerts = []
+        for objective in sorted(self._slos):
+            tracker = self._slos[objective]
+            for rule in tracker.config.rules:
+                if tracker._firing[rule.key]:
+                    alerts.append(
+                        {
+                            "slo": objective,
+                            "severity": rule.severity,
+                            "rule": rule.key,
+                        }
+                    )
+        return alerts
+
+    def snapshot(self, now: float | None = None) -> dict[str, Any]:
+        """One JSON-safe health snapshot: series rows, SLOs, alerts.
+
+        Evaluates the SLOs as a side effect, so alert transitions are
+        stamped with this snapshot's clock reading.
+        """
+        at = self.now() if now is None else now
+        self._seq += 1
+        with current_tracer().span(obs_names.SPAN_HEALTH_SNAPSHOT) as span:
+            series: dict[str, list[dict[str, Any]]] = {}
+            for name in sorted(self._series):
+                rows = [
+                    {"labels": labels, **snap.to_dict()}
+                    for labels, snap in self._series[name].rows(
+                        at,
+                        quantiles=self.config.quantiles
+                        if self._kinds[name] == "distribution"
+                        else (),
+                    )
+                ]
+                if rows:
+                    series[name] = rows
+            slos = self.evaluate(at)
+            alerts = self.active_alerts()
+            span.set("series", len(series))
+            span.set("alerts", len(alerts))
+        return {
+            "seq": self._seq,
+            "at_s": round(at, 6),
+            "series": series,
+            "slos": slos,
+            "alerts_active": alerts,
+            "transitions": self.transitions,
+        }
+
+    def prometheus(self, now: float | None = None) -> str:
+        """Prometheus text-format rendering with rollup label dimensions."""
+        at = self.now() if now is None else now
+        lines: list[str] = []
+        for name in sorted(self._series):
+            kind = self._kinds[name]
+            metric = _sanitize(name) + ("_total" if kind == "counter" else "")
+            lines.append(f"# TYPE {metric} {'counter' if kind == 'counter' else 'summary'}")
+            for labels, snap in self._series[name].rows(
+                at,
+                quantiles=self.config.quantiles if kind == "distribution" else (),
+            ):
+                rendered = _labels(labels)
+                if kind == "counter":
+                    lines.append(f"{metric}{rendered} {snap.count}")
+                    continue
+                for qname, qvalue in snap.quantiles.items():
+                    quantile = float(qname[1:]) / 100.0
+                    lines.append(
+                        f"{metric}{_labels({**labels, 'quantile': f'{quantile:g}'})}"
+                        f" {qvalue:.6f}"
+                    )
+                lines.append(f"{metric}_count{rendered} {snap.count}")
+                lines.append(f"{metric}_sum{rendered} {snap.total:.6f}")
+        lines.append("# TYPE earsonar_slo_burn_rate gauge")
+        lines.append("# TYPE earsonar_slo_alert_firing gauge")
+        for entry in self.evaluate(at):
+            for rule in entry["rules"]:
+                labels = {
+                    "slo": entry["objective"],
+                    "severity": rule["severity"],
+                    "rule": rule["rule"],
+                }
+                lines.append(
+                    f"earsonar_slo_burn_rate{_labels({**labels, 'window': 'long'})}"
+                    f" {rule['burn_long']:.6f}"
+                )
+                lines.append(
+                    f"earsonar_slo_burn_rate{_labels({**labels, 'window': 'short'})}"
+                    f" {rule['burn_short']:.6f}"
+                )
+                lines.append(
+                    f"earsonar_slo_alert_firing{_labels(labels)}"
+                    f" {1 if rule['firing'] else 0}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+def _sanitize(name: str) -> str:
+    return "earsonar_" + name.replace(".", "_")
+
+
+def _labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape(str(labels[key]))}"' for key in sorted(labels)
+    )
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"")
+
+
+class NullHealthMonitor:
+    """Disabled monitor: every hook is a stateless no-op."""
+
+    __slots__ = ()
+
+    #: Always ``False``.
+    enabled: bool = False
+
+    def increment(self, name: str, value: int = 1, *, labels: Any = None, now: Any = None) -> None:
+        """Discard the observation."""
+
+    def observe(self, name: str, value: float, *, labels: Any = None, now: Any = None) -> None:
+        """Discard the observation."""
+
+    def slo_sample(self, objective: str, *, good: Any = None, value_ms: Any = None, now: Any = None) -> None:
+        """Discard the sample."""
+
+    def capture_context(self) -> None:
+        """Always ``None``: workers stay disabled too."""
+
+    def merge_state(self, state: Any) -> None:
+        """Discard the state."""
+
+    def snapshot(self, now: Any = None) -> dict[str, Any]:
+        """Always empty."""
+        return {}
+
+    def prometheus(self, now: Any = None) -> str:
+        """Always empty."""
+        return ""
+
+    @property
+    def transitions(self) -> tuple:
+        """Always empty."""
+        return ()
+
+    def active_alerts(self) -> list:
+        """Always empty."""
+        return []
+
+
+#: Process-wide disabled monitor; the ambient default.
+NULL_HEALTH = NullHealthMonitor()
+
+AnyHealth = Union[HealthMonitor, NullHealthMonitor]
+
+_CURRENT_HEALTH: ContextVar[AnyHealth] = ContextVar(
+    "repro_obs_health", default=NULL_HEALTH
+)
+
+
+def current_health() -> AnyHealth:
+    """The ambient monitor (the shared :data:`NULL_HEALTH` by default)."""
+    return _CURRENT_HEALTH.get()
+
+
+@contextmanager
+def use_health(monitor: AnyHealth) -> Iterator[AnyHealth]:
+    """Make ``monitor`` ambient for the duration of the ``with`` block."""
+    token = _CURRENT_HEALTH.set(monitor)
+    try:
+        yield monitor
+    finally:
+        _CURRENT_HEALTH.reset(token)
+
+
+@contextmanager
+def activate_health_from_context(
+    context: HealthContext | None,
+) -> Iterator[HealthMonitor | None]:
+    """Worker-side monitor activation from a shipped :class:`HealthContext`.
+
+    Yields the local :class:`HealthMonitor` (ambient inside the block)
+    when the context asks for health aggregation, else ``None`` with
+    the null monitor left in place.  The local monitor's clock is
+    frozen at the context's capture time so every worker observation
+    lands on the parent's time axis deterministically.
+    """
+    if context is None:
+        yield None
+        return
+    frozen = context.frozen_now
+    monitor = HealthMonitor(context.config, now=lambda: frozen)
+    with use_health(monitor):
+        yield monitor

@@ -1,0 +1,198 @@
+"""Mergeable exponential-bucket quantile sketch.
+
+The fleet-health aggregators need latency and drift *distributions*
+that many producers (pool workers, serve shards) can accumulate locally
+and a parent can combine without loss.  Exact reservoirs don't merge —
+two reservoirs concatenated are no longer a uniform sample — so the
+health tier uses the standard mergeable alternative: a histogram whose
+bucket boundaries grow geometrically, giving a bounded *relative* error
+on every quantile estimate.
+
+Properties that the tests pin down:
+
+- **Mergeable, exactly.**  Bucket counts are integers; ``merge`` is a
+  bucket-wise add, so it is commutative and associative to the bit.
+  Any partition of a value stream across producers yields the same
+  merged sketch as a single-producer run.
+- **Bounded relative error.**  A value lands in the bucket whose
+  geometric span covers it; quantiles are answered with the bucket's
+  geometric midpoint, so the estimate is within one ``growth`` factor
+  of the true rank value.
+- **Signed.**  Calibration offsets are dB values around zero; negative
+  magnitudes mirror into negative bucket indices, and values inside
+  ``(-min_value, +min_value)`` share the exact-zero bucket.
+
+The exact ``count`` / ``total`` / ``min`` / ``max`` moments ride along
+so rates and means never pay the quantization error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ...errors import ConfigurationError
+
+__all__ = ["SketchConfig", "QuantileSketch"]
+
+#: Bucket index for values whose magnitude is below ``min_value``.
+_ZERO_BUCKET = 0
+
+
+@dataclass(frozen=True)
+class SketchConfig:
+    """Shape of the exponential bucket grid.
+
+    Attributes
+    ----------
+    growth:
+        Ratio between consecutive bucket boundaries.  1.15 gives a
+        worst-case quantile error of ~7% of the value — plenty for
+        burn-rate math and dashboard percentiles.
+    min_value:
+        Magnitudes below this collapse into the shared zero bucket;
+        it is also the first bucket boundary.
+    max_index:
+        Bucket indices are clamped to ``[-max_index, max_index]`` so a
+        wild outlier cannot grow the sketch without bound.  256 buckets
+        at growth 1.15 span ``min_value`` to ``min_value * 1.15**256``
+        (about 15 decades) per sign.
+    """
+
+    growth: float = 1.15
+    min_value: float = 1e-3
+    max_index: int = 256
+
+    def __post_init__(self) -> None:
+        if self.growth <= 1.0:
+            raise ConfigurationError(f"growth must be > 1, got {self.growth}")
+        if self.min_value <= 0.0:
+            raise ConfigurationError(
+                f"min_value must be positive, got {self.min_value}"
+            )
+        if self.max_index < 1:
+            raise ConfigurationError(
+                f"max_index must be >= 1, got {self.max_index}"
+            )
+
+
+class QuantileSketch:
+    """Signed exponential-bucket histogram with exact moments."""
+
+    __slots__ = ("config", "count", "total", "vmin", "vmax", "buckets", "_log_growth")
+
+    def __init__(self, config: SketchConfig | None = None) -> None:
+        self.config = config or SketchConfig()
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+        #: Sparse bucket table: signed index -> integer count.
+        self.buckets: dict[int, int] = {}
+        self._log_growth = math.log(self.config.growth)
+
+    # -- recording ------------------------------------------------------
+
+    def _index(self, value: float) -> int:
+        magnitude = abs(value)
+        cfg = self.config
+        if magnitude < cfg.min_value:
+            return _ZERO_BUCKET
+        # Bucket k (k >= 1) covers [min_value * g**(k-1), min_value * g**k).
+        index = 1 + int(math.log(magnitude / cfg.min_value) / self._log_growth)
+        index = min(index, cfg.max_index)
+        return index if value >= 0.0 else -index
+
+    def observe(self, value: float, weight: int = 1) -> None:
+        """Record ``value`` with an integer multiplicity."""
+        if weight <= 0:
+            return
+        self.count += weight
+        self.total += value * weight
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+        index = self._index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + weight
+
+    # -- querying -------------------------------------------------------
+
+    def _bucket_value(self, index: int) -> float:
+        """Representative value of one bucket: its geometric midpoint."""
+        if index == _ZERO_BUCKET:
+            return 0.0
+        cfg = self.config
+        magnitude = cfg.min_value * cfg.growth ** (abs(index) - 1)
+        midpoint = magnitude * math.sqrt(cfg.growth)
+        return midpoint if index > 0 else -midpoint
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]); NaN when empty.
+
+        The answer is clamped into the exact observed ``[min, max]``
+        envelope, so degenerate streams (one value repeated) come back
+        exact instead of quantized.
+        """
+        if self.count == 0:
+            return math.nan
+        q = min(max(q, 0.0), 1.0)
+        rank = q * (self.count - 1)
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen > rank:
+                estimate = self._bucket_value(index)
+                return min(max(estimate, self.vmin), self.vmax)
+        return self.vmax
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of the observed values; NaN when empty."""
+        return self.total / self.count if self.count else math.nan
+
+    # -- merge / serialization ------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold ``other`` into this sketch (bucket-wise integer add)."""
+        if other.config != self.config:
+            raise ConfigurationError(
+                "cannot merge sketches with different configs: "
+                f"{self.config} vs {other.config}"
+            )
+        self.count += other.count
+        self.total += other.total
+        self.vmin = min(self.vmin, other.vmin)
+        self.vmax = max(self.vmax, other.vmax)
+        for index, weight in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + weight
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe state (bucket keys become strings)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "vmin": None if self.count == 0 else self.vmin,
+            "vmax": None if self.count == 0 else self.vmax,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], config: SketchConfig | None = None
+    ) -> "QuantileSketch":
+        """Rebuild a sketch serialized by :meth:`to_dict`."""
+        sketch = cls(config)
+        sketch.count = int(data["count"])
+        sketch.total = float(data["total"])
+        sketch.vmin = math.inf if data["vmin"] is None else float(data["vmin"])
+        sketch.vmax = -math.inf if data["vmax"] is None else float(data["vmax"])
+        sketch.buckets = {int(k): int(v) for k, v in data["buckets"].items()}
+        return sketch
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileSketch(count={self.count}, mean={self.mean:.4g}, "
+            f"buckets={len(self.buckets)})"
+        )

@@ -1,0 +1,266 @@
+"""Mergeable sliding-window aggregator: a ring of time buckets.
+
+A :class:`SlidingWindow` covers the trailing ``bucket_s * num_buckets``
+seconds with fixed-width buckets, each holding exact count/sum/min/max
+moments plus (for distributions) a mergeable
+:class:`~repro.obs.health.sketch.QuantileSketch`.  Buckets are aligned
+to the absolute epoch grid (``bucket index = floor(now / bucket_s)``),
+which is what makes two windows fed from *different processes*
+mergeable: the grid is a pure function of the injected clock, not of
+either window's construction time.
+
+Expiry is lazy and allocation-free: the ring slot for a new epoch is
+recycled in place, and reads simply skip buckets whose epoch has fallen
+out of the horizon.  Nothing here reads a wall clock — every operation
+takes ``now`` from the caller, so the whole tier runs deterministically
+under :class:`~repro.serve.clock.VirtualClock`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ...errors import ConfigurationError
+from .sketch import QuantileSketch, SketchConfig
+
+__all__ = ["WindowConfig", "WindowSnapshot", "SlidingWindow"]
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Bucket grid of a sliding window.
+
+    The defaults — 5 s buckets, 360 of them — retain 30 minutes, enough
+    to cover the default long burn-rate window with one ring.
+    """
+
+    bucket_s: float = 5.0
+    num_buckets: int = 360
+    sketch: SketchConfig = field(default_factory=SketchConfig)
+
+    def __post_init__(self) -> None:
+        if self.bucket_s <= 0.0:
+            raise ConfigurationError(
+                f"bucket_s must be positive, got {self.bucket_s}"
+            )
+        if self.num_buckets < 1:
+            raise ConfigurationError(
+                f"num_buckets must be >= 1, got {self.num_buckets}"
+            )
+
+    @property
+    def horizon_s(self) -> float:
+        """Maximum lookback the ring can answer."""
+        return self.bucket_s * self.num_buckets
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """Aggregates over one trailing horizon, plus quantile estimates."""
+
+    count: int
+    total: float
+    vmin: float | None
+    vmax: float | None
+    rate_per_s: float
+    quantiles: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form with stable float rounding."""
+        payload: dict[str, Any] = {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "min": None if self.vmin is None else round(self.vmin, 6),
+            "max": None if self.vmax is None else round(self.vmax, 6),
+            "rate_per_s": round(self.rate_per_s, 6),
+        }
+        if self.quantiles:
+            payload["quantiles"] = {
+                key: round(value, 6) for key, value in self.quantiles.items()
+            }
+        return payload
+
+
+class _Bucket:
+    """One epoch's accumulator; recycled in place when its slot turns over."""
+
+    __slots__ = ("epoch", "count", "total", "vmin", "vmax", "sketch")
+
+    def __init__(self, epoch: int, sketch: QuantileSketch | None) -> None:
+        self.epoch = epoch
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+        self.sketch = sketch
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "epoch": self.epoch,
+            "count": self.count,
+            "total": self.total,
+            "vmin": None if self.count == 0 else self.vmin,
+            "vmax": None if self.count == 0 else self.vmax,
+        }
+        if self.sketch is not None:
+            payload["sketch"] = self.sketch.to_dict()
+        return payload
+
+
+class SlidingWindow:
+    """Ring of epoch-aligned buckets; observe / merge / read.
+
+    Parameters
+    ----------
+    config:
+        Bucket grid shared by every window that will ever be merged
+        into this one (merging across grids is a
+        :class:`~repro.errors.ConfigurationError`).
+    track_values:
+        ``True`` keeps a quantile sketch per bucket (distribution
+        series); ``False`` keeps only the exact moments (counter
+        series), which makes ``observe`` an O(1) integer bump.
+    """
+
+    __slots__ = ("config", "track_values", "_ring")
+
+    def __init__(self, config: WindowConfig | None = None, *, track_values: bool = True) -> None:
+        self.config = config or WindowConfig()
+        self.track_values = track_values
+        self._ring: list[_Bucket | None] = [None] * self.config.num_buckets
+
+    # -- writing --------------------------------------------------------
+
+    def _epoch(self, now: float) -> int:
+        return int(now // self.config.bucket_s)
+
+    def _bucket_for(self, epoch: int) -> _Bucket:
+        slot = epoch % self.config.num_buckets
+        bucket = self._ring[slot]
+        if bucket is None or bucket.epoch != epoch:
+            bucket = _Bucket(
+                epoch,
+                QuantileSketch(self.config.sketch) if self.track_values else None,
+            )
+            self._ring[slot] = bucket
+        return bucket
+
+    def observe(self, value: float, now: float, weight: int = 1) -> None:
+        """Record ``value`` (``weight`` times) in the bucket of ``now``."""
+        if weight <= 0:
+            return
+        bucket = self._bucket_for(self._epoch(now))
+        bucket.count += weight
+        bucket.total += value * weight
+        if value < bucket.vmin:
+            bucket.vmin = value
+        if value > bucket.vmax:
+            bucket.vmax = value
+        if bucket.sketch is not None:
+            bucket.sketch.observe(value, weight)
+
+    # -- merging --------------------------------------------------------
+
+    def merge(self, other: "SlidingWindow") -> None:
+        """Fold another window's live buckets into this ring.
+
+        Buckets combine epoch-wise; an incoming bucket older than the
+        one its slot currently holds is expired data and is dropped,
+        and an incoming *newer* bucket replaces the stale resident.
+        """
+        if other.config != self.config:
+            raise ConfigurationError(
+                "cannot merge windows with different configs: "
+                f"{self.config} vs {other.config}"
+            )
+        for incoming in other._ring:
+            if incoming is None or incoming.count == 0:
+                continue
+            slot = incoming.epoch % self.config.num_buckets
+            resident = self._ring[slot]
+            if resident is None or resident.epoch < incoming.epoch:
+                fresh = _Bucket(
+                    incoming.epoch,
+                    QuantileSketch(self.config.sketch) if self.track_values else None,
+                )
+                self._ring[slot] = resident = fresh
+            elif resident.epoch > incoming.epoch:
+                continue
+            resident.count += incoming.count
+            resident.total += incoming.total
+            resident.vmin = min(resident.vmin, incoming.vmin)
+            resident.vmax = max(resident.vmax, incoming.vmax)
+            if resident.sketch is not None and incoming.sketch is not None:
+                resident.sketch.merge(incoming.sketch)
+
+    # -- reading --------------------------------------------------------
+
+    def _live_buckets(self, now: float, horizon_s: float | None) -> list[_Bucket]:
+        horizon = self.config.horizon_s if horizon_s is None else horizon_s
+        current = self._epoch(now)
+        span = max(1, min(self.config.num_buckets, math.ceil(horizon / self.config.bucket_s)))
+        oldest = current - span + 1
+        return [
+            bucket
+            for bucket in self._ring
+            if bucket is not None
+            and bucket.count > 0
+            and oldest <= bucket.epoch <= current
+        ]
+
+    def totals(
+        self,
+        now: float,
+        *,
+        horizon_s: float | None = None,
+        quantiles: tuple[float, ...] = (),
+    ) -> WindowSnapshot:
+        """Aggregate the trailing ``horizon_s`` (full ring by default)."""
+        live = self._live_buckets(now, horizon_s)
+        count = sum(bucket.count for bucket in live)
+        total = sum(bucket.total for bucket in live)
+        horizon = self.config.horizon_s if horizon_s is None else horizon_s
+        qvals: dict[str, float] = {}
+        if quantiles and self.track_values and count:
+            merged = QuantileSketch(self.config.sketch)
+            for bucket in live:
+                if bucket.sketch is not None:
+                    merged.merge(bucket.sketch)
+            qvals = {f"p{q * 100:g}": merged.quantile(q) for q in quantiles}
+        return WindowSnapshot(
+            count=count,
+            total=total,
+            vmin=min((b.vmin for b in live), default=None),
+            vmax=max((b.vmax for b in live), default=None),
+            rate_per_s=count / horizon if horizon > 0 else 0.0,
+            quantiles=qvals,
+        )
+
+    # -- serialization --------------------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        """JSON-safe live buckets, for shipping across a process boundary."""
+        return {
+            "buckets": [
+                bucket.to_dict()
+                for bucket in self._ring
+                if bucket is not None and bucket.count > 0
+            ],
+        }
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        """Fold an :meth:`export_state` payload into this ring."""
+        other = SlidingWindow(self.config, track_values=self.track_values)
+        for data in state["buckets"]:
+            bucket = other._bucket_for(int(data["epoch"]))
+            bucket.count = int(data["count"])
+            bucket.total = float(data["total"])
+            bucket.vmin = math.inf if data["vmin"] is None else float(data["vmin"])
+            bucket.vmax = -math.inf if data["vmax"] is None else float(data["vmax"])
+            if bucket.sketch is not None and "sketch" in data:
+                bucket.sketch = QuantileSketch.from_dict(
+                    data["sketch"], self.config.sketch
+                )
+        self.merge(other)

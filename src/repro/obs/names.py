@@ -120,6 +120,23 @@ __all__ = [
     "METRIC_TENANT_COMPLETED",
     "METRIC_TENANT_REJECTED",
     "tenant_counter",
+    "SPAN_HEALTH_SNAPSHOT",
+    "EVENT_HEALTH_SNAPSHOT",
+    "EVENT_SLO_ALERT_FIRED",
+    "EVENT_SLO_ALERT_RESOLVED",
+    "HEALTH_SCREENINGS",
+    "HEALTH_REQUESTS",
+    "HEALTH_RAKE_TAPS",
+    "HEALTH_RECORDING_MS",
+    "HEALTH_REQUEST_MS",
+    "HEALTH_CALIB_OFFSET_DB",
+    "HEALTH_COUNTER_SERIES",
+    "HEALTH_DISTRIBUTION_SERIES",
+    "SLO_AVAILABILITY",
+    "SLO_LATENCY",
+    "SLO_QUALITY",
+    "SLO_OBJECTIVES",
+    "HEALTH_LABEL_KEYS",
     "registry",
 ]
 
@@ -159,6 +176,9 @@ SPAN_STAGE_CALIBRATION = "stage.calibration"
 SPAN_SERVE_ADMISSION = "serve.admission"
 #: One dispatched micro-batch (attrs: batch, size, tenants).
 SPAN_SERVE_BATCH = "serve.batch"
+#: Snapshot assembly inside :meth:`HealthMonitor.snapshot` (attrs:
+#: series, alerts).  Opened only when a real tracer is ambient.
+SPAN_HEALTH_SNAPSHOT = "health.snapshot_build"
 
 #: The in-recording pipeline stages, in execution order.
 STAGE_SPAN_NAMES = (
@@ -182,6 +202,7 @@ SPAN_NAMES = frozenset(
         SPAN_SERVE_BATCH,
         SPAN_STAGE_RAKE,
         SPAN_STAGE_CALIBRATION,
+        SPAN_HEALTH_SNAPSHOT,
         *STAGE_SPAN_NAMES,
     }
 )
@@ -230,6 +251,18 @@ EVENT_SERVE_BATCH_DISPATCHED = "serve.batch_dispatched"
 #: The SLO controller resized the worker pool (fields: previous,
 #: workers, p95_ms).
 EVENT_SERVE_POOL_RESIZED = "serve.pool_resized"
+#: A periodic fleet-health snapshot was taken (fields: seq, at_s,
+#: alerts_active, series).  The full snapshot travels out of band (the
+#: serve loop's snapshot sink / ``--health-out``); the event carries a
+#: scalar summary so an ``EventLog`` replay can reconstruct the alert
+#: timeline without megabyte field payloads.
+EVENT_HEALTH_SNAPSHOT = "health.snapshot"
+#: A burn-rate rule crossed its threshold on both its windows (fields:
+#: slo, severity, at_s, burn_long, burn_short).
+EVENT_SLO_ALERT_FIRED = "slo.alert_fired"
+#: A previously firing burn-rate rule dropped back below threshold
+#: (fields: slo, severity, at_s, burn_long, burn_short).
+EVENT_SLO_ALERT_RESOLVED = "slo.alert_resolved"
 
 #: Every registered structured-event name.
 EVENT_NAMES = frozenset(
@@ -251,6 +284,9 @@ EVENT_NAMES = frozenset(
         EVENT_SERVE_REJECTED,
         EVENT_SERVE_BATCH_DISPATCHED,
         EVENT_SERVE_POOL_RESIZED,
+        EVENT_HEALTH_SNAPSHOT,
+        EVENT_SLO_ALERT_FIRED,
+        EVENT_SLO_ALERT_RESOLVED,
     }
 )
 
@@ -470,6 +506,77 @@ METRIC_TENANT_COMPLETED = "serve.tenant.completed"
 METRIC_TENANT_REJECTED = "serve.tenant.rejected"
 
 
+# -- fleet-health (repro.obs.health) names ------------------------------
+
+#: Screening outcomes per verdict/reason (labels: verdict, reason).
+#: Fed by the executor's parent-side outcome hook.
+HEALTH_SCREENINGS = "health.screenings"
+#: Service answers per tenant and outcome (labels: tenant, outcome).
+HEALTH_REQUESTS = "health.requests"
+#: Early-reflection taps the rake stage subtracted, rolled up per
+#: device model (labels: device_model).  Fed by the pipeline's rake
+#: hook — worker-local monitors ship the counts home for merging.
+HEALTH_RAKE_TAPS = "health.rake_taps"
+
+#: Per-recording DSP wall time distribution (labels: lane).
+HEALTH_RECORDING_MS = "health.recording_ms"
+#: Submit-to-response latency distribution per tenant (labels: tenant).
+HEALTH_REQUEST_MS = "health.request_ms"
+#: Calibration-offset estimates per device model (labels:
+#: device_model) — the fleet-drift rollup the ROADMAP asked for.
+HEALTH_CALIB_OFFSET_DB = "health.calib_offset_db"
+
+#: Every health *counter* series the monitor documents.
+HEALTH_COUNTER_SERIES = frozenset(
+    {
+        HEALTH_SCREENINGS,
+        HEALTH_REQUESTS,
+        HEALTH_RAKE_TAPS,
+    }
+)
+
+#: Every health *distribution* series the monitor documents.
+HEALTH_DISTRIBUTION_SERIES = frozenset(
+    {
+        HEALTH_RECORDING_MS,
+        HEALTH_REQUEST_MS,
+        HEALTH_CALIB_OFFSET_DB,
+    }
+)
+
+#: SLO objective ids: the declarative objectives a
+#: :class:`~repro.obs.health.SloConfig` may carry and the hooks feed.
+SLO_AVAILABILITY = "slo.availability"
+SLO_LATENCY = "slo.latency"
+SLO_QUALITY = "slo.quality_acceptance"
+
+#: Every declared SLO objective id.
+SLO_OBJECTIVES = frozenset(
+    {
+        SLO_AVAILABILITY,
+        SLO_LATENCY,
+        SLO_QUALITY,
+    }
+)
+
+#: The closed vocabulary of rollup label *keys*.  Label values may be
+#: caller data (tenant ids, device models) — bounded at runtime by the
+#: per-key cardinality budget — but the keys themselves are a reviewed
+#: set: QA012 fails any ``labels={...}`` call site using a key outside
+#: this frozenset, and the rollup tables reject undeclared keys at
+#: runtime too.
+HEALTH_LABEL_KEYS = frozenset(
+    {
+        "tenant",
+        "device_model",
+        "verdict",
+        "reason",
+        "lane",
+        "outcome",
+    }
+)
+
+
 def tenant_counter(base: str, tenant: str) -> str:
     """Per-tenant counter name: ``<base>.<tenant>``.
 
@@ -500,4 +607,8 @@ def registry() -> dict[str, tuple[str, ...]]:
         "SERVE_REJECTION_COUNTERS": tuple(sorted(SERVE_REJECTION_COUNTERS.values())),
         "SERVE_CANONICAL_COUNTERS": tuple(sorted(SERVE_CANONICAL_COUNTERS)),
         "SERVE_CANONICAL_HISTOGRAMS": tuple(sorted(SERVE_CANONICAL_HISTOGRAMS)),
+        "HEALTH_COUNTER_SERIES": tuple(sorted(HEALTH_COUNTER_SERIES)),
+        "HEALTH_DISTRIBUTION_SERIES": tuple(sorted(HEALTH_DISTRIBUTION_SERIES)),
+        "SLO_OBJECTIVES": tuple(sorted(SLO_OBJECTIVES)),
+        "HEALTH_LABEL_KEYS": tuple(sorted(HEALTH_LABEL_KEYS)),
     }

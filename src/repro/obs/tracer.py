@@ -180,31 +180,36 @@ class Tracer:
     enabled: bool = True
 
     def __init__(self) -> None:
-        self._epoch = time.perf_counter()
+        # Bound builtin cached on the instance: the span open/close
+        # path is hot enough (every pipeline stage of every recording)
+        # that the module-attribute lookup on ``time`` shows up.
+        self._clock = time.perf_counter
+        self._epoch = self._clock()
         self.traces: list[Span] = []
         self._stack: list[Span] = []
 
     def _now_ms(self) -> float:
-        return (time.perf_counter() - self._epoch) * 1e3
+        return (self._clock() - self._epoch) * 1e3
 
     def span(self, name: str, **attrs: AttrValue) -> Span:
         """Open a span as a child of the innermost open span (or a root)."""
         span = Span(name, attrs)
         span._tracer = self
-        span.start_ms = self._now_ms()
+        span.start_ms = (self._clock() - self._epoch) * 1e3
         self._stack.append(span)
         return span
 
     def _finish(self, span: Span) -> None:
-        span.duration_ms = self._now_ms() - span.start_ms
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
-        elif span in self._stack:  # pragma: no cover - misuse guard
-            while self._stack and self._stack[-1] is not span:
-                self._stack.pop()
-            self._stack.pop()
-        if self._stack:
-            self._stack[-1].children.append(span)
+        span.duration_ms = (self._clock() - self._epoch) * 1e3 - span.start_ms
+        stack = self._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - misuse guard
+            while stack and stack[-1] is not span:
+                stack.pop()
+            stack.pop()
+        if stack:
+            stack[-1].children.append(span)
         else:
             self.traces.append(span)
 

@@ -5,9 +5,9 @@ Importing this package registers every rule with the engine registry
 rule lives in its own module, named after its id, and documents the
 scientific invariant it protects in its module docstring.
 
-QA001–QA007 and QA011 are per-file (``check_module``) rules; QA008–QA010
-are whole-program (``check_program``) rules built on the call-graph and
-summary machinery in :mod:`repro.qa.graph`.
+QA001–QA007, QA011, and QA012 are per-file (``check_module``) rules;
+QA008–QA010 are whole-program (``check_program``) rules built on the
+call-graph and summary machinery in :mod:`repro.qa.graph`.
 """
 
 from . import (  # noqa: F401  (imports register the rules)
@@ -22,6 +22,7 @@ from . import (  # noqa: F401  (imports register the rules)
     qa009_lock_discipline,
     qa010_telemetry_registry,
     qa011_dtype,
+    qa012_cardinality,
 )
 from .qa001_determinism import DeterminismRule
 from .qa002_fingerprint import FingerprintCompletenessRule
@@ -34,6 +35,7 @@ from .qa008_async_blocking import AsyncBlockingRule
 from .qa009_lock_discipline import LockDisciplineRule
 from .qa010_telemetry_registry import TelemetryRegistryRule
 from .qa011_dtype import DtypeDisciplineRule
+from .qa012_cardinality import LabelCardinalityRule
 
 __all__ = [
     "DeterminismRule",
@@ -47,4 +49,5 @@ __all__ = [
     "LockDisciplineRule",
     "TelemetryRegistryRule",
     "DtypeDisciplineRule",
+    "LabelCardinalityRule",
 ]

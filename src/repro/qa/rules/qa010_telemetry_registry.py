@@ -47,8 +47,13 @@ KIND_REGISTRIES: dict[str, tuple[str, ...]] = {
         "SERVE_REJECTION_COUNTERS",
         "SHM_DEGRADED_COUNTERS",
         "ECHO_CONDITIONAL_COUNTERS",
+        "HEALTH_COUNTER_SERIES",
     ),
-    "histogram": ("CANONICAL_HISTOGRAMS", "SERVE_CANONICAL_HISTOGRAMS"),
+    "histogram": (
+        "CANONICAL_HISTOGRAMS",
+        "SERVE_CANONICAL_HISTOGRAMS",
+        "HEALTH_DISTRIBUTION_SERIES",
+    ),
 }
 
 

@@ -49,6 +49,7 @@ from ..errors import (
 from ..kernels import backends
 from ..obs import names as obs_names
 from ..obs.events import EventLevel, current_event_log
+from ..obs.health import HealthContext, activate_health_from_context, current_health
 from ..obs.tracer import Span, TraceContext, activate_from_context, current_tracer
 from ..quality import QualityConfig, assess_recording
 from ..simulation.session import Recording
@@ -188,14 +189,20 @@ def _process_chunk(
     quality: QualityConfig | None = None,
     injector: FaultInjector | None = None,
     trace_ctx: TraceContext | None = None,
-) -> list[tuple[int, Outcome, object, int, dict | None]]:
+    health_ctx: HealthContext | None = None,
+) -> tuple[list[tuple[int, Outcome, object, int, dict | None]], dict | None]:
     """Process one chunk in a worker; never raises for expected faults.
 
-    Returns ``(index, outcome, stage_latencies_or_None, attempts,
-    span_tree_or_None)`` tuples; quarantining happens here so the
-    parent's merge step is the same for serial and parallel runs.  When
+    Returns ``(rows, health_state_or_None)`` where each row is
+    ``(index, outcome, stage_latencies_or_None, attempts,
+    span_tree_or_None)``; quarantining happens here so the parent's
+    merge step is the same for serial and parallel runs.  When
     ``trace_ctx`` asks for tracing, each recording's span tree is
-    serialized into its row for the parent to adopt.  An armed
+    serialized into its row for the parent to adopt; when
+    ``health_ctx`` asks for fleet-health aggregation, the pipeline's
+    in-worker health hooks record into a chunk-local monitor whose
+    exported state travels home for the parent to merge — the same
+    adoption pattern, applied to aggregates.  An armed
     :class:`FaultInjector` fires *before* its recording is processed —
     crashing the worker, sleeping past the deadline, or raising — so
     the parent's recovery machinery sees the failure exactly where a
@@ -213,7 +220,9 @@ def _process_chunk(
     )
     out = []
     try:
-        with activate_from_context(trace_ctx) as tracer:
+        with activate_from_context(trace_ctx) as tracer, activate_health_from_context(
+            health_ctx
+        ) as health:
             for index, recording in indexed:
                 if injector is not None and injector.should_trip(index):
                     injector.trip(index)
@@ -229,10 +238,11 @@ def _process_chunk(
                     processed, latencies = result
                     out.append((index, processed, latencies, attempts, span_dict))
             recording = None  # drop the last zero-copy view before unmapping
+            health_state = health.export_state() if health is not None else None
     finally:
         indexed.clear()
         release_attachments()
-    return out
+    return out, health_state
 
 
 # ---------------------------------------------------------------------------
@@ -432,11 +442,27 @@ class BatchExecutor:
         self.metrics.increment(obs_names.METRIC_PIPELINE_CALLS, attempts)
         if attempts > 1:
             self.metrics.increment(obs_names.METRIC_RECORDINGS_RETRIED, attempts - 1)
+        # Parent-side fleet-health rollups: one screening outcome per
+        # recording (verdict/reason dimensions) plus the quality SLO
+        # feed.  Always in the parent so serial and pool runs count
+        # identically regardless of which process ran the DSP.
+        health = current_health()
         if isinstance(outcome, FailedRecording):
             if outcome.error_type == "QualityRejectedError":
                 self.metrics.increment(obs_names.METRIC_QUALITY_REJECTED)
                 if "echo_dominant" in outcome.message:
                     self.metrics.increment(obs_names.METRIC_QUALITY_ECHO_DOMINANT)
+            if health.enabled:
+                verdict = (
+                    "rejected"
+                    if outcome.error_type == "QualityRejectedError"
+                    else "failed"
+                )
+                health.increment(
+                    obs_names.HEALTH_SCREENINGS,
+                    labels={"verdict": verdict, "reason": outcome.error_type},
+                )
+                health.slo_sample(obs_names.SLO_QUALITY, good=False)
             current_event_log().emit(
                 obs_names.EVENT_RECORDING_QUARANTINED,
                 level=EventLevel.WARNING,
@@ -446,6 +472,22 @@ class BatchExecutor:
             )
             return
         if isinstance(outcome, ProcessedRecording):
+            if health.enabled:
+                degraded = bool(outcome.quality_reasons)
+                health.increment(
+                    obs_names.HEALTH_SCREENINGS,
+                    labels={
+                        "verdict": "degraded" if degraded else "accepted",
+                        "reason": outcome.quality_reasons[0] if degraded else "",
+                    },
+                )
+                health.slo_sample(obs_names.SLO_QUALITY, good=True)
+                if latencies is not None:
+                    health.observe(
+                        obs_names.HEALTH_RECORDING_MS,
+                        latencies.bandpass_ms + latencies.feature_extract_ms,
+                        labels={"lane": self.pipeline.config.precision},
+                    )
             if outcome.quality_reasons:
                 self.metrics.increment(obs_names.METRIC_QUALITY_DEGRADED)
                 if "echo_dominant" in outcome.quality_reasons:
@@ -547,6 +589,8 @@ class BatchExecutor:
         config = self.pipeline.config
         tracer = current_tracer()
         trace_ctx = TraceContext.capture()
+        health = current_health()
+        health_ctx = HealthContext.capture()
         breaker = self.breaker
         if breaker is not None:
             breaker.on_new_batch()
@@ -581,6 +625,7 @@ class BatchExecutor:
                     self.quality_gate,
                     self.fault_injector,
                     trace_ctx,
+                    health_ctx,
                 )
                 for payload in payloads
             ]
@@ -603,7 +648,9 @@ class BatchExecutor:
                         with tracer.span(
                             obs_names.SPAN_CHUNK, chunk=chunk_no, size=len(chunk)
                         ):
-                            rows = future.result(timeout=self.task_timeout_s)
+                            rows, health_state = future.result(
+                                timeout=self.task_timeout_s
+                            )
                     except FuturesTimeoutError:
                         self.metrics.increment(obs_names.METRIC_TIMEOUTS)
                         self._chunk_failed(
@@ -630,6 +677,8 @@ class BatchExecutor:
                     else:
                         if breaker is not None:
                             breaker.record_success()
+                        if health_state is not None:
+                            health.merge_state(health_state)
                         for index, outcome, latencies, attempts, span_dict in rows:
                             if span_dict is not None:
                                 tracer.adopt(Span.from_dict(span_dict))

@@ -33,14 +33,25 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
+import dataclasses
 import json
 import sys
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
 from ..core.pipeline import EarSonarPipeline
 from ..errors import AdmissionRejected, EarSonarError, ServiceError
+from ..obs import names as obs_names
+from ..obs.health import (
+    DEFAULT_SERIES,
+    DEFAULT_SLOS,
+    HealthConfig,
+    HealthMonitor,
+    use_health,
+)
 from ..quality import QualityConfig
 from ..runtime.cache import FeatureCache
 from ..runtime.chaos import FaultInjector
@@ -68,7 +79,54 @@ def _synthesize(
     )
 
 
-def _build_service(args: argparse.Namespace, clock: Clock) -> ScreeningService:
+def _build_health(
+    args: argparse.Namespace, clock: Clock
+) -> tuple[HealthMonitor | None, Callable[[dict], None] | None]:
+    """Fleet-health monitor + snapshot sink from the CLI flags.
+
+    Returns ``(None, None)`` unless ``--health-interval-s`` opted in,
+    keeping the default serve/loadgen paths on the null monitor and
+    bit-identical to a health-free build.
+    """
+    if args.health_interval_s is None:
+        return None, None
+    slos = []
+    for slo in DEFAULT_SLOS:
+        if (
+            slo.objective == obs_names.SLO_LATENCY
+            and args.slo_latency_ms is not None
+        ):
+            slo = dataclasses.replace(slo, threshold_ms=args.slo_latency_ms)
+        slos.append(slo)
+    series = DEFAULT_SERIES
+    if isinstance(clock, VirtualClock):
+        # Stage latencies are wall-clock measurements; dropping that
+        # series keeps virtual-clock trajectories bit-identical across
+        # replays.  Every other series is a function of the seed.
+        series = tuple(
+            spec for spec in series if spec.name != obs_names.HEALTH_RECORDING_MS
+        )
+    monitor = HealthMonitor(
+        HealthConfig(series=series, slos=tuple(slos)), now=clock.now
+    )
+    sink = None
+    if args.health_out is not None:
+        out = Path(args.health_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text("")  # truncate: one trajectory per run
+
+        def sink(snapshot: dict) -> None:
+            with open(out, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(snapshot, sort_keys=True) + "\n")
+
+    return monitor, sink
+
+
+def _build_service(
+    args: argparse.Namespace,
+    clock: Clock,
+    health_sink: Callable[[dict], None] | None = None,
+) -> ScreeningService:
     """Executor + service wired from the shared CLI flags."""
     metrics = RuntimeMetrics()
     workers = args.workers
@@ -115,6 +173,8 @@ def _build_service(args: argparse.Namespace, clock: Clock) -> ScreeningService:
         ),
         controller=controller,
         fast_reject=QualityConfig() if args.fast_reject else None,
+        health_interval_s=args.health_interval_s,
+        health_sink=health_sink,
     )
 
 
@@ -220,7 +280,18 @@ async def _serve_watch(service: ScreeningService, args: argparse.Namespace) -> i
 
 async def _run_loadgen(args: argparse.Namespace) -> dict:
     clock: Clock = MonotonicClock() if args.real_clock else VirtualClock()
-    service = _build_service(args, clock)
+    health, file_sink = _build_health(args, clock)
+    snapshots_written = 0
+    health_sink: Callable[[dict], None] | None = None
+    if health is not None:
+
+        def health_sink(snapshot: dict) -> None:
+            nonlocal snapshots_written
+            snapshots_written += 1
+            if file_sink is not None:
+                file_sink(snapshot)
+
+    service = _build_service(args, clock, health_sink)
     rng = np.random.default_rng(args.seed)
 
     # A small pool of distinct synthesized captures, reused across
@@ -271,18 +342,28 @@ async def _run_loadgen(args: argparse.Namespace) -> dict:
         latencies_ms.append((clock.now() - started) * 1e3)
         per_tenant[tenant]["responded"] += 1
 
-    await service.start()
-    tasks = [asyncio.ensure_future(one(i)) for i in range(args.requests)]
-    if isinstance(clock, VirtualClock):
-        horizon = offsets[-1] + 60.0
-        step = max(args.max_delay_ms / 1e3, 1.0 / args.rate)
-        await clock.advance_until(
-            lambda: all(task.done() for task in tasks),
-            step=step,
-            max_steps=int(horizon / step) + 10_000,
-        )
-    await asyncio.gather(*tasks)
-    await service.stop()
+    # The monitor must be ambient before the dispatch task and the
+    # request tasks are created (each task snapshots the contextvars).
+    health_scope = (
+        use_health(health) if health is not None else contextlib.nullcontext()
+    )
+    with health_scope:
+        await service.start()
+        tasks = [asyncio.ensure_future(one(i)) for i in range(args.requests)]
+        if isinstance(clock, VirtualClock):
+            horizon = offsets[-1] + 60.0
+            step = max(args.max_delay_ms / 1e3, 1.0 / args.rate)
+            await clock.advance_until(
+                lambda: all(task.done() for task in tasks),
+                step=step,
+                max_steps=int(horizon / step) + 10_000,
+            )
+        await asyncio.gather(*tasks)
+        await service.stop()
+        if health is not None and args.health_prom is not None:
+            prom = Path(args.health_prom)
+            prom.parent.mkdir(parents=True, exist_ok=True)
+            prom.write_text(health.prometheus(clock.now()))
 
     total_rejected = sum(rejected.values())
     lost = args.requests - len(responded) - total_rejected
@@ -298,7 +379,14 @@ async def _run_loadgen(args: argparse.Namespace) -> dict:
             "max": float(data.max()),
         }
     metrics = service.metrics.report()
-    return {
+    report: dict = {}
+    if health is not None:
+        report["health"] = {
+            "snapshots": snapshots_written,
+            "alerts_active": health.active_alerts(),
+            "transitions": health.transitions,
+        }
+    return report | {
         "clock": "real" if args.real_clock else "virtual",
         "seed": args.seed,
         "requests": args.requests,
@@ -377,6 +465,30 @@ def main(argv: list[str] | None = None) -> int:
             default=0.1,
             help="synthesized recording length in seconds",
         )
+        cmd.add_argument(
+            "--health-interval-s",
+            type=float,
+            default=None,
+            help="enable fleet-health monitoring; snapshot at most once "
+            "per this many (virtual) seconds between batches",
+        )
+        cmd.add_argument(
+            "--health-out",
+            default=None,
+            help="append each full health snapshot to this JSONL file "
+            "(render with: python -m repro.obs health <file>)",
+        )
+        cmd.add_argument(
+            "--health-prom",
+            default=None,
+            help="write a final Prometheus textfile of the health rollups",
+        )
+        cmd.add_argument(
+            "--slo-latency-ms",
+            type=float,
+            default=None,
+            help="override the latency SLO threshold (default 30000 ms)",
+        )
 
     serve_cmd = sub.add_parser("serve", help="answer screening requests")
     _shared(serve_cmd)
@@ -430,10 +542,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "serve":
-        service = _build_service(args, MonotonicClock())
-        if args.watch is not None:
-            return asyncio.run(_serve_watch(service, args))
-        return asyncio.run(_serve_stdin(service, args))
+        clock = MonotonicClock()
+        health, health_sink = _build_health(args, clock)
+        service = _build_service(args, clock, health_sink)
+        scope = use_health(health) if health is not None else contextlib.nullcontext()
+        with scope:
+            if args.watch is not None:
+                return asyncio.run(_serve_watch(service, args))
+            return asyncio.run(_serve_stdin(service, args))
 
     report = asyncio.run(_run_loadgen(args))
     rendered = json.dumps(report, indent=2, sort_keys=True)

@@ -44,6 +44,7 @@ from typing import Callable
 from ..errors import AdmissionRejected, QualityRejectedError, ServiceStoppedError
 from ..obs import names as obs_names
 from ..obs.events import EventLevel, current_event_log
+from ..obs.health import current_health
 from ..obs.tracer import current_tracer
 from ..quality import QualityConfig, assess_recording
 from ..runtime.executor import BatchExecutor, BatchResult
@@ -139,6 +140,16 @@ class ScreeningService:
         captures are answered pre-admission without queueing.
     runner:
         Override for the batch-dispatch callable (testing seam).
+    health_interval_s:
+        When set (and a fleet-health monitor is ambient), the dispatch
+        loop builds a ``health.snapshot`` at most once per this many
+        clock seconds: a scalar summary goes to the event log and the
+        full snapshot dict to ``health_sink``.  A final snapshot is
+        always taken at :meth:`stop`.
+    health_sink:
+        Callable receiving each full health-snapshot dict (the serve
+        CLI appends them as JSON lines).  Ignored without
+        ``health_interval_s``.
     """
 
     def __init__(
@@ -152,6 +163,8 @@ class ScreeningService:
         controller: ControllerPolicy | None = None,
         fast_reject: QualityConfig | None = None,
         runner: BatchRunner | None = None,
+        health_interval_s: float | None = None,
+        health_sink: Callable[[dict], None] | None = None,
     ) -> None:
         self.executor = executor
         self.metrics = executor.metrics
@@ -175,6 +188,9 @@ class ScreeningService:
         self._running = False
         self._abandoned = False
         self._batch_seq = 0
+        self.health_interval_s = health_interval_s
+        self.health_sink = health_sink
+        self._last_health_at: float | None = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -232,6 +248,9 @@ class ScreeningService:
         if self._dispatch_task is not None:
             await self._dispatch_task
             self._dispatch_task = None
+        # Close the health trajectory with one final snapshot so short
+        # runs produce at least one sample and alerts resolve on record.
+        self._maybe_health_snapshot(force=True)
         current_event_log().emit(obs_names.EVENT_SERVE_STOPPED)
 
     # -- submission ----------------------------------------------------
@@ -267,6 +286,18 @@ class ScreeningService:
                     obs_names.METRIC_TENANT_COMPLETED, request.tenant
                 )
             )
+            health = current_health()
+            if health.enabled:
+                # A fast-reject is an answered request — the service was
+                # available — with its own outcome dimension.
+                health.increment(
+                    obs_names.HEALTH_REQUESTS,
+                    labels={"tenant": request.tenant, "outcome": "fast_rejected"},
+                    now=self.clock.now(),
+                )
+                health.slo_sample(
+                    obs_names.SLO_AVAILABILITY, good=True, now=self.clock.now()
+                )
             return fast
 
         self._admit(request)
@@ -280,10 +311,27 @@ class ScreeningService:
         self.scheduler.enqueue(request.tenant, pending)
         self.batcher.notify()
         response: ScreeningResponse = await pending.future
-        self.metrics.observe(
-            obs_names.HIST_SERVE_REQUEST_MS,
-            (self.clock.now() - pending.admitted_at) * 1e3,
-        )
+        request_ms = (self.clock.now() - pending.admitted_at) * 1e3
+        self.metrics.observe(obs_names.HIST_SERVE_REQUEST_MS, request_ms)
+        health = current_health()
+        if health.enabled:
+            now = self.clock.now()
+            health.increment(
+                obs_names.HEALTH_REQUESTS,
+                labels={
+                    "tenant": request.tenant,
+                    "outcome": "ok" if response.ok else "quarantined",
+                },
+                now=now,
+            )
+            health.observe(
+                obs_names.HEALTH_REQUEST_MS,
+                request_ms,
+                labels={"tenant": request.tenant},
+                now=now,
+            )
+            health.slo_sample(obs_names.SLO_AVAILABILITY, good=True, now=now)
+            health.slo_sample(obs_names.SLO_LATENCY, value_ms=request_ms, now=now)
         self.metrics.increment(obs_names.METRIC_SERVE_COMPLETED)
         self.metrics.increment(
             obs_names.tenant_counter(obs_names.METRIC_TENANT_COMPLETED, request.tenant)
@@ -342,6 +390,15 @@ class ScreeningService:
                     obs_names.METRIC_TENANT_REJECTED, request.tenant
                 )
             )
+            health = current_health()
+            if health.enabled:
+                now = self.clock.now()
+                health.increment(
+                    obs_names.HEALTH_REQUESTS,
+                    labels={"tenant": request.tenant, "outcome": "rejected"},
+                    now=now,
+                )
+                health.slo_sample(obs_names.SLO_AVAILABILITY, good=False, now=now)
             current_event_log().emit(
                 obs_names.EVENT_SERVE_REJECTED,
                 level=EventLevel.WARNING,
@@ -423,6 +480,39 @@ class ScreeningService:
             for pending, outcome in zip(batch, result.outcomes):
                 self._resolve(pending, outcome, seq, batch_ms)
         self._steer(batch_ms)
+        self._maybe_health_snapshot()
+
+    def _maybe_health_snapshot(self, force: bool = False) -> None:
+        """Periodic ``health.snapshot``: event-log summary + full sink dump.
+
+        Runs at most once per ``health_interval_s`` of the injected
+        clock, between batches (never on the request path), so a soak
+        run leaves a whole health trajectory behind.
+        """
+        if self.health_interval_s is None:
+            return
+        health = current_health()
+        if not health.enabled:
+            return
+        now = self.clock.now()
+        if (
+            not force
+            and self._last_health_at is not None
+            and now - self._last_health_at < self.health_interval_s
+        ):
+            return
+        self._last_health_at = now
+        snapshot = health.snapshot(now)
+        current_event_log().emit(
+            obs_names.EVENT_HEALTH_SNAPSHOT,
+            seq=snapshot["seq"],
+            at_s=snapshot["at_s"],
+            series=len(snapshot["series"]),
+            alerts_active=len(snapshot["alerts_active"]),
+            transitions=len(snapshot["transitions"]),
+        )
+        if self.health_sink is not None:
+            self.health_sink(snapshot)
 
     def _fail_batch(
         self, batch: list[PendingRequest], seq: int, batch_ms: float, message: str

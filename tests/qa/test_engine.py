@@ -48,6 +48,7 @@ def test_all_rules_registered():
         "QA009",
         "QA010",
         "QA011",
+        "QA012",
     ]
 
 

@@ -155,3 +155,85 @@ def test_cross_file_emission_satisfies_registry(findings_of):
         )
     )
     assert findings == []
+
+
+# Health-series registries joined the declared universe with the
+# fleet-health tier: HEALTH_COUNTER_SERIES names are counters,
+# HEALTH_DISTRIBUTION_SERIES names are histograms, and both directions
+# of the diff must cover them.
+HEALTH_NAMES_MODULE = """
+HEALTH_REQUESTS = "health.requests"
+HEALTH_DEAD = "health.dead_series"
+HEALTH_REQUEST_MS = "health.request_ms"
+
+CANONICAL_COUNTERS = frozenset()
+SPAN_NAMES = frozenset()
+EVENT_NAMES = frozenset()
+CANONICAL_HISTOGRAMS = frozenset()
+HEALTH_COUNTER_SERIES = frozenset({HEALTH_REQUESTS, HEALTH_DEAD})
+HEALTH_DISTRIBUTION_SERIES = frozenset({HEALTH_REQUEST_MS})
+"""
+
+
+def test_health_series_count_as_declared_counters_and_histograms(findings_of):
+    findings = _qa010(
+        findings_of(
+            TelemetryRegistryRule,
+            {
+                "repro/obs/names.py": HEALTH_NAMES_MODULE,
+                "repro/app/hooks.py": """
+                    from ..obs import names as obs_names
+
+                    def record(health):
+                        health.increment(obs_names.HEALTH_REQUESTS)
+                        health.increment(obs_names.HEALTH_DEAD)
+                        health.observe(obs_names.HEALTH_REQUEST_MS, 2.0)
+                    """,
+            },
+        )
+    )
+    assert findings == []
+
+
+def test_undeclared_health_emission_is_flagged(findings_of):
+    findings = _qa010(
+        findings_of(
+            TelemetryRegistryRule,
+            {
+                "repro/obs/names.py": HEALTH_NAMES_MODULE,
+                "repro/app/hooks.py": """
+                    from ..obs import names as obs_names
+
+                    def record(health):
+                        health.increment(obs_names.HEALTH_REQUESTS)
+                        health.increment(obs_names.HEALTH_DEAD)
+                        health.observe(obs_names.HEALTH_REQUEST_MS, 2.0)
+                        health.increment("health.surprise")
+                    """,
+            },
+        )
+    )
+    undeclared = [f for f in findings if "health.surprise" in f.message]
+    assert len(undeclared) == 1
+    assert undeclared[0].path == "repro/app/hooks.py"
+
+
+def test_dead_health_series_is_flagged_in_names_module(findings_of):
+    findings = _qa010(
+        findings_of(
+            TelemetryRegistryRule,
+            {
+                "repro/obs/names.py": HEALTH_NAMES_MODULE,
+                "repro/app/hooks.py": """
+                    from ..obs import names as obs_names
+
+                    def record(health):
+                        health.increment(obs_names.HEALTH_REQUESTS)
+                        health.observe(obs_names.HEALTH_REQUEST_MS, 2.0)
+                    """,
+            },
+        )
+    )
+    dead = [f for f in findings if "health.dead_series" in f.message]
+    assert len(dead) == 1
+    assert dead[0].path == "repro/obs/names.py"

@@ -1,0 +1,187 @@
+"""Fleet health in the serve loop: hooks, periodic snapshots, alerts.
+
+All scenarios run on a :class:`VirtualClock` with the monitor's clock
+wired to it, so every request timestamp, burn rate, and alert
+transition is an exact function of the scenario — which is what lets
+the replay test demand *equality* of transition lists, not similarity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.obs import names as obs_names
+from repro.obs.events import EventLog, use_event_log
+from repro.obs.health import (
+    BurnRule,
+    HealthConfig,
+    HealthMonitor,
+    SeriesSpec,
+    SloConfig,
+    use_health,
+)
+from repro.serve import (
+    BatchPolicy,
+    ScreeningRequest,
+    ScreeningService,
+    VirtualClock,
+)
+
+from .conftest import run, ticking_runner
+
+SERVE_SERIES = (
+    SeriesSpec(obs_names.HEALTH_REQUESTS, ("tenant", "outcome"), "counter"),
+    SeriesSpec(obs_names.HEALTH_REQUEST_MS, ("tenant",), "distribution"),
+)
+
+#: One fast rule so short scenarios can fire and resolve within
+#: seconds of virtual time.
+FAST_RULES = (BurnRule(long_s=60.0, short_s=10.0, factor=2.0, min_events=2),)
+
+
+def make_monitor(clock: VirtualClock, *, latency_threshold_ms: float) -> HealthMonitor:
+    return HealthMonitor(
+        HealthConfig(
+            series=SERVE_SERIES,
+            slos=(
+                SloConfig(
+                    objective=obs_names.SLO_AVAILABILITY,
+                    target=0.9,
+                    rules=FAST_RULES,
+                ),
+                SloConfig(
+                    objective=obs_names.SLO_LATENCY,
+                    target=0.9,
+                    threshold_ms=latency_threshold_ms,
+                    rules=FAST_RULES,
+                ),
+            ),
+        ),
+        now=clock.now,
+    )
+
+
+def make_service(executor, clock, **kwargs) -> ScreeningService:
+    kwargs.setdefault("batching", BatchPolicy(max_batch_size=4, max_delay_s=0.05))
+    kwargs.setdefault("runner", ticking_runner(clock, 0.02))
+    return ScreeningService(executor, clock=clock, **kwargs)
+
+
+def soak(executor, recordings, *, latency_threshold_ms, sink=None, interval=0.5):
+    """One deterministic six-request scenario; returns (monitor, log)."""
+
+    async def scenario():
+        clock = VirtualClock()
+        monitor = make_monitor(clock, latency_threshold_ms=latency_threshold_ms)
+        log = EventLog()
+        with use_health(monitor), use_event_log(log):
+            service = make_service(
+                executor,
+                clock,
+                health_interval_s=interval,
+                health_sink=sink,
+            )
+            await service.start()
+            tasks = [
+                asyncio.ensure_future(
+                    service.submit(ScreeningRequest(f"req-{i}", "clinic", rec))
+                )
+                for i, rec in enumerate(recordings)
+            ]
+            await clock.advance_until(
+                lambda: all(task.done() for task in tasks), step=0.01
+            )
+            await service.stop()
+        return monitor, log
+
+    return run(scenario())
+
+
+class TestServeRollups:
+    def test_requests_and_latency_series_balance(self, executor, serve_recordings):
+        monitor, _ = soak(executor, serve_recordings, latency_threshold_ms=30_000.0)
+        snap = monitor.snapshot(monitor.now())
+        [requests] = snap["series"][obs_names.HEALTH_REQUESTS]
+        assert requests["labels"] == {"tenant": "clinic", "outcome": "ok"}
+        assert requests["count"] == len(serve_recordings)
+        [latency] = snap["series"][obs_names.HEALTH_REQUEST_MS]
+        assert latency["count"] == len(serve_recordings)
+        assert latency["max"] > 0.0
+
+    def test_availability_slo_sees_every_request(self, executor, serve_recordings):
+        monitor, _ = soak(executor, serve_recordings, latency_threshold_ms=30_000.0)
+        [availability] = [
+            entry
+            for entry in monitor.evaluate(monitor.now())
+            if entry["objective"] == obs_names.SLO_AVAILABILITY
+        ]
+        assert availability["rules"][0]["events_long"] == len(serve_recordings)
+        assert availability["firing"] is False
+
+
+class TestPeriodicSnapshots:
+    def test_snapshot_events_and_sink_fire_on_the_interval(
+        self, executor, serve_recordings
+    ):
+        snapshots: list[dict] = []
+        monitor, log = soak(
+            executor,
+            serve_recordings,
+            latency_threshold_ms=30_000.0,
+            sink=snapshots.append,
+        )
+        emitted = [e for e in log.events if e.name == obs_names.EVENT_HEALTH_SNAPSHOT]
+        assert len(emitted) == len(snapshots) >= 1
+        # Sequence numbers are contiguous and the sink got full dicts.
+        assert [s["seq"] for s in snapshots] == list(
+            range(1, len(snapshots) + 1)
+        )
+        assert all("slos" in s and "series" in s for s in snapshots)
+        # stop() forces a closing snapshot, so the trajectory covers
+        # the whole scenario.
+        assert emitted[-1].fields["seq"] == snapshots[-1]["seq"]
+
+    def test_no_interval_means_no_snapshots(self, executor, serve_recordings):
+        async def scenario():
+            clock = VirtualClock()
+            monitor = make_monitor(clock, latency_threshold_ms=30_000.0)
+            log = EventLog()
+            with use_health(monitor), use_event_log(log):
+                service = make_service(executor, clock)
+                await service.start()
+                task = asyncio.ensure_future(
+                    service.submit(
+                        ScreeningRequest("req-0", "clinic", serve_recordings[0])
+                    )
+                )
+                await clock.advance_until(task.done, step=0.01)
+                await service.stop()
+            return log
+
+        log = run(scenario())
+        assert all(e.name != obs_names.EVENT_HEALTH_SNAPSHOT for e in log.events)
+
+
+class TestAlertDeterminism:
+    def test_tight_latency_slo_fires_and_default_does_not(
+        self, executor, serve_recordings
+    ):
+        # Every request takes >= one 20 ms batch tick of virtual time,
+        # so a 1 ms threshold marks all of them bad: burn 10/1 factor 2
+        # on both windows -> the page must fire.
+        tight, _ = soak(executor, serve_recordings, latency_threshold_ms=1.0)
+        fired = [t for t in tight.transitions if t["state"] == "fired"]
+        assert fired and all(t["slo"] == obs_names.SLO_LATENCY for t in fired)
+        assert tight.active_alerts() != []
+        # The generous threshold classifies the same traffic good.
+        default, _ = soak(executor, serve_recordings, latency_threshold_ms=30_000.0)
+        assert default.transitions == []
+        assert default.active_alerts() == []
+
+    def test_replay_reproduces_identical_transition_timestamps(
+        self, executor, serve_recordings
+    ):
+        first, _ = soak(executor, serve_recordings, latency_threshold_ms=1.0)
+        second, _ = soak(executor, serve_recordings, latency_threshold_ms=1.0)
+        assert first.transitions == second.transitions
+        assert first.snapshot(first.now()) == second.snapshot(second.now())
